@@ -1,0 +1,19 @@
+"""Benchmark budgets, environment-tunable (see conftest for docs)."""
+
+import os
+
+#: Measured cycles per simulation in benchmark runs.
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "6000"))
+
+#: Warm-up cycles per simulation in benchmark runs.
+BENCH_WARMUP = max(500, BENCH_CYCLES // 4)
+
+#: Quick representative cells; full nine-cell sweep via REPRO_BENCH_FULL.
+if os.environ.get("REPRO_BENCH_FULL"):
+    BENCH_CELLS = tuple(
+        (threads, wtype)
+        for threads in (2, 3, 4)
+        for wtype in ("ILP", "MIX", "MEM")
+    )
+else:
+    BENCH_CELLS = ((2, "ILP"), (2, "MEM"))

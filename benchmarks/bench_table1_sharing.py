@@ -1,0 +1,36 @@
+"""Table 1 — the pre-computed sharing-model allocation table.
+
+Regenerates the paper's Table 1 exactly and benchmarks the sharing-model
+computation itself (the paper argues it is cheap enough for a
+combinational circuit or a 10-entry ROM; here we measure the software
+cost of recomputing every cap each cycle).
+"""
+
+from repro.core.sharing import precomputed_table, slow_share
+
+PAPER_TABLE_1 = [
+    (0, 1, 32), (1, 1, 24), (0, 2, 16), (2, 1, 18), (1, 2, 14),
+    (0, 3, 11), (3, 1, 14), (2, 2, 12), (1, 3, 10), (0, 4, 8),
+]
+
+
+def test_table1_regeneration(benchmark):
+    table = benchmark(precomputed_table, 32, 4, "inverse_active")
+    assert table == PAPER_TABLE_1
+    print("\nTable 1 (R=32, 4 threads, C=1/(FA+SA)):")
+    print(f"{'entry':>5} {'FA':>3} {'SA':>3} {'Eslow':>6}")
+    for index, (fa, sa, share) in enumerate(table, 1):
+        print(f"{index:5d} {fa:3d} {sa:3d} {share:6d}")
+
+
+def test_per_cycle_cap_computation(benchmark):
+    """Cost of the per-cycle cap recomputation DCRA performs (5 resources)."""
+
+    def compute_all_caps():
+        caps = []
+        for total in (80, 80, 80, 224, 224):
+            caps.append(slow_share(total, 2, 2, "inverse_active_plus4"))
+        return caps
+
+    caps = benchmark(compute_all_caps)
+    assert len(caps) == 5

@@ -1,0 +1,33 @@
+"""Table 3 — per-benchmark L2 miss rates and MEM/ILP classification.
+
+Checks the synthetic profiles land on the published cache behaviour:
+the MEM set must stay above the 1% line and keep the published ordering
+(mcf worst, then art, swim, ...), the ILP set must stay near zero.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.experiments import format_table3, table3_miss_rates
+
+#: A representative subset by default: worst MEM offenders + typical ILP.
+BENCHMARKS = ("mcf", "art", "swim", "twolf", "gzip", "eon", "gcc", "wupwise")
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark.pedantic(
+        table3_miss_rates,
+        kwargs=dict(cycles=max(4000, BENCH_CYCLES),
+                    warmup=BENCH_WARMUP, benchmarks=BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    print("\nTable 3 (L2 miss rate, % of L1D accesses):")
+    print(format_table3(rows))
+
+    measured = {row.benchmark: row.measured_l2_missrate_pct for row in rows}
+    # MEM/ILP split at the paper's 1% line.
+    for name in ("mcf", "art", "swim", "twolf"):
+        assert measured[name] > 1.0, name
+    for name in ("gzip", "eon", "wupwise", "gcc"):
+        assert measured[name] < 1.5, name
+    # Published ordering of the worst offenders.
+    assert measured["mcf"] > measured["art"] > measured["twolf"]

@@ -1,0 +1,37 @@
+"""Table 4 — workload construction and trace-generation throughput.
+
+Table 4 itself is a static definition (verified against the paper in the
+unit tests); the benchmark measures the cost of standing up all 36
+workloads and generating their opening instruction window, which bounds
+how much of every simulation is spent in the synthetic front end.
+"""
+
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.workloads import all_workloads
+
+#: Instructions generated per thread when standing a workload up.
+WINDOW = 2_000
+
+
+def build_all_workloads():
+    total_ops = 0
+    for workload in all_workloads():
+        for tid, profile in enumerate(workload.profiles()):
+            generator = SyntheticTraceGenerator(profile, seed=1, tid=tid)
+            for _ in range(WINDOW):
+                generator.next_op()
+            total_ops += WINDOW
+    return total_ops
+
+
+def test_table4_workload_construction(benchmark):
+    total = benchmark.pedantic(build_all_workloads, rounds=1, iterations=1)
+    # 36 workloads x threads x WINDOW instructions.
+    expected = sum(w.num_threads for w in all_workloads()) * WINDOW
+    assert total == expected
+    print(f"\nTable 4: built 36 workloads, generated {total} instructions")
+    print("Workload cells:")
+    for workload in all_workloads():
+        if workload.group == 1:
+            print(f"  {workload.wtype}{workload.num_threads}: "
+                  f"{'+'.join(workload.benchmarks)} (group 1 of 4)")

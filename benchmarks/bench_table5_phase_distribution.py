@@ -1,0 +1,36 @@
+"""Table 5 — fast/slow phase combinations of 2-thread workloads.
+
+Paper claim: MIX workloads spend most cycles (63%) with the two threads
+in *different* phases — the situation where DCRA's dynamic borrowing
+pays — while MEM pairs are mostly both-slow and ILP pairs mostly have a
+fast thread.
+"""
+
+from _budget import BENCH_CYCLES, BENCH_WARMUP
+
+from repro.harness.experiments import (
+    format_table5,
+    table5_phase_distribution,
+)
+
+
+def test_table5_regeneration(benchmark):
+    rows = benchmark.pedantic(
+        table5_phase_distribution,
+        kwargs=dict(cycles=BENCH_CYCLES, warmup=BENCH_WARMUP),
+        rounds=1, iterations=1,
+    )
+    print("\nTable 5 (% of cycles, 2-thread workloads):")
+    print(format_table5(rows))
+
+    by_type = {row.wtype: row for row in rows}
+    # MEM pairs: dominated by both-slow (paper: 85%).
+    assert by_type["MEM"].slow_slow_pct > 50
+    # ILP pairs see the most both-fast time of the three types
+    # (paper: 50.8%).
+    assert by_type["ILP"].fast_fast_pct > by_type["MIX"].fast_fast_pct
+    assert by_type["ILP"].fast_fast_pct > by_type["MEM"].fast_fast_pct
+    # MIX pairs: different-phase time is the largest share (paper: 63%).
+    mix = by_type["MIX"]
+    assert mix.mixed_pct > mix.fast_fast_pct
+    assert mix.mixed_pct > 35

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a table or a
+figure) and prints it, while pytest-benchmark records the wall-clock
+cost of the regeneration.  Budgets are environment-tunable:
+
+* ``REPRO_BENCH_CYCLES`` — measured cycles per simulation (default 6000;
+  the committed EXPERIMENTS.md numbers used 30000).
+* ``REPRO_BENCH_FULL``  — set to 1 to sweep all nine workload cells
+  instead of the quick representative subset.
+"""
+
+import pytest
+
+from _budget import BENCH_CELLS, BENCH_CYCLES, BENCH_WARMUP
+
+
+@pytest.fixture
+def bench_budget():
+    """(cycles, warmup, cells) tuple for experiment benchmarks."""
+    return BENCH_CYCLES, BENCH_WARMUP, BENCH_CELLS

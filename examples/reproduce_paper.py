@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures from the command line.
+
+Thin CLI over :mod:`repro.harness.experiments`.  Each sub-command prints
+one artefact of the paper's evaluation section; ``all`` runs everything.
+Budgets are deliberately modest by default — pass ``--cycles`` for
+longer, lower-variance runs (the EXPERIMENTS.md numbers used 30k cycles).
+
+Run:
+    python examples/reproduce_paper.py table1
+    python examples/reproduce_paper.py fig4 --cycles 30000
+    python examples/reproduce_paper.py all
+"""
+
+import argparse
+
+from repro.core.sharing import precomputed_table
+from repro.harness import experiments as exp
+
+
+def show_table1(_args) -> None:
+    print("Table 1 — E_slow for a 32-entry resource, 4 threads "
+          "(C = 1/(FA+SA)):")
+    print(f"{'entry':>5s} {'FA':>3s} {'SA':>3s} {'Eslow':>6s}")
+    for index, (fa, sa, share) in enumerate(precomputed_table(32, 4), 1):
+        print(f"{index:5d} {fa:3d} {sa:3d} {share:6d}")
+
+
+def show_fig2(args) -> None:
+    rows = exp.figure2_resource_sensitivity(cycles=args.cycles // 2)
+    print("Figure 2 — % of full speed vs % of one resource (perfect L1D):")
+    print(exp.format_figure2(rows))
+
+
+def show_table3(args) -> None:
+    rows = exp.table3_miss_rates(cycles=args.cycles // 2)
+    print("Table 3 — L2 miss rates (paper vs measured):")
+    print(exp.format_table3(rows))
+
+
+def show_table5(args) -> None:
+    rows = exp.table5_phase_distribution(cycles=args.cycles)
+    print("Table 5 — phase combinations of 2-thread workloads (% cycles):")
+    print(exp.format_table5(rows))
+
+
+def show_fig4(args) -> None:
+    from repro.metrics.ascii_chart import bar_chart
+
+    rows = exp.figure4_dcra_vs_static(cycles=args.cycles)
+    print("Figure 4 — DCRA improvement over static allocation:")
+    print(exp.format_improvements(rows))
+    print()
+    print(bar_chart([(f"{r.wtype}{r.num_threads}", r.hmean_improvement_pct)
+                     for r in rows], unit="%"))
+
+
+def show_fig5(args) -> None:
+    results = exp.figure5_policy_comparison(cycles=args.cycles)
+    print("Figure 5a — throughput and Hmean per policy:")
+    print(exp.format_cell_results(results))
+    print("\nFigure 5b — DCRA Hmean improvement over each policy:")
+    print(exp.format_improvements(exp.improvements_over(results)))
+
+
+def show_fig6(args) -> None:
+    rows = exp.figure6_register_sweep(cycles=args.cycles)
+    print("Figure 6 — DCRA Hmean improvement vs register file size:")
+    print(exp.format_sweep(rows, "registers"))
+
+
+def show_fig7(args) -> None:
+    rows = exp.figure7_latency_sweep(cycles=args.cycles)
+    print("Figure 7 — DCRA Hmean improvement vs memory latency:")
+    print(exp.format_sweep(rows, "latency"))
+
+
+def show_text52(args) -> None:
+    rows = exp.text52_frontend_and_mlp(cycles=args.cycles)
+    print("Section 5.2 — front-end activity and L2-miss overlap:")
+    print(exp.format_text52(rows))
+
+
+COMMANDS = {
+    "table1": show_table1,
+    "fig2": show_fig2,
+    "table3": show_table3,
+    "table5": show_table5,
+    "fig4": show_fig4,
+    "fig5": show_fig5,
+    "fig6": show_fig6,
+    "fig7": show_fig7,
+    "text52": show_text52,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", choices=list(COMMANDS) + ["all"])
+    parser.add_argument("--cycles", type=int, default=12_000,
+                        help="measured cycles per simulation")
+    args = parser.parse_args()
+
+    if args.experiment == "all":
+        for name, command in COMMANDS.items():
+            print(f"\n{'=' * 66}")
+            command(args)
+    else:
+        COMMANDS[args.experiment](args)
+
+
+if __name__ == "__main__":
+    main()

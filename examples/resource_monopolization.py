@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Watch a memory-bound thread monopolise shared resources.
+
+This is the scenario the paper's introduction motivates: under ICOUNT, a
+thread with a pending L2 miss keeps allocating queue entries and rename
+registers it cannot release for hundreds of cycles, starving its
+co-runner.  The script samples per-thread occupancy of the load/store
+queue and the integer rename registers each cycle for mcf + gzip under
+ICOUNT and under DCRA, then prints occupancy histograms and the resulting
+per-thread IPCs.
+
+Run:
+    python examples/resource_monopolization.py [--cycles N]
+"""
+
+import argparse
+
+from repro import SMTConfig, SMTProcessor, Resource, get_profile, make_policy
+
+BENCHMARKS = ("mcf", "gzip")
+
+
+def sample_occupancy(policy_name: str, cycles: int):
+    """Run the pair and return averaged per-thread occupancies + IPCs."""
+    processor = SMTProcessor(
+        SMTConfig(),
+        [get_profile(b) for b in BENCHMARKS],
+        make_policy(policy_name),
+        seed=1,
+    )
+    sums = {
+        Resource.IQ_LS: [0, 0],
+        Resource.REG_INT: [0, 0],
+    }
+    samples = [0]
+
+    def hook(proc):
+        samples[0] += 1
+        for resource, acc in sums.items():
+            for tid in range(2):
+                acc[tid] += proc.resources.per_thread[resource][tid]
+
+    processor.cycle_hooks.append(hook)
+    processor.run(cycles)
+    averages = {
+        resource: [acc[tid] / samples[0] for tid in range(2)]
+        for resource, acc in sums.items()
+    }
+    ipcs = [t.stats.committed / cycles for t in processor.threads]
+    return averages, ipcs
+
+
+def bar(value: float, total: float, width: int = 40) -> str:
+    filled = int(round(width * value / total))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=15_000)
+    args = parser.parse_args()
+
+    print(f"Threads: {BENCHMARKS[0]} (memory-bound) + "
+          f"{BENCHMARKS[1]} (high ILP)\n")
+    for policy in ("ICOUNT", "DCRA"):
+        averages, ipcs = sample_occupancy(policy, args.cycles)
+        print(f"=== {policy}")
+        for resource, per_thread in averages.items():
+            total = {Resource.IQ_LS: 80, Resource.REG_INT: 288}[resource]
+            print(f"  {resource.name} ({total} entries)")
+            for tid, benchmark in enumerate(BENCHMARKS):
+                print(f"    {benchmark:6s} {per_thread[tid]:6.1f} "
+                      f"|{bar(per_thread[tid], total)}|")
+        print(f"  IPC: {BENCHMARKS[0]}={ipcs[0]:.2f} "
+              f"{BENCHMARKS[1]}={ipcs[1]:.2f} "
+              f"(throughput {sum(ipcs):.2f})\n")
+
+    print("Under ICOUNT the missing thread camps on queue entries and")
+    print("registers; DCRA's sharing model caps its allocation and gives")
+    print("the high-ILP thread room to run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artefact at full budget and dump raw results.
+
+Writes the output consumed by EXPERIMENTS.md.  Expect a ~1h run in pure
+Python; individual artefacts are flushed as they finish.
+
+Run:
+    python scripts/run_all_experiments.py [output-file]
+"""
+
+import sys
+import time
+
+from repro.core.sharing import precomputed_table
+from repro.harness import experiments as exp
+
+CYCLES = 24_000
+WARMUP = 5_000
+
+
+def main() -> None:
+    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+
+    def emit(text=""):
+        print(text, file=out, flush=True)
+
+    def stamp(label):
+        emit(f"\n{'=' * 70}\n{label}  [t+{time.time() - t0:.0f}s]\n{'=' * 70}")
+
+    t0 = time.time()
+
+    stamp("Table 1 (exact)")
+    for index, row in enumerate(precomputed_table(32, 4), 1):
+        emit(f"{index:3d} FA={row[0]} SA={row[1]} Eslow={row[2]}")
+
+    stamp("Figure 2 — resource sensitivity (perfect L1D)")
+    emit(exp.format_figure2(exp.figure2_resource_sensitivity(
+        cycles=12_000, warmup=3_000)))
+
+    stamp("Table 3 — L2 miss rates")
+    emit(exp.format_table3(exp.table3_miss_rates(
+        cycles=15_000, warmup=4_000)))
+
+    stamp("Table 5 — phase distribution (2-thread)")
+    emit(exp.format_table5(exp.table5_phase_distribution(
+        cycles=20_000, warmup=4_000)))
+
+    stamp("Figures 4+5 — full 9-cell policy comparison")
+    results = exp.compare_policies(
+        ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
+        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP)
+    emit(exp.format_cell_results(results))
+    emit()
+    rows = exp.improvements_over(results)
+    emit(exp.format_improvements(rows))
+    for baseline in ("SRA", "ICOUNT", "DG", "FLUSH++"):
+        values = [r.hmean_improvement_pct for r in rows
+                  if r.baseline == baseline]
+        tp = [r.throughput_improvement_pct for r in rows
+              if r.baseline == baseline]
+        emit(f"DCRA vs {baseline}: mean Hmean {sum(values) / len(values):+.1f}%"
+             f"  mean throughput {sum(tp) / len(tp):+.1f}%")
+
+    stamp("Figure 6 — register sweep")
+    emit(exp.format_sweep(exp.figure6_register_sweep(
+        cycles=20_000, warmup=4_000), "registers"))
+
+    stamp("Figure 7 — latency sweep")
+    emit(exp.format_sweep(exp.figure7_latency_sweep(
+        cycles=20_000, warmup=4_000), "latency"))
+
+    stamp("Section 5.2 — front-end activity / MLP")
+    emit(exp.format_text52(exp.text52_frontend_and_mlp(
+        cycles=20_000, warmup=4_000)))
+
+    stamp("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of "Dynamically Controlled Resource Allocation in
+SMT Processors" (Cazorla, Ramirez, Valero, Fernandez; MICRO-37, 2004).
+
+The package provides a trace-driven SMT cycle simulator (pipeline, memory
+hierarchy, branch prediction), synthetic SPEC2000-like workloads, the
+paper's DCRA resource-allocation policy, every baseline fetch policy it
+compares against, the throughput/Hmean metrics, and experiment drivers
+that regenerate each table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SMTConfig, evaluate_workload, make_workload
+
+    workload = make_workload(2, "MIX", group=1)     # gzip + twolf
+    results = evaluate_workload(workload, ["ICOUNT", "FLUSH++", "DCRA"])
+    for name, ev in results.items():
+        print(f"{name:8s} IPC={ev.throughput:.2f} Hmean={ev.hmean:.3f}")
+"""
+
+from repro.core.dcra import DcraConfig, DcraPolicy
+from repro.core.sharing import SharingModel, precomputed_table, slow_share
+from repro.harness.runner import (
+    PolicyEvaluation,
+    evaluate_workload,
+    run_benchmarks,
+    run_workload,
+    single_thread_ipc,
+)
+from repro.metrics.stats import (
+    SimulationResult,
+    ThreadResult,
+    collect_result,
+    hmean_speedup,
+    weighted_speedup,
+)
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.resources import Resource
+from repro.policies import POLICY_NAMES, Policy, make_policy
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    ILP_BENCHMARKS,
+    MEM_BENCHMARKS,
+    BenchmarkProfile,
+    get_profile,
+)
+from repro.trace.workloads import (
+    WORKLOAD_TABLE,
+    Workload,
+    all_workloads,
+    make_workload,
+    workload_groups,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "DcraConfig",
+    "DcraPolicy",
+    "ILP_BENCHMARKS",
+    "MEM_BENCHMARKS",
+    "POLICY_NAMES",
+    "Policy",
+    "PolicyEvaluation",
+    "Resource",
+    "SMTConfig",
+    "SMTProcessor",
+    "SharingModel",
+    "SimulationResult",
+    "ThreadResult",
+    "WORKLOAD_TABLE",
+    "Workload",
+    "all_workloads",
+    "collect_result",
+    "evaluate_workload",
+    "get_profile",
+    "hmean_speedup",
+    "make_policy",
+    "make_workload",
+    "precomputed_table",
+    "run_benchmarks",
+    "run_workload",
+    "single_thread_ipc",
+    "slow_share",
+    "weighted_speedup",
+    "workload_groups",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate a benchmark mix under one policy and print the
+  per-thread breakdown.
+* ``compare`` — run several policies on the same mix and print a
+  side-by-side table with Hmean fairness.
+* ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.harness.runner import run_benchmarks, single_thread_ipc
+from repro.metrics.report import comparison_table, thread_table
+from repro.policies.registry import POLICY_NAMES
+from repro.trace.profiles import ALL_BENCHMARKS, get_profile
+from repro.trace.workloads import all_workloads
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_benchmarks(args.benchmarks, args.policy,
+                            cycles=args.cycles, warmup=args.warmup,
+                            seed=args.seed)
+    print(thread_table(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = [
+        run_benchmarks(args.benchmarks, policy, cycles=args.cycles,
+                       warmup=args.warmup, seed=args.seed)
+        for policy in args.policies
+    ]
+    singles = [single_thread_ipc(benchmark, cycles=args.cycles,
+                                 warmup=args.warmup, seed=args.seed)
+               for benchmark in args.benchmarks]
+    print(f"Workload: {'+'.join(args.benchmarks)}")
+    print(comparison_table(results, single_ipcs=singles))
+    return 0
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for name in POLICY_NAMES:
+        print(name)
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    print(f"{'name':10s} {'suite':6s} {'class':5s} {'L2 miss% (paper)':>17s}")
+    for name in sorted(ALL_BENCHMARKS):
+        profile = get_profile(name)
+        print(f"{name:10s} {profile.suite:6s} {profile.mem_class:5s} "
+              f"{profile.l2_missrate_pct:17.2f}")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for workload in all_workloads():
+        print(workload.name)
+    return 0
+
+
+def _benchmark_list(value: str) -> List[str]:
+    names = [part.strip() for part in value.split("+") if part.strip()]
+    for name in names:
+        try:
+            get_profile(name)
+        except KeyError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SMT/DCRA simulator (Cazorla et al., MICRO-37 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one policy")
+    run_parser.add_argument("benchmarks", type=_benchmark_list,
+                            help="benchmark mix, e.g. gzip+twolf")
+    run_parser.add_argument("--policy", default="DCRA",
+                            choices=list(POLICY_NAMES))
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare policies")
+    compare_parser.add_argument("benchmarks", type=_benchmark_list)
+    compare_parser.add_argument("--policies", nargs="+",
+                                default=["ICOUNT", "FLUSH++", "SRA", "DCRA"],
+                                choices=list(POLICY_NAMES))
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    sub.add_parser("policies", help="list policies").set_defaults(
+        func=_cmd_policies)
+    sub.add_parser("benchmarks", help="list benchmarks").set_defaults(
+        func=_cmd_benchmarks)
+    sub.add_parser("workloads", help="list Table 4 workloads").set_defaults(
+        func=_cmd_workloads)
+
+    for sub_parser in (run_parser, compare_parser):
+        sub_parser.add_argument("--cycles", type=int, default=15_000)
+        sub_parser.add_argument("--warmup", type=int, default=3_000)
+        sub_parser.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

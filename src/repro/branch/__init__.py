@@ -1,0 +1,19 @@
+"""Branch prediction substrate (paper Table 2).
+
+A 16K-entry gshare predictor, a 256-entry 4-way branch target buffer and a
+256-entry return address stack, assembled per-thread-history /
+shared-tables as in the SMTSIM lineage by :class:`BranchUnit`.
+"""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.unit import BranchPrediction, BranchUnit
+
+__all__ = [
+    "BranchPrediction",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "GsharePredictor",
+    "ReturnAddressStack",
+]

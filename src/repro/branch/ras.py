@@ -1,0 +1,48 @@
+"""Return address stack.
+
+A fixed-depth stack of return addresses (paper Table 2: 256 entries), one
+per hardware context.  Calls push their fall-through address at predict
+time; returns pop.  Overflow wraps (oldest entry is lost), underflow
+returns None, which the front end treats as an unpredictable return.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular return address stack.
+
+    Args:
+        depth: maximum number of live return addresses.
+    """
+
+    def __init__(self, depth: int = 256) -> None:
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Push a predicted return address (on a call)."""
+        if len(self._stack) == self.depth:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return target, or None if the stack is empty."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def clear(self) -> None:
+        """Discard all entries (used when a thread context is reset)."""
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)

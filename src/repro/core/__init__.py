@@ -1,0 +1,37 @@
+"""DCRA — Dynamically Controlled Resource Allocation (the paper's core).
+
+DCRA combines three pieces, mirroring the paper's Figure 1:
+
+1. **Thread classification** (:mod:`repro.core.classification`): each
+   cycle, every thread is *fast* or *slow* (pending L1D miss) and, per
+   floating-point resource, *active* or *inactive* (activity counter).
+2. **Sharing model** (:mod:`repro.core.sharing`): from the counts of
+   fast-active and slow-active threads, compute how many entries of each
+   resource a slow-active thread may hold (paper equation 3 / Table 1).
+3. **Enforcement** (:mod:`repro.core.dcra`): a slow-active thread holding
+   more than its share of any resource is fetch-stalled until it drains.
+"""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveDcraPolicy
+from repro.core.classification import ActivityTracker, ThreadClass, classify
+from repro.core.dcra import DcraConfig, DcraPolicy
+from repro.core.sharing import (
+    SHARING_FACTORS,
+    SharingModel,
+    precomputed_table,
+    slow_share,
+)
+
+__all__ = [
+    "ActivityTracker",
+    "AdaptiveConfig",
+    "AdaptiveDcraPolicy",
+    "DcraConfig",
+    "DcraPolicy",
+    "SHARING_FACTORS",
+    "SharingModel",
+    "ThreadClass",
+    "classify",
+    "precomputed_table",
+    "slow_share",
+]

@@ -1,0 +1,141 @@
+"""Degenerate-case guard for DCRA (the paper's stated future work).
+
+Section 5.2 observes that mcf is a *degenerate case*: DCRA raises its
+overlapped L2 misses by 31%, yet its IPC is so memory-bound that the
+extra resources buy almost nothing while slightly hurting the other
+threads, which is why FLUSH++ edges DCRA on pure-MEM workloads.  The
+authors close with: "Future work will try to detect these degenerate
+cases in which assigning more resources to a thread does not contribute
+at all to increased overall results."
+
+:class:`AdaptiveDcraPolicy` implements that detection with per-thread A/B
+probing.  Each persistently slow thread alternates measurement windows
+between *borrow* mode (the normal DCRA entitlement) and *clamp* mode
+(just its equal active split, C = 0).  If borrowing does not improve the
+thread's own commit rate by at least ``benefit_threshold``, the thread is
+clamped for ``settle_windows`` windows — returning the borrowed entries
+to the pool — before being re-probed (programs change phases, so a
+degenerate classification must expire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.dcra import DcraConfig, DcraPolicy
+from repro.pipeline.resources import Resource
+
+# Probe-state constants (plain ints on a per-cycle path).
+_PROBE_BORROW = 0
+_PROBE_CLAMP = 1
+_SETTLED = 2
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tunables of the degenerate-case guard.
+
+    Attributes:
+        dcra: the underlying DCRA configuration.
+        window: cycles per probing window.
+        benefit_threshold: minimum relative commit-rate gain of borrow
+            mode over clamp mode for borrowing to be considered useful.
+        settle_windows: windows a verdict (either way) remains in force
+            before the thread is probed again.
+        slow_fraction: fraction of a window a thread must be slow for
+            probing to apply at all (fast threads are never clamped).
+    """
+
+    dcra: DcraConfig = DcraConfig()
+    window: int = 2048
+    benefit_threshold: float = 0.05
+    settle_windows: int = 4
+    slow_fraction: float = 0.5
+
+
+class AdaptiveDcraPolicy(DcraPolicy):
+    """DCRA + detection of threads that waste their borrowed share."""
+
+    name = "DCRA-ADAPT"
+
+    def __init__(self, config: AdaptiveConfig = AdaptiveConfig()) -> None:
+        super().__init__(config.dcra)
+        self.adaptive = config
+        self._state: List[int] = []
+        self._clamped: List[bool] = []
+        self._window_start_commits: List[int] = []
+        self._window_slow_cycles: List[int] = []
+        self._probe_rates: List[List[float]] = []
+        self._settle_left: List[int] = []
+        #: Number of clamp verdicts issued (introspection / tests).
+        self.clamp_verdicts = 0
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        num = self.processor.num_threads
+        self._state = [_PROBE_BORROW] * num
+        self._clamped = [False] * num
+        self._window_start_commits = [0] * num
+        self._window_slow_cycles = [0] * num
+        self._probe_rates = [[0.0, 0.0] for _ in range(num)]
+        self._settle_left = [0] * num
+
+    # -- cap override ---------------------------------------------------------
+
+    def cap_for(self, resource: Resource, tid: int) -> int:
+        if self._clamped[tid]:
+            return self._equal_split[resource]
+        return self._caps[resource]
+
+    # -- probing --------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        super().begin_cycle(cycle)
+        for tid in range(self.processor.num_threads):
+            if self._slow[tid]:
+                self._window_slow_cycles[tid] += 1
+        if cycle and cycle % self.adaptive.window == 0:
+            self._end_window()
+
+    def _end_window(self) -> None:
+        cfg = self.adaptive
+        for tid, thread in enumerate(self.processor.threads):
+            committed = thread.stats.committed
+            rate = (committed - self._window_start_commits[tid]) / cfg.window
+            self._window_start_commits[tid] = committed
+            slow_frac = self._window_slow_cycles[tid] / cfg.window
+            self._window_slow_cycles[tid] = 0
+
+            if slow_frac < cfg.slow_fraction:
+                # Mostly fast: no probing, full entitlement.
+                self._state[tid] = _PROBE_BORROW
+                self._clamped[tid] = False
+                self._settle_left[tid] = 0
+                continue
+
+            state = self._state[tid]
+            if state == _PROBE_BORROW:
+                self._probe_rates[tid][0] = rate
+                self._state[tid] = _PROBE_CLAMP
+                self._clamped[tid] = True
+            elif state == _PROBE_CLAMP:
+                self._probe_rates[tid][1] = rate
+                borrow_rate, clamp_rate = self._probe_rates[tid]
+                useful = borrow_rate > clamp_rate * (1 + cfg.benefit_threshold)
+                self._clamped[tid] = not useful
+                if not useful:
+                    self.clamp_verdicts += 1
+                self._state[tid] = _SETTLED
+                self._settle_left[tid] = cfg.settle_windows
+            else:  # settled: count down to the next probe.
+                self._settle_left[tid] -= 1
+                if self._settle_left[tid] <= 0:
+                    self._state[tid] = _PROBE_BORROW
+                    self._clamped[tid] = False
+
+    # -- introspection ----------------------------------------------------------
+
+    def is_clamped(self, tid: int) -> bool:
+        """True while the guard holds ``tid`` to its equal split."""
+        return self._clamped[tid]

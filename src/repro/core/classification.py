@@ -1,0 +1,111 @@
+"""DCRA thread classification (paper Section 3.1).
+
+Two orthogonal, per-cycle classifications:
+
+* **Phase** — a thread with pending L1 data-cache misses is *slow* (it
+  holds resources for a long time); otherwise it is *fast* (it cycles
+  through a small set of resources quickly).
+* **Activity** — per floating-point resource, a thread that has not
+  allocated an entry for ``window`` cycles (paper: 256) is *inactive*
+  and cedes its whole share.  Integer resources are always active: every
+  thread executes integer work.
+
+The combination yields the four groups the paper names FA, FI, SA, SI.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence
+
+from repro.pipeline.resources import FP_RESOURCES, Resource
+
+
+class ThreadClass(enum.Enum):
+    """The four DCRA groups for one (thread, resource) pair."""
+
+    FAST_ACTIVE = "FA"
+    FAST_INACTIVE = "FI"
+    SLOW_ACTIVE = "SA"
+    SLOW_INACTIVE = "SI"
+
+    @property
+    def is_slow(self) -> bool:
+        return self in (ThreadClass.SLOW_ACTIVE, ThreadClass.SLOW_INACTIVE)
+
+    @property
+    def is_active(self) -> bool:
+        return self in (ThreadClass.FAST_ACTIVE, ThreadClass.SLOW_ACTIVE)
+
+
+def classify(slow: bool, active: bool) -> ThreadClass:
+    """Combine the two classification axes into a :class:`ThreadClass`."""
+    if slow:
+        return ThreadClass.SLOW_ACTIVE if active else ThreadClass.SLOW_INACTIVE
+    return ThreadClass.FAST_ACTIVE if active else ThreadClass.FAST_INACTIVE
+
+
+class ActivityTracker:
+    """Per-thread activity counters for the floating-point resources.
+
+    Each counter starts at ``window`` and is decremented every cycle the
+    thread does not allocate an entry of that resource; any allocation
+    resets it to ``window``.  A thread is *inactive* for the resource when
+    its counter reaches zero (paper Section 3.4, activity flags).
+
+    Args:
+        num_threads: hardware contexts to track.
+        window: the paper's Y parameter; 256 gave the best results of the
+            64..8192 range the authors explored.
+    """
+
+    def __init__(self, num_threads: int, window: int = 256) -> None:
+        if window <= 0:
+            raise ValueError("activity window must be positive")
+        self.window = window
+        self.num_threads = num_threads
+        self._counters: Dict[Resource, List[int]] = {
+            resource: [window] * num_threads for resource in FP_RESOURCES
+        }
+        self._used_this_cycle: Dict[Resource, List[bool]] = {
+            resource: [False] * num_threads for resource in FP_RESOURCES
+        }
+
+    def note_use(self, resource: Resource, tid: int) -> None:
+        """Record an allocation of ``resource`` by ``tid`` this cycle."""
+        if resource in self._used_this_cycle:
+            self._used_this_cycle[resource][tid] = True
+
+    def tick(self) -> None:
+        """Advance one cycle: reset counters on use, else decay them."""
+        for resource, used_flags in self._used_this_cycle.items():
+            counters = self._counters[resource]
+            for tid in range(self.num_threads):
+                if used_flags[tid]:
+                    counters[tid] = self.window
+                    used_flags[tid] = False
+                elif counters[tid] > 0:
+                    counters[tid] -= 1
+
+    def is_active(self, resource: Resource, tid: int) -> bool:
+        """Activity flag for a (resource, thread) pair.
+
+        Integer resources are always active (the paper tracks activity
+        only for floating-point resources).
+        """
+        counters = self._counters.get(resource)
+        if counters is None:
+            return True
+        return counters[tid] > 0
+
+    def counter(self, resource: Resource, tid: int) -> int:
+        """Raw counter value (for tests and introspection)."""
+        counters = self._counters.get(resource)
+        if counters is None:
+            raise ValueError(f"{resource.name} has no activity counter")
+        return counters[tid]
+
+    def active_threads(self, resource: Resource,
+                       tids: Sequence[int]) -> List[int]:
+        """Subset of ``tids`` currently active for ``resource``."""
+        return [tid for tid in tids if self.is_active(resource, tid)]

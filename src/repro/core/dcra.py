@@ -1,0 +1,186 @@
+"""The DCRA policy (paper Section 3).
+
+Each cycle DCRA:
+
+1. classifies every thread as fast/slow (pending L1D miss) and, per
+   floating-point resource, active/inactive (activity counters);
+2. computes, for each of the five shared resources, the entitlement of a
+   slow-active thread from the sharing model (equation 3);
+3. fetch-stalls any slow-active thread whose occupancy of some resource
+   exceeds its entitlement, until it drains back under the cap.
+
+Fast threads are never restricted — they take whatever the slow threads
+leave — and inactive threads are not allocating the resource at all.
+Fetch priority among unrestricted threads remains ICOUNT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.classification import ActivityTracker
+from repro.core.sharing import SharingModel
+from repro.isa.instruction import MicroOp
+from repro.pipeline.resources import (
+    IQ_RESOURCES,
+    REG_RESOURCES,
+    Resource,
+    iq_for_class,
+    reg_for_dest,
+)
+from repro.policies.base import Policy, icount_order
+
+
+@dataclass(frozen=True)
+class DcraConfig:
+    """Tunable parameters of the DCRA policy.
+
+    Attributes:
+        activity_window: the Y parameter of the activity counters
+            (paper: 256, explored 64..8192).
+        iq_sharing_factor / reg_sharing_factor: sharing-factor names (see
+            :data:`repro.core.sharing.SHARING_FACTORS`) or callables; the
+            paper tunes them per memory latency (Section 5.3).
+        slow_trigger: which pending-miss counter marks a thread slow —
+            ``"l1d"`` (the paper's choice) or ``"l2"`` (an ablation).
+        enforce_at_rename: additionally block allocation at the rename
+            stage while a slow-active thread is at its cap.  The paper
+            describes fetch-stalling only; with our four-stage front end
+            a fetch-stalled thread can still push ~30 queued instructions
+            into the back end, so rename enforcement keeps occupancy at
+            the cap the sharing model computed (ablation: set False for
+            the paper's literal fetch-only enforcement).
+    """
+
+    activity_window: int = 256
+    iq_sharing_factor: str = "inverse_active_plus4"
+    reg_sharing_factor: str = "inverse_active_plus4"
+    slow_trigger: str = "l1d"
+    enforce_at_rename: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slow_trigger not in ("l1d", "l2"):
+            raise ValueError("slow_trigger must be 'l1d' or 'l2'")
+
+
+class DcraPolicy(Policy):
+    """Dynamically Controlled Resource Allocation."""
+
+    name = "DCRA"
+
+    def __init__(self, config: DcraConfig = DcraConfig()) -> None:
+        super().__init__()
+        self.config = config
+        self.sharing = SharingModel(config.iq_sharing_factor,
+                                    config.reg_sharing_factor)
+        self.activity: ActivityTracker = None  # built at attach
+        #: Per-resource entitlement of slow-active threads, this cycle.
+        self._caps: Dict[Resource, int] = {}
+        #: Threads currently fetch-stalled by the sharing model.
+        self._over_cap: List[bool] = []
+        #: Cycles each thread spent fetch-stalled by DCRA (statistic).
+        self.stall_cycles: List[int] = []
+
+    def on_attach(self) -> None:
+        num = self.processor.num_threads
+        self.activity = ActivityTracker(num, self.config.activity_window)
+        self._over_cap = [False] * num
+        self.stall_cycles = [0] * num
+        self._slow = [False] * num
+        self._caps = {resource: self.processor.resources.totals[resource]
+                      for resource in Resource}
+        self._equal_split = dict(self._caps)
+
+    # -- classification ------------------------------------------------------
+
+    def _is_slow(self, tid: int) -> bool:
+        thread = self.processor.threads[tid]
+        if self.config.slow_trigger == "l1d":
+            return thread.pending_l1d > 0
+        return thread.pending_l2 > 0
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Re-evaluate classification, entitlements and enforcement."""
+        processor = self.processor
+        resources = processor.resources
+        num = processor.num_threads
+        slow = [self._is_slow(tid) for tid in range(num)]
+
+        self._slow = slow
+        over_cap = [False] * num
+        for resource in Resource:
+            active = [self.activity.is_active(resource, tid)
+                      for tid in range(num)]
+            fast_active = sum(1 for tid in range(num)
+                              if active[tid] and not slow[tid])
+            slow_active = sum(1 for tid in range(num)
+                              if active[tid] and slow[tid])
+            total = resources.totals[resource]
+            if resource in IQ_RESOURCES:
+                cap = self.sharing.share_for_iq(total, fast_active, slow_active)
+            else:
+                cap = self.sharing.share_for_reg(total, fast_active, slow_active)
+            self._caps[resource] = cap
+            self._equal_split[resource] = (
+                total // (fast_active + slow_active)
+                if fast_active + slow_active else total)
+            if slow_active == 0:
+                continue
+            for tid in range(num):
+                if slow[tid] and active[tid] and \
+                        resources.usage(resource, tid) > \
+                        self.cap_for(resource, tid):
+                    over_cap[tid] = True
+        self._over_cap = over_cap
+        for tid in range(num):
+            if over_cap[tid]:
+                self.stall_cycles[tid] += 1
+
+    # -- control ---------------------------------------------------------------
+
+    def fetch_order(self, cycle: int) -> List[int]:
+        return [tid for tid in icount_order(self.processor)
+                if not self._over_cap[tid]]
+
+    def may_rename(self, tid: int, op: MicroOp) -> bool:
+        if not self.config.enforce_at_rename or not self._slow[tid]:
+            return True
+        resources = self.processor.resources
+        needed = [iq_for_class(op.op_class)]
+        if op.static.has_dest:
+            needed.append(reg_for_dest(op.static.dest_is_fp))
+        for resource in needed:
+            if not self.activity.is_active(resource, tid):
+                continue
+            if resources.usage(resource, tid) >= self.cap_for(resource, tid):
+                return False
+        return True
+
+    def cap_for(self, resource: Resource, tid: int) -> int:
+        """Effective entitlement of one slow-active thread.
+
+        The base policy gives every slow-active thread the same sharing-
+        model cap; subclasses (e.g. the degenerate-case guard of
+        :mod:`repro.core.adaptive`) override this per thread.
+        """
+        return self._caps[resource]
+
+    def on_rename(self, tid: int, op: MicroOp) -> None:
+        # Feed the activity counters: note FP queue / FP register use.
+        self.activity.note_use(iq_for_class(op.op_class), tid)
+        if op.static.has_dest:
+            self.activity.note_use(reg_for_dest(op.static.dest_is_fp), tid)
+
+    def end_cycle(self, cycle: int) -> None:
+        self.activity.tick()
+
+    # -- introspection ------------------------------------------------------------
+
+    def current_cap(self, resource: Resource) -> int:
+        """This cycle's slow-active entitlement for ``resource``."""
+        return self._caps[resource]
+
+    def is_fetch_stalled(self, tid: int) -> bool:
+        """True while the sharing model is gating ``tid``."""
+        return self._over_cap[tid]

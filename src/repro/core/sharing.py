@@ -1,0 +1,140 @@
+"""The DCRA sharing model (paper Section 3.2).
+
+Starting from an equal split ``E = R / T``, slow threads borrow from fast
+threads via the sharing factor ``C``, and inactive threads cede their
+entire share.  The final model (paper equation 3) counts only *active*
+threads and entitles each slow-active thread to::
+
+    E_slow = round( R / (FA + SA) * (1 + C * FA) )
+
+where ``FA``/``SA`` are the fast-active and slow-active thread counts for
+that particular resource.  The paper uses ``C = 1/(FA+SA)`` in its worked
+example (Table 1) and latency-tuned variants in Section 5.3:
+``C = 1/T`` at 100-cycle memory latency, ``C = 1/(T+4)`` at 300 cycles,
+and ``C = 0`` for the issue queues at 500 cycles.  All variants are
+provided as named factors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+#: A sharing factor maps (fast_active, slow_active) -> C.
+SharingFactor = Callable[[int, int], float]
+
+
+def _inverse_active(fast_active: int, slow_active: int) -> float:
+    return 1.0 / (fast_active + slow_active)
+
+
+def _inverse_active_plus4(fast_active: int, slow_active: int) -> float:
+    return 1.0 / (fast_active + slow_active + 4)
+
+
+def _zero(fast_active: int, slow_active: int) -> float:
+    return 0.0
+
+
+#: Named sharing factors from the paper.
+SHARING_FACTORS: Dict[str, SharingFactor] = {
+    "inverse_active": _inverse_active,          # C = 1/T   (Table 1, 100-cycle)
+    "inverse_active_plus4": _inverse_active_plus4,  # C = 1/(T+4)  (300-cycle)
+    "zero": _zero,                              # C = 0     (IQs at 500-cycle)
+}
+
+
+def resolve_factor(factor) -> SharingFactor:
+    """Accept a factor name or a callable and return the callable."""
+    if callable(factor):
+        return factor
+    try:
+        return SHARING_FACTORS[factor]
+    except KeyError:
+        known = ", ".join(sorted(SHARING_FACTORS))
+        raise ValueError(f"unknown sharing factor {factor!r}; known: {known}") from None
+
+
+def slow_share(total: int, fast_active: int, slow_active: int,
+               factor="inverse_active") -> int:
+    """Entries each slow-active thread may hold (paper equation 3).
+
+    Args:
+        total: R, the number of entries of the resource.
+        fast_active: FA, fast threads active for this resource.
+        slow_active: SA, slow threads active for this resource.
+        factor: sharing factor name or callable.
+
+    Returns:
+        The per-slow-thread entitlement.  When there are no slow-active
+        threads the question does not arise; R is returned (no limit).
+    """
+    if total < 0 or fast_active < 0 or slow_active < 0:
+        raise ValueError("counts must be non-negative")
+    if slow_active == 0:
+        return total
+    active = fast_active + slow_active
+    equal_share = total / active
+    sharing_factor = resolve_factor(factor)(fast_active, slow_active)
+    return int(round(equal_share * (1.0 + sharing_factor * fast_active)))
+
+
+def precomputed_table(total: int, num_threads: int,
+                      factor="inverse_active") -> List[Tuple[int, int, int]]:
+    """The read-only allocation table of paper Section 3.4 / Table 1.
+
+    One row ``(FA, SA, E_slow)`` per feasible combination with at least
+    one slow-active thread, ordered as the paper lists them (by total
+    active count, then by increasing SA).
+
+    For a 32-entry resource on a 4-thread processor this reproduces
+    Table 1 exactly.
+    """
+    rows = []
+    for active in range(1, num_threads + 1):
+        for slow_active in range(1, active + 1):
+            fast_active = active - slow_active
+            rows.append(
+                (fast_active, slow_active,
+                 slow_share(total, fast_active, slow_active, factor))
+            )
+    return rows
+
+
+class SharingModel:
+    """Per-resource-kind sharing factors, bundled for the DCRA policy.
+
+    The paper tunes the factor separately for issue queues and register
+    files when memory latency changes (Section 5.3), so the model keeps
+    one factor per resource group.
+
+    Args:
+        iq_factor: sharing factor for the three issue queues.
+        reg_factor: sharing factor for the two rename-register pools.
+    """
+
+    def __init__(self, iq_factor="inverse_active_plus4",
+                 reg_factor="inverse_active_plus4") -> None:
+        self.iq_factor = resolve_factor(iq_factor)
+        self.reg_factor = resolve_factor(reg_factor)
+
+    def share_for_iq(self, total: int, fast_active: int, slow_active: int) -> int:
+        """Slow-thread entitlement for an issue queue."""
+        return slow_share(total, fast_active, slow_active, self.iq_factor)
+
+    def share_for_reg(self, total: int, fast_active: int, slow_active: int) -> int:
+        """Slow-thread entitlement for a register pool."""
+        return slow_share(total, fast_active, slow_active, self.reg_factor)
+
+    @classmethod
+    def for_memory_latency(cls, memory_latency: int) -> "SharingModel":
+        """The paper's Section 5.3 latency-tuned factor selection.
+
+        100 cycles -> C = 1/T for everything; 300 cycles -> C = 1/(T+4);
+        500 cycles -> C = 0 for the issue queues, C = 1/(T+4) for the
+        registers.  Intermediate latencies use the nearest band.
+        """
+        if memory_latency <= 150:
+            return cls("inverse_active", "inverse_active")
+        if memory_latency <= 400:
+            return cls("inverse_active_plus4", "inverse_active_plus4")
+        return cls("zero", "inverse_active_plus4")

@@ -1,0 +1,25 @@
+"""Experiment harness.
+
+:mod:`repro.harness.runner` runs workloads under policies and computes the
+paper's metrics (with cached single-thread baselines for Hmean);
+:mod:`repro.harness.experiments` regenerates every table and figure of
+the paper's evaluation section.
+"""
+
+from repro.harness.runner import (
+    PolicyEvaluation,
+    clear_baseline_cache,
+    evaluate_workload,
+    run_benchmarks,
+    run_workload,
+    single_thread_ipc,
+)
+
+__all__ = [
+    "PolicyEvaluation",
+    "clear_baseline_cache",
+    "evaluate_workload",
+    "run_benchmarks",
+    "run_workload",
+    "single_thread_ipc",
+]

@@ -1,0 +1,561 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each function returns plain data structures (lists of rows) so tests,
+benchmarks and examples can all consume them; ``format_*`` helpers render
+them as the paper lays them out.  Cycle budgets are parameters: the
+defaults keep a full regeneration tractable in pure Python, and every
+driver accepts larger budgets for lower-variance runs.
+
+Experiment-to-paper map:
+
+==========  ==========================================================
+figure2     single-thread speed vs. fraction of one resource (perf. L1D)
+table1      pre-computed sharing-model allocations (exact)
+table3      per-benchmark L2 miss rates, MEM/ILP classification
+table5      fast/slow phase combinations of 2-thread workloads
+figure4     DCRA vs static allocation (throughput and Hmean)
+figure5     DCRA vs ICOUNT / DG / FLUSH++ (throughput and Hmean)
+figure6     Hmean improvement vs physical register file size
+figure7     Hmean improvement vs memory latency (latency-tuned C)
+text52      front-end activity and L2-miss overlap (Section 5.2 claims)
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dcra import DcraConfig
+from repro.core.sharing import SharingModel
+from repro.harness.runner import (
+    PolicySpec,
+    evaluate_workload,
+    improvement_pct,
+    run_benchmarks,
+    single_thread_ipc,
+)
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import make_policy
+from repro.trace.profiles import ALL_BENCHMARKS, ILP_BENCHMARKS, MEM_BENCHMARKS, get_profile
+from repro.trace.workloads import Workload, workload_groups
+
+#: Workload cells evaluated in Figures 4 and 5 (paper Section 4).
+ALL_CELLS: Tuple[Tuple[int, str], ...] = tuple(
+    (threads, wtype)
+    for threads in (2, 3, 4)
+    for wtype in ("ILP", "MIX", "MEM")
+)
+
+#: Reduced representative benchmark sets for the quicker drivers.
+_FIG2_INT_BENCHMARKS = ("gzip", "gcc", "crafty", "bzip2")
+_FIG2_FP_BENCHMARKS = ("wupwise", "mesa", "apsi", "fma3d")
+
+
+# --------------------------------------------------------------------------
+# Figure 2 — resource sensitivity in single-thread mode
+# --------------------------------------------------------------------------
+
+#: Resource fractions swept in Figure 2 (percent of the full resource).
+FIG2_FRACTIONS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+#: Figure 2 baseline: 32-entry queues, 160 rename registers, perfect L1D.
+FIG2_CONFIG = SMTConfig(
+    int_iq_size=32, fp_iq_size=32, ls_iq_size=32,
+    int_physical_registers=192, fp_physical_registers=192,
+    perfect_dl1=True,
+)
+
+
+@dataclass
+class Figure2Row:
+    """Relative speed of single-thread runs at one resource fraction."""
+
+    resource: str
+    fraction: float
+    relative_ipc: float
+
+
+def _fig2_config_for(resource: str, fraction: float) -> SMTConfig:
+    """Scale one resource of the Figure 2 config to ``fraction``."""
+    if resource == "int_iq":
+        return dataclasses.replace(
+            FIG2_CONFIG, int_iq_size=max(4, round(32 * fraction)))
+    if resource == "ls_iq":
+        return dataclasses.replace(
+            FIG2_CONFIG, ls_iq_size=max(4, round(32 * fraction)))
+    if resource == "fp_iq":
+        return dataclasses.replace(
+            FIG2_CONFIG, fp_iq_size=max(4, round(32 * fraction)))
+    if resource == "int_regs":
+        return dataclasses.replace(
+            FIG2_CONFIG,
+            int_physical_registers=32 + max(8, round(160 * fraction)))
+    if resource == "fp_regs":
+        return dataclasses.replace(
+            FIG2_CONFIG,
+            fp_physical_registers=32 + max(8, round(160 * fraction)))
+    raise ValueError(f"unknown Figure 2 resource {resource!r}")
+
+
+#: The five resources swept in Figure 2 and the benchmark sets used for
+#: each (FP resources are averaged over FP benchmarks only, see the
+#: paper's footnote 1).
+FIG2_RESOURCES: Dict[str, Tuple[str, ...]] = {
+    "int_iq": _FIG2_INT_BENCHMARKS + _FIG2_FP_BENCHMARKS,
+    "ls_iq": _FIG2_INT_BENCHMARKS + _FIG2_FP_BENCHMARKS,
+    "fp_iq": _FIG2_FP_BENCHMARKS,
+    "int_regs": _FIG2_INT_BENCHMARKS + _FIG2_FP_BENCHMARKS,
+    "fp_regs": _FIG2_FP_BENCHMARKS,
+}
+
+
+def figure2_resource_sensitivity(
+    cycles: int = 12_000,
+    warmup: int = 3_000,
+    fractions: Sequence[float] = FIG2_FRACTIONS,
+    resources: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> List[Figure2Row]:
+    """Regenerate Figure 2: % of full speed vs % of one resource.
+
+    Single-thread runs with a perfect L1 data cache; each point scales
+    one resource (issue queue or rename-register pool) and reports the
+    mean IPC relative to the full-resource run.
+    """
+    rows: List[Figure2Row] = []
+    resource_names = list(resources or FIG2_RESOURCES)
+    for resource in resource_names:
+        benchmarks = FIG2_RESOURCES[resource]
+        full = {
+            b: run_benchmarks([b], "ICOUNT", FIG2_CONFIG, cycles, warmup,
+                              seed).threads[0].ipc
+            for b in benchmarks
+        }
+        for fraction in fractions:
+            config = _fig2_config_for(resource, fraction)
+            ratios = []
+            for benchmark in benchmarks:
+                ipc = run_benchmarks([benchmark], "ICOUNT", config, cycles,
+                                     warmup, seed).threads[0].ipc
+                if full[benchmark] > 0:
+                    ratios.append(ipc / full[benchmark])
+            rows.append(Figure2Row(resource, fraction,
+                                   sum(ratios) / len(ratios)))
+    return rows
+
+
+def format_figure2(rows: Sequence[Figure2Row]) -> str:
+    """Render Figure 2 rows as an aligned text table."""
+    resources = sorted({r.resource for r in rows})
+    fractions = sorted({r.fraction for r in rows})
+    by_key = {(r.resource, r.fraction): r.relative_ipc for r in rows}
+    lines = ["% resource " + " ".join(f"{res:>9s}" for res in resources)]
+    for fraction in fractions:
+        cells = " ".join(
+            f"{by_key.get((res, fraction), float('nan')):9.3f}"
+            for res in resources
+        )
+        lines.append(f"{100 * fraction:10.1f} {cells}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table 3 — cache behaviour of each benchmark
+# --------------------------------------------------------------------------
+
+@dataclass
+class Table3Row:
+    """Measured vs published L2 miss rate of one benchmark."""
+
+    benchmark: str
+    suite: str
+    mem_class: str
+    paper_l2_missrate_pct: float
+    measured_l2_missrate_pct: float
+
+    @property
+    def measured_class(self) -> str:
+        """MEM/ILP classification from the measured rate (1% rule)."""
+        return "MEM" if self.measured_l2_missrate_pct > 1.0 else "ILP"
+
+
+def table3_miss_rates(
+    cycles: int = 15_000,
+    warmup: int = 4_000,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 3,
+) -> List[Table3Row]:
+    """Regenerate Table 3: single-thread L2 miss rate per benchmark."""
+    rows = []
+    for name in benchmarks or sorted(ALL_BENCHMARKS):
+        profile = get_profile(name)
+        result = run_benchmarks([name], "ICOUNT", None, cycles, warmup, seed)
+        rows.append(Table3Row(
+            benchmark=name,
+            suite=profile.suite,
+            mem_class=profile.mem_class,
+            paper_l2_missrate_pct=profile.l2_missrate_pct,
+            measured_l2_missrate_pct=result.threads[0].l2_missrate_pct,
+        ))
+    return rows
+
+
+def format_table3(rows: Sequence[Table3Row]) -> str:
+    lines = [f"{'benchmark':10s} {'suite':5s} {'paper':>7s} {'ours':>7s} "
+             f"{'paper cls':>9s} {'our cls':>8s}"]
+    for row in sorted(rows, key=lambda r: -r.paper_l2_missrate_pct):
+        lines.append(
+            f"{row.benchmark:10s} {row.suite:5s} "
+            f"{row.paper_l2_missrate_pct:7.2f} "
+            f"{row.measured_l2_missrate_pct:7.2f} "
+            f"{row.mem_class:>9s} {row.measured_class:>8s}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Table 5 — phase combinations of 2-thread workloads
+# --------------------------------------------------------------------------
+
+@dataclass
+class Table5Row:
+    """Phase-combination distribution for one 2-thread workload type."""
+
+    wtype: str
+    slow_slow_pct: float
+    mixed_pct: float
+    fast_fast_pct: float
+
+
+def table5_phase_distribution(
+    cycles: int = 20_000,
+    warmup: int = 4_000,
+    seed: int = 5,
+) -> List[Table5Row]:
+    """Regenerate Table 5: % of cycles 2-thread workloads spend with both
+    threads slow, one slow one fast, or both fast (under DCRA)."""
+    rows = []
+    for wtype in ("ILP", "MIX", "MEM"):
+        counts = [0, 0, 0]  # slow-slow, mixed, fast-fast
+        for workload in workload_groups(2, wtype):
+            profiles = workload.profiles()
+            processor = SMTProcessor(SMTConfig(), profiles,
+                                     make_policy("DCRA"), seed=seed)
+            processor.run(warmup)
+
+            def sample(proc, counts=counts):
+                slow = sum(1 for t in proc.threads if t.is_slow())
+                counts[2 - slow] += 0  # keep indices obvious below
+                if slow == 2:
+                    counts[0] += 1
+                elif slow == 1:
+                    counts[1] += 1
+                else:
+                    counts[2] += 1
+
+            processor.cycle_hooks.append(sample)
+            processor.run(cycles)
+        total = sum(counts)
+        rows.append(Table5Row(
+            wtype=wtype,
+            slow_slow_pct=100.0 * counts[0] / total,
+            mixed_pct=100.0 * counts[1] / total,
+            fast_fast_pct=100.0 * counts[2] / total,
+        ))
+    return rows
+
+
+def format_table5(rows: Sequence[Table5Row]) -> str:
+    lines = [f"{'type':5s} {'SLOW-SLOW':>10s} {'FAST-SLOW':>10s} "
+             f"{'FAST-FAST':>10s}"]
+    for row in rows:
+        lines.append(f"{row.wtype:5s} {row.slow_slow_pct:10.1f} "
+                     f"{row.mixed_pct:10.1f} {row.fast_fast_pct:10.1f}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figures 4 and 5 — policy comparison over the Table 4 workloads
+# --------------------------------------------------------------------------
+
+@dataclass
+class CellResult:
+    """Group-averaged metrics of one policy on one workload cell."""
+
+    num_threads: int
+    wtype: str
+    policy: str
+    throughput: float
+    hmean: float
+
+
+def compare_policies(
+    policies: Sequence[PolicySpec],
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    config: Optional[SMTConfig] = None,
+    cycles: int = 30_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[CellResult]:
+    """Evaluate policies over workload cells, averaging the four groups.
+
+    This is the engine behind Figures 4, 5, 6 and 7.
+    """
+    results: List[CellResult] = []
+    for num_threads, wtype in cells:
+        sums: Dict[str, List[float]] = {}
+        for workload in workload_groups(num_threads, wtype):
+            evaluations = evaluate_workload(workload, policies, config,
+                                            cycles, warmup, seed)
+            for name, evaluation in evaluations.items():
+                entry = sums.setdefault(name, [0.0, 0.0])
+                entry[0] += evaluation.throughput / 4.0
+                entry[1] += evaluation.hmean / 4.0
+        for name, (throughput, hmean) in sums.items():
+            results.append(CellResult(num_threads, wtype, name,
+                                      throughput, hmean))
+    return results
+
+
+@dataclass
+class ImprovementRow:
+    """DCRA's improvement over one baseline on one cell."""
+
+    num_threads: int
+    wtype: str
+    baseline: str
+    throughput_improvement_pct: float
+    hmean_improvement_pct: float
+
+
+def improvements_over(results: Sequence[CellResult],
+                      subject: str = "DCRA") -> List[ImprovementRow]:
+    """Compute the subject policy's improvement over every other policy."""
+    by_cell: Dict[Tuple[int, str], Dict[str, CellResult]] = {}
+    for result in results:
+        by_cell.setdefault((result.num_threads, result.wtype), {})[
+            result.policy] = result
+    rows = []
+    for (num_threads, wtype), cell in sorted(by_cell.items()):
+        if subject not in cell:
+            raise ValueError(f"no {subject} results for {wtype}{num_threads}")
+        subject_result = cell[subject]
+        for name, baseline in cell.items():
+            if name == subject:
+                continue
+            rows.append(ImprovementRow(
+                num_threads=num_threads,
+                wtype=wtype,
+                baseline=name,
+                throughput_improvement_pct=improvement_pct(
+                    subject_result.throughput, baseline.throughput),
+                hmean_improvement_pct=improvement_pct(
+                    subject_result.hmean, baseline.hmean),
+            ))
+    return rows
+
+
+def figure4_dcra_vs_static(
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    cycles: int = 30_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[ImprovementRow]:
+    """Regenerate Figure 4: DCRA improvement over SRA per workload cell."""
+    results = compare_policies(["SRA", "DCRA"], cells, None, cycles,
+                               warmup, seed)
+    return improvements_over(results)
+
+
+def figure5_policy_comparison(
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    cycles: int = 30_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[CellResult]:
+    """Regenerate Figure 5: throughput and Hmean for the fetch policies."""
+    return compare_policies(["ICOUNT", "DG", "FLUSH++", "DCRA"], cells,
+                            None, cycles, warmup, seed)
+
+
+def format_improvements(rows: Sequence[ImprovementRow]) -> str:
+    lines = [f"{'cell':8s} {'baseline':10s} {'d-throughput':>13s} "
+             f"{'d-Hmean':>9s}"]
+    for row in rows:
+        lines.append(
+            f"{row.wtype}{row.num_threads:<6d} {row.baseline:10s} "
+            f"{row.throughput_improvement_pct:+12.1f}% "
+            f"{row.hmean_improvement_pct:+8.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_cell_results(results: Sequence[CellResult]) -> str:
+    lines = [f"{'cell':8s} {'policy':10s} {'IPC':>6s} {'Hmean':>7s}"]
+    for result in sorted(results,
+                         key=lambda r: (r.num_threads, r.wtype, r.policy)):
+        lines.append(f"{result.wtype}{result.num_threads:<6d} "
+                     f"{result.policy:10s} {result.throughput:6.2f} "
+                     f"{result.hmean:7.3f}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 6 — register file sensitivity
+# --------------------------------------------------------------------------
+
+#: Register file sizes swept in Figure 6.
+FIG6_REGISTER_SIZES = (320, 352, 384)
+
+#: Default cells for the sensitivity sweeps: a cross-section with both
+#: mixed and memory-bound behaviour (full 9-cell sweeps are available by
+#: passing ``cells=ALL_CELLS``).
+SWEEP_CELLS: Tuple[Tuple[int, str], ...] = ((2, "MIX"), (4, "MIX"), (2, "MEM"))
+
+
+@dataclass
+class SweepRow:
+    """DCRA Hmean improvement over a baseline at one sweep point."""
+
+    parameter: int
+    baseline: str
+    hmean_improvement_pct: float
+
+
+def _averaged_improvements(
+    policies: Sequence[PolicySpec],
+    config: SMTConfig,
+    cells: Sequence[Tuple[int, str]],
+    cycles: int,
+    warmup: int,
+    seed: int,
+    subject: str = "DCRA",
+) -> Dict[str, float]:
+    """Mean Hmean-improvement of the subject over each baseline."""
+    results = compare_policies(policies, cells, config, cycles, warmup, seed)
+    rows = improvements_over(results, subject)
+    sums: Dict[str, List[float]] = {}
+    for row in rows:
+        sums.setdefault(row.baseline, []).append(row.hmean_improvement_pct)
+    return {name: sum(vals) / len(vals) for name, vals in sums.items()}
+
+
+def figure6_register_sweep(
+    register_sizes: Sequence[int] = FIG6_REGISTER_SIZES,
+    cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
+    cycles: int = 25_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[SweepRow]:
+    """Regenerate Figure 6: Hmean improvement vs register file size."""
+    rows = []
+    for size in register_sizes:
+        config = SMTConfig().with_registers(size)
+        improvements = _averaged_improvements(
+            ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], config, cells,
+            cycles, warmup, seed)
+        for baseline, value in sorted(improvements.items()):
+            rows.append(SweepRow(size, baseline, value))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 7 — memory latency sensitivity
+# --------------------------------------------------------------------------
+
+#: (memory latency, L2 latency) pairs swept in Figure 7.
+FIG7_LATENCIES = ((100, 10), (300, 20), (500, 25))
+
+
+def dcra_for_latency(memory_latency: int) -> PolicySpec:
+    """DCRA with the paper's latency-tuned sharing factor (Section 5.3)."""
+    model = SharingModel.for_memory_latency(memory_latency)
+    config = DcraConfig(
+        iq_sharing_factor=model.iq_factor,
+        reg_sharing_factor=model.reg_factor,
+    )
+    return ("DCRA", {"config": config})
+
+
+def figure7_latency_sweep(
+    latencies: Sequence[Tuple[int, int]] = FIG7_LATENCIES,
+    cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
+    cycles: int = 25_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[SweepRow]:
+    """Regenerate Figure 7: Hmean improvement vs memory latency."""
+    rows = []
+    for memory_latency, l2_latency in latencies:
+        config = SMTConfig().with_latencies(memory_latency, l2_latency)
+        improvements = _averaged_improvements(
+            ["ICOUNT", "FLUSH++", "DG", "SRA", dcra_for_latency(memory_latency)],
+            config, cells, cycles, warmup, seed)
+        for baseline, value in sorted(improvements.items()):
+            rows.append(SweepRow(memory_latency, baseline, value))
+    return rows
+
+
+def format_sweep(rows: Sequence[SweepRow], parameter_name: str) -> str:
+    lines = [f"{parameter_name:>10s} {'baseline':10s} {'d-Hmean':>9s}"]
+    for row in rows:
+        lines.append(f"{row.parameter:10d} {row.baseline:10s} "
+                     f"{row.hmean_improvement_pct:+8.1f}%")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Section 5.2 text claims — front-end activity and memory parallelism
+# --------------------------------------------------------------------------
+
+@dataclass
+class Text52Row:
+    """Front-end overhead and L2-miss overlap of one policy on one cell."""
+
+    num_threads: int
+    wtype: str
+    policy: str
+    fetched_per_commit: float
+    avg_l2_overlap: float
+
+
+def text52_frontend_and_mlp(
+    cells: Sequence[Tuple[int, str]] = ((2, "MIX"), (4, "MIX"), (2, "MEM")),
+    cycles: int = 25_000,
+    warmup: int = 5_000,
+    seed: int = 1,
+) -> List[Text52Row]:
+    """Measure the Section 5.2 claims: FLUSH++ fetches ~2x more than DCRA
+    while DCRA overlaps more L2 misses (memory parallelism)."""
+    rows = []
+    for num_threads, wtype in cells:
+        for policy in ("FLUSH++", "DCRA"):
+            fetched = committed = 0
+            overlap = 0.0
+            for workload in workload_groups(num_threads, wtype):
+                result = evaluate_workload(
+                    workload, [policy], None, cycles, warmup, seed)[policy].result
+                fetched += result.total_fetched
+                committed += result.total_committed
+                overlap += result.avg_l2_overlap / 4.0
+            rows.append(Text52Row(
+                num_threads=num_threads,
+                wtype=wtype,
+                policy=policy,
+                fetched_per_commit=fetched / max(committed, 1),
+                avg_l2_overlap=overlap,
+            ))
+    return rows
+
+
+def format_text52(rows: Sequence[Text52Row]) -> str:
+    lines = [f"{'cell':8s} {'policy':10s} {'fetch/commit':>13s} "
+             f"{'L2 overlap':>11s}"]
+    for row in rows:
+        lines.append(f"{row.wtype}{row.num_threads:<6d} {row.policy:10s} "
+                     f"{row.fetched_per_commit:13.2f} "
+                     f"{row.avg_l2_overlap:11.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Workload runners and metric evaluation.
+
+The functions here are the building blocks every experiment driver and
+example uses: run a set of benchmarks under a policy, collect a
+:class:`~repro.metrics.stats.SimulationResult`, and evaluate throughput
+and Hmean fairness against cached single-thread baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.metrics.stats import SimulationResult, collect_result
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import make_policy
+from repro.trace.profiles import get_profile
+from repro.trace.workloads import Workload
+
+#: Default measured window and cache warm-up, in cycles.  Chosen so the
+#: full 36-workload evaluation stays tractable in pure Python; experiment
+#: drivers accept overrides for longer, lower-variance runs.
+DEFAULT_CYCLES = 20_000
+DEFAULT_WARMUP = 3_000
+
+PolicySpec = Union[str, Tuple[str, dict]]
+
+_baseline_cache: Dict[tuple, float] = {}
+
+
+def clear_baseline_cache() -> None:
+    """Drop memoised single-thread IPCs (use after monkey-patching)."""
+    _baseline_cache.clear()
+
+
+def _build_policy(policy: PolicySpec):
+    if isinstance(policy, tuple):
+        name, kwargs = policy
+        return make_policy(name, **kwargs)
+    return make_policy(policy)
+
+
+def run_benchmarks(
+    benchmarks: Sequence[str],
+    policy: PolicySpec = "ICOUNT",
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> SimulationResult:
+    """Simulate a benchmark mix under a policy and collect statistics.
+
+    Args:
+        benchmarks: benchmark names, one per hardware context.
+        policy: policy name, or ``(name, kwargs)`` for parameterised
+            policies (e.g. ``("DCRA", {"activity_window": 1024})``).
+        config: processor configuration; Table 2 baseline when omitted.
+        cycles: measured cycles (after warm-up).
+        warmup: cycles simulated before statistics are reset.
+        seed: workload seed; keep it fixed when comparing policies so
+            every policy sees the identical instruction streams.
+    """
+    config = config or SMTConfig()
+    profiles = [get_profile(b) for b in benchmarks]
+    processor = SMTProcessor(config, profiles, _build_policy(policy), seed=seed)
+    if warmup:
+        processor.run(warmup)
+        processor.reset_stats()
+    processor.run(cycles)
+    return collect_result(processor, benchmarks=list(benchmarks))
+
+
+def run_workload(
+    workload: Workload,
+    policy: PolicySpec = "ICOUNT",
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> SimulationResult:
+    """Like :func:`run_benchmarks` for a Table 4 :class:`Workload`."""
+    return run_benchmarks(workload.benchmarks, policy, config, cycles,
+                          warmup, seed)
+
+
+def single_thread_ipc(
+    benchmark: str,
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> float:
+    """IPC of a benchmark running alone on the machine (Hmean baseline).
+
+    Results are memoised: Hmean evaluation of many policies over many
+    workloads reuses the same per-benchmark baselines.
+    """
+    config = config or SMTConfig()
+    key = (benchmark, config, cycles, warmup, seed)
+    cached = _baseline_cache.get(key)
+    if cached is not None:
+        return cached
+    result = run_benchmarks([benchmark], "ICOUNT", config, cycles, warmup, seed)
+    ipc = result.threads[0].ipc
+    _baseline_cache[key] = ipc
+    return ipc
+
+
+@dataclass
+class PolicyEvaluation:
+    """Throughput and fairness of one policy on one workload."""
+
+    policy: str
+    throughput: float
+    hmean: float
+    result: SimulationResult
+
+
+def evaluate_workload(
+    workload: Workload,
+    policies: Sequence[PolicySpec],
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+) -> Dict[str, PolicyEvaluation]:
+    """Evaluate several policies on one workload with shared baselines.
+
+    Returns:
+        Mapping from policy label to its :class:`PolicyEvaluation`.
+    """
+    config = config or SMTConfig()
+    singles = [single_thread_ipc(b, config, cycles, warmup, seed)
+               for b in workload.benchmarks]
+    evaluations: Dict[str, PolicyEvaluation] = {}
+    for policy in policies:
+        result = run_workload(workload, policy, config, cycles, warmup, seed)
+        evaluations[result.policy] = PolicyEvaluation(
+            policy=result.policy,
+            throughput=result.throughput,
+            hmean=result.hmean_vs(singles),
+            result=result,
+        )
+    return evaluations
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, used when averaging improvement ratios."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def improvement_pct(new: float, old: float) -> float:
+    """Relative improvement of ``new`` over ``old`` in percent."""
+    if old <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (new / old - 1.0)

@@ -1,0 +1,24 @@
+"""Micro-op model shared by the trace generators and the pipeline.
+
+The simulator is trace driven: programs are streams of :class:`StaticOp`
+descriptors (immutable, replayable), and the pipeline wraps each fetched
+descriptor in a :class:`MicroOp` carrying dynamic, per-execution state.
+"""
+
+from repro.isa.instruction import (
+    BranchKind,
+    MicroOp,
+    OpClass,
+    StaticOp,
+    is_branch,
+    needs_dest_register,
+)
+
+__all__ = [
+    "BranchKind",
+    "MicroOp",
+    "OpClass",
+    "StaticOp",
+    "is_branch",
+    "needs_dest_register",
+]

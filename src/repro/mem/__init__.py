@@ -1,0 +1,20 @@
+"""Memory hierarchy substrate (paper Table 2).
+
+64KB 2-way L1 instruction and data caches, a 512KB 8-way unified L2, a
+flat 300-cycle main memory, a data TLB with a 160-cycle miss penalty, and
+miss status holding registers (MSHRs) that merge requests to the same line
+and expose the memory-level-parallelism statistics the paper reports.
+"""
+
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.mem.mshr import MSHRFile
+from repro.mem.tlb import TranslationBuffer
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "TranslationBuffer",
+]

@@ -1,0 +1,34 @@
+"""Performance and fairness metrics (paper Section 4/5).
+
+IPC throughput measures raw resource utilisation; the Hmean metric of Luo
+et al. — the harmonic mean of per-thread relative IPCs — exposes policies
+that buy throughput by starving slow threads, and is the paper's fairness
+measure.  Weighted speedup (Tullsen & Brown) is included for completeness.
+"""
+
+from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
+from repro.metrics.report import comparison_table, paper_scorecard, thread_table
+from repro.metrics.stats import (
+    SimulationResult,
+    ThreadResult,
+    collect_result,
+    hmean,
+    hmean_speedup,
+    throughput,
+    weighted_speedup,
+)
+
+__all__ = [
+    "SimulationResult",
+    "ThreadResult",
+    "bar_chart",
+    "collect_result",
+    "comparison_table",
+    "grouped_bar_chart",
+    "hmean",
+    "hmean_speedup",
+    "paper_scorecard",
+    "thread_table",
+    "throughput",
+    "weighted_speedup",
+]

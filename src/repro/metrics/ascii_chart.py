@@ -1,0 +1,79 @@
+"""Terminal bar charts for experiment output.
+
+The paper's figures are bar charts; these helpers render the regenerated
+series legibly in a terminal (no plotting dependencies), used by the
+examples and handy in interactive sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 48,
+    unit: str = "",
+    zero_origin: bool = True,
+) -> str:
+    """Render labelled horizontal bars.
+
+    Args:
+        rows: (label, value) pairs, drawn in order.
+        width: character width of the largest bar.
+        unit: suffix printed after each value (e.g. ``"%"``).
+        zero_origin: scale bars from zero; when False, scale from the
+            minimum value (better contrast for clustered series).
+
+    Negative values (e.g. a policy losing to a baseline) are drawn as
+    ``<`` bars to the left of the axis.
+    """
+    if not rows:
+        raise ValueError("nothing to chart")
+    values = [value for _, value in rows]
+    low = min(0.0, min(values)) if zero_origin else min(values)
+    high = max(0.0, max(values))
+    span = high - low or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    zero_pos = int(round(width * (0.0 - low) / span))
+
+    lines = []
+    for label, value in rows:
+        position = int(round(width * (value - low) / span))
+        if value >= 0:
+            bar = " " * zero_pos + "#" * max(position - zero_pos, 0)
+        else:
+            bar = " " * position + "<" * (zero_pos - position)
+        lines.append(f"{label:>{label_width}s} |{bar:<{width}s}| "
+                     f"{value:8.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Sequence[Tuple[str, float]]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render several named groups of bars on one shared scale."""
+    if not groups:
+        raise ValueError("nothing to chart")
+    all_values = [value for rows in groups.values() for _, value in rows]
+    low = min(0.0, min(all_values))
+    high = max(0.0, max(all_values))
+    span = high - low or 1.0
+    zero_pos = int(round(width * (0.0 - low) / span))
+    label_width = max(len(label) for rows in groups.values()
+                      for label, _ in rows)
+
+    lines = []
+    for group_name, rows in groups.items():
+        lines.append(f"{group_name}:")
+        for label, value in rows:
+            position = int(round(width * (value - low) / span))
+            if value >= 0:
+                bar = " " * zero_pos + "#" * max(position - zero_pos, 0)
+            else:
+                bar = " " * position + "<" * (zero_pos - position)
+            lines.append(f"  {label:>{label_width}s} |{bar:<{width}s}| "
+                         f"{value:8.2f}{unit}")
+    return "\n".join(lines)

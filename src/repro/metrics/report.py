@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers for simulation results.
+
+Examples and ad-hoc studies keep re-printing the same three tables:
+per-thread breakdowns, policy comparisons, and paper-vs-measured
+improvement summaries.  This module renders them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.stats import SimulationResult
+
+
+def thread_table(result: SimulationResult) -> str:
+    """Per-thread breakdown of one run."""
+    lines = [
+        f"policy {result.policy}: {result.cycles} cycles, "
+        f"throughput {result.throughput:.2f} IPC",
+        f"{'thread':12s} {'IPC':>6s} {'commit':>8s} {'fetch':>8s} "
+        f"{'wrong-path':>11s} {'mispred':>8s} {'L2 miss%':>9s} "
+        f"{'slow%':>6s}",
+    ]
+    for thread in result.threads:
+        lines.append(
+            f"{thread.benchmark:12s} {thread.ipc:6.2f} "
+            f"{thread.committed:8d} {thread.fetched:8d} "
+            f"{thread.fetched_wrong_path:11d} "
+            f"{100 * thread.mispredict_rate:7.1f}% "
+            f"{thread.l2_missrate_pct:9.2f} "
+            f"{100 * thread.slow_cycle_frac:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(results: Sequence[SimulationResult],
+                     single_ipcs: Optional[Sequence[float]] = None) -> str:
+    """Side-by-side policy comparison (optionally with Hmean)."""
+    if not results:
+        raise ValueError("no results to compare")
+    benchmarks = [t.benchmark for t in results[0].threads]
+    for result in results:
+        if [t.benchmark for t in result.threads] != benchmarks:
+            raise ValueError("results compare different workloads")
+    header = f"{'policy':10s} {'IPC':>6s}"
+    if single_ipcs is not None:
+        header += f" {'Hmean':>7s}"
+    header += "  " + " ".join(f"{name:>8s}" for name in benchmarks)
+    lines = [header]
+    for result in results:
+        row = f"{result.policy:10s} {result.throughput:6.2f}"
+        if single_ipcs is not None:
+            row += f" {result.hmean_vs(single_ipcs):7.3f}"
+        row += "  " + " ".join(f"{t.ipc:8.2f}" for t in result.threads)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def paper_scorecard(entries: Dict[str, Dict[str, float]]) -> str:
+    """Render a paper-vs-measured scorecard.
+
+    Args:
+        entries: mapping from claim label to a dict with ``paper`` and
+            ``measured`` values (percent or ratio — caller's convention).
+    """
+    lines = [f"{'claim':44s} {'paper':>8s} {'measured':>9s}"]
+    for label, values in entries.items():
+        lines.append(f"{label:44s} {values['paper']:8.1f} "
+                     f"{values['measured']:9.1f}")
+    return "\n".join(lines)

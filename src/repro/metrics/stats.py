@@ -1,0 +1,159 @@
+"""Result containers and metric functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.processor import SMTProcessor
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """IPC throughput: the sum of per-thread IPCs."""
+    return sum(ipcs)
+
+
+def hmean(values: Sequence[float]) -> float:
+    """Harmonic mean; zero if any value is zero (total unfairness)."""
+    if not values:
+        raise ValueError("hmean of an empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("hmean requires non-negative values")
+    if any(v == 0 for v in values):
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def hmean_speedup(smt_ipcs: Sequence[float],
+                  single_ipcs: Sequence[float]) -> float:
+    """Luo et al.'s Hmean metric: harmonic mean of relative IPCs.
+
+    Each thread's relative IPC is its IPC in the SMT mix divided by its
+    IPC running alone on the same machine.  The harmonic mean punishes
+    policies that starve any single thread, balancing throughput and
+    fairness (paper Section 4).
+    """
+    if len(smt_ipcs) != len(single_ipcs):
+        raise ValueError("need one single-thread IPC per SMT IPC")
+    if any(s <= 0 for s in single_ipcs):
+        raise ValueError("single-thread IPCs must be positive")
+    relative = [smt / single for smt, single in zip(smt_ipcs, single_ipcs)]
+    return hmean(relative)
+
+
+def weighted_speedup(smt_ipcs: Sequence[float],
+                     single_ipcs: Sequence[float]) -> float:
+    """Tullsen & Brown's weighted speedup: mean of relative IPCs."""
+    if len(smt_ipcs) != len(single_ipcs):
+        raise ValueError("need one single-thread IPC per SMT IPC")
+    if any(s <= 0 for s in single_ipcs):
+        raise ValueError("single-thread IPCs must be positive")
+    relative = [smt / single for smt, single in zip(smt_ipcs, single_ipcs)]
+    return sum(relative) / len(relative)
+
+
+@dataclass
+class ThreadResult:
+    """Measured behaviour of one thread in a simulation.
+
+    Attributes mirror the counters the paper reports: committed
+    instructions and IPC, fetch activity (including wrong-path and
+    refetched work — the front-end overhead of FLUSH-style policies),
+    branch and memory behaviour.
+    """
+
+    benchmark: str
+    committed: int
+    ipc: float
+    fetched: int
+    fetched_wrong_path: int
+    squashed: int
+    mispredict_rate: float
+    l1d_missrate: float
+    l2_missrate_pct: float
+    slow_cycle_frac: float
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    policy: str
+    cycles: int
+    threads: List[ThreadResult]
+    avg_l2_overlap: float
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [t.ipc for t in self.threads]
+
+    @property
+    def throughput(self) -> float:
+        """Total IPC of the run."""
+        return throughput(self.ipcs)
+
+    @property
+    def total_fetched(self) -> int:
+        """All fetch slots consumed, wrong path and refetches included."""
+        return sum(t.fetched for t in self.threads)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(t.committed for t in self.threads)
+
+    def fetch_overhead(self) -> float:
+        """Fetched-to-committed ratio minus one (front-end waste)."""
+        committed = self.total_committed
+        if committed == 0:
+            return 0.0
+        return self.total_fetched / committed - 1.0
+
+    def hmean_vs(self, single_ipcs: Sequence[float]) -> float:
+        """Hmean fairness against the supplied single-thread baselines."""
+        return hmean_speedup(self.ipcs, single_ipcs)
+
+    def weighted_speedup_vs(self, single_ipcs: Sequence[float]) -> float:
+        """Weighted speedup against single-thread baselines."""
+        return weighted_speedup(self.ipcs, single_ipcs)
+
+
+def collect_result(processor: "SMTProcessor",
+                   benchmarks: Optional[Sequence[str]] = None,
+                   policy_name: Optional[str] = None) -> SimulationResult:
+    """Snapshot a processor's statistics into a :class:`SimulationResult`.
+
+    Args:
+        processor: the simulated processor (after :meth:`run`).
+        benchmarks: benchmark names per thread (defaults to profile names).
+        policy_name: label for the policy (defaults to the policy's name).
+    """
+    cycles = processor.stat_cycles
+    threads = []
+    for thread in processor.threads:
+        stats = thread.stats
+        mem = processor.hierarchy.thread_stats[thread.tid]
+        name = (benchmarks[thread.tid] if benchmarks is not None
+                else thread.trace.profile.name)
+        mispredict_rate = (stats.mispredicts / stats.branches
+                           if stats.branches else 0.0)
+        l1d_missrate = (mem.l1d_misses / mem.l1d_accesses
+                        if mem.l1d_accesses else 0.0)
+        threads.append(ThreadResult(
+            benchmark=name,
+            committed=stats.committed,
+            ipc=stats.ipc(cycles),
+            fetched=stats.fetched,
+            fetched_wrong_path=stats.fetched_wrong_path,
+            squashed=stats.squashed,
+            mispredict_rate=mispredict_rate,
+            l1d_missrate=l1d_missrate,
+            l2_missrate_pct=mem.l2_missrate_pct(),
+            slow_cycle_frac=stats.slow_cycles / cycles if cycles else 0.0,
+        ))
+    return SimulationResult(
+        policy=policy_name or processor.policy.name,
+        cycles=cycles,
+        threads=threads,
+        avg_l2_overlap=processor.hierarchy.mshrs.average_l2_overlap(),
+    )

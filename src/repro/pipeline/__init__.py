@@ -1,0 +1,15 @@
+"""SMT pipeline substrate.
+
+A trace-driven, cycle-level simultaneous multithreading processor model in
+the SMTSIM lineage: 8-wide fetch/issue/commit, three shared issue queues,
+two shared physical register files, a shared reorder buffer, out-of-order
+issue with wrong-path execution, and a two-level memory hierarchy.  Fetch
+and allocation decisions are delegated to a pluggable policy object (see
+:mod:`repro.policies` and :mod:`repro.core`).
+"""
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.resources import Resource, SharedResources
+
+__all__ = ["Resource", "SMTConfig", "SMTProcessor", "SharedResources"]

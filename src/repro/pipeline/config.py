@@ -1,0 +1,138 @@
+"""Processor configuration (paper Table 2 baseline).
+
+Every knob the paper varies in its evaluation — register-file size
+(Figure 6), memory/L2 latency (Figure 7), issue-queue sizes and a perfect
+L1 data cache (Figure 2) — is an explicit field here, so experiment
+drivers express sweeps as ``dataclasses.replace`` calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SMTConfig:
+    """Static configuration of the simulated SMT processor.
+
+    Defaults reproduce the paper's baseline (Table 2): 12-stage, 8-wide
+    pipeline; 80-entry int/fp/ld-st issue queues; 6 int / 3 fp / 4 ld-st
+    units; 352 physical registers per file (32 architectural per thread,
+    the rest rename); 512-entry shared ROB; 64KB 2-way L1s; 512KB 8-way
+    L2 (20-cycle); 300-cycle memory; 160-cycle TLB-miss penalty; 16K-entry
+    gshare; 256-entry 4-way BTB; 256-entry RAS.
+    """
+
+    # Pipeline widths.
+    fetch_width: int = 8
+    fetch_threads: int = 2
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+
+    # Front-end timing: the 12-stage pipe puts several stages between
+    # fetch and rename; a branch mispredict pays the front-end refill.
+    decode_delay: int = 4
+    mispredict_penalty: int = 6
+    btb_bubble_penalty: int = 2
+    fetch_queue_size: int = 32
+
+    # Shared back-end resources (per resource kind).
+    int_iq_size: int = 80
+    fp_iq_size: int = 80
+    ls_iq_size: int = 80
+    int_units: int = 6
+    fp_units: int = 3
+    ls_units: int = 4
+    rob_size: int = 512
+    #: Statically split the ROB per thread (ablation; default is the
+    #: paper's fully shared — and monopolisable — reorder buffer).
+    rob_partitioned: bool = False
+
+    # Register files: per-file totals; 32 architectural registers per
+    # thread are reserved, the remainder is the shared rename pool
+    # (paper Section 4: 320 total => 160 rename registers at 4 threads).
+    int_physical_registers: int = 352
+    fp_physical_registers: int = 352
+    arch_registers_per_thread: int = 32
+
+    # Execution latencies.
+    fp_latency: int = 4
+
+    # Memory hierarchy.
+    l1i_size: int = 64 * 1024
+    l1d_size: int = 64 * 1024
+    l1_assoc: int = 2
+    line_bytes: int = 64
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 8
+    l1_latency: int = 1
+    l2_latency: int = 20
+    memory_latency: int = 300
+    tlb_entries: int = 128
+    tlb_penalty: int = 160
+    mshr_capacity: int = 64
+    perfect_dl1: bool = False
+    #: Non-inclusive L2 by default: L2 evictions do not invalidate L1
+    #: copies (see :class:`repro.mem.hierarchy.MemoryHierarchy`).
+    inclusive_l2: bool = False
+    #: Pre-install each thread's code/hot/warm regions at t=0, emulating
+    #: the steady-state cache contents of the paper's 300M-instruction
+    #: trace segments (a cold start would dominate short Python runs).
+    prewarm_caches: bool = True
+
+    # Branch prediction.  history bits default to 0 (bimodal-degenerate
+    # gshare) because synthetic branch outcomes are site-i.i.d.; see
+    # :class:`repro.branch.gshare.GsharePredictor`.
+    gshare_entries: int = 16 * 1024
+    gshare_history_bits: int = 0
+    btb_entries: int = 256
+    btb_assoc: int = 4
+    ras_depth: int = 256
+
+    def __post_init__(self) -> None:
+        positive = (
+            "fetch_width", "fetch_threads", "decode_width", "issue_width",
+            "commit_width", "int_iq_size", "fp_iq_size", "ls_iq_size",
+            "int_units", "fp_units", "ls_units", "rob_size",
+            "int_physical_registers", "fp_physical_registers",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.decode_delay < 0 or self.mispredict_penalty < 0:
+            raise ValueError("pipeline delays cannot be negative")
+
+    def rename_registers(self, which: str, num_threads: int) -> int:
+        """Size of the shared rename pool of one register file.
+
+        Args:
+            which: ``"int"`` or ``"fp"``.
+            num_threads: running hardware contexts (architectural state of
+                each context is carved out of the physical file).
+        """
+        total = (self.int_physical_registers if which == "int"
+                 else self.fp_physical_registers)
+        rename = total - self.arch_registers_per_thread * num_threads
+        if rename <= 0:
+            raise ValueError(
+                f"{which} register file too small for {num_threads} threads"
+            )
+        return rename
+
+    def with_registers(self, total: int) -> "SMTConfig":
+        """Copy of this config with both register files sized to ``total``."""
+        return dataclasses.replace(
+            self, int_physical_registers=total, fp_physical_registers=total
+        )
+
+    def with_latencies(self, memory_latency: int, l2_latency: int) -> "SMTConfig":
+        """Copy with the Figure 7 latency pairing applied."""
+        return dataclasses.replace(
+            self, memory_latency=memory_latency, l2_latency=l2_latency
+        )
+
+
+#: The paper's baseline configuration.
+BASELINE = SMTConfig()

@@ -1,0 +1,559 @@
+"""The SMT processor: a cycle-level, trace-driven out-of-order pipeline.
+
+Stage order within a cycle runs the back end first (fills, writeback,
+commit, issue) and the front end last (rename, fetch) so resources freed
+in a cycle become visible to allocation in the same cycle, the usual
+reverse-pipeline iteration of cycle simulators.
+
+The processor delegates two decisions to a pluggable policy object
+(:mod:`repro.policies`): the ordered set of threads allowed to fetch each
+cycle, and whether a thread may allocate back-end resources at rename.
+Everything a policy may want to observe — per-thread occupancy counters,
+pending/detected miss counters, queue depths — is exposed through
+:class:`~repro.pipeline.resources.SharedResources` and the thread
+contexts, matching the hardware counters of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.branch.unit import BranchUnit
+from repro.isa.instruction import (
+    MicroOp,
+    OpClass,
+    ST_COMPLETED,
+    ST_COMMITTED,
+    ST_IN_QUEUE,
+    ST_ISSUED,
+    ST_SQUASHED,
+)
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.resources import (
+    SharedResources,
+    iq_for_class,
+    reg_for_dest,
+)
+from repro.pipeline.thread import ThreadContext
+from repro.trace.generator import SyntheticTraceGenerator, TraceBuffer
+from repro.trace.profiles import BenchmarkProfile
+
+#: Execution unit groups and the op classes they serve.
+_UNIT_GROUPS = ("int", "fp", "ls")
+
+_GROUP_FOR_CLASS = {
+    OpClass.INT_ALU: "int",
+    OpClass.BRANCH: "int",
+    OpClass.FP_ALU: "fp",
+    OpClass.LOAD: "ls",
+    OpClass.STORE: "ls",
+}
+
+#: Interval (cycles) between trace-history pruning passes.
+_PRUNE_INTERVAL = 1024
+
+
+class SMTProcessor:
+    """A simulated SMT processor running one synthetic program per context.
+
+    Args:
+        config: hardware configuration (see :class:`SMTConfig`).
+        profiles: one benchmark profile per hardware context.
+        policy: fetch/allocation policy (attached via ``policy.attach``).
+        seed: base RNG seed; each thread derives its own stream from it.
+    """
+
+    def __init__(
+        self,
+        config: SMTConfig,
+        profiles: Sequence[BenchmarkProfile],
+        policy,
+        seed: int = 0,
+    ) -> None:
+        if not profiles:
+            raise ValueError("at least one thread profile is required")
+        self.config = config
+        self.num_threads = len(profiles)
+        self.cycle = 0
+        self.stat_start_cycle = 0
+        self.resources = SharedResources(config, self.num_threads)
+        self.hierarchy = MemoryHierarchy(
+            self.num_threads,
+            l1i_size=config.l1i_size,
+            l1d_size=config.l1d_size,
+            l1_assoc=config.l1_assoc,
+            line_bytes=config.line_bytes,
+            l2_size=config.l2_size,
+            l2_assoc=config.l2_assoc,
+            l1_latency=config.l1_latency,
+            l2_latency=config.l2_latency,
+            memory_latency=config.memory_latency,
+            tlb_entries=config.tlb_entries,
+            tlb_penalty=config.tlb_penalty,
+            mshr_capacity=config.mshr_capacity,
+            perfect_dl1=config.perfect_dl1,
+            inclusive_l2=config.inclusive_l2,
+        )
+        self.branch_unit = BranchUnit(
+            self.num_threads,
+            gshare_entries=config.gshare_entries,
+            gshare_history_bits=config.gshare_history_bits,
+            btb_entries=config.btb_entries,
+            btb_assoc=config.btb_assoc,
+            ras_depth=config.ras_depth,
+        )
+        self.threads: List[ThreadContext] = []
+        for tid, profile in enumerate(profiles):
+            generator = SyntheticTraceGenerator(
+                profile, seed=seed * 1000003 + tid * 7919 + 17, tid=tid
+            )
+            self.threads.append(
+                ThreadContext(tid, TraceBuffer(generator), config.fetch_queue_size)
+            )
+        if config.prewarm_caches:
+            self._prewarm()
+        self._seq = 0
+        self._completions: Dict[int, List[MicroOp]] = {}
+        self._l2_detect_events: Dict[int, List[MicroOp]] = {}
+        self._ready: Dict[str, List[MicroOp]] = {g: [] for g in _UNIT_GROUPS}
+        self._unit_caps = {
+            "int": config.int_units, "fp": config.fp_units, "ls": config.ls_units,
+        }
+        #: Optional per-cycle probes (e.g. phase sampling for Table 5);
+        #: each is called with the processor at the end of every cycle.
+        self.cycle_hooks: List = []
+        self.policy = policy
+        policy.attach(self)
+
+    def _prewarm(self) -> None:
+        """Install steady-state cache contents (see ``prewarm_caches``).
+
+        Warm regions of all threads go first, then hot data, then code,
+        so the most performance-critical lines are most recent in LRU
+        order when threads contend for the shared L2.
+        """
+        regions_by_kind = {"warm": [], "hot": [], "code": []}
+        for thread in self.threads:
+            for base, size, kind in thread.trace.prewarm_regions():
+                regions_by_kind[kind].append((thread.tid, base, size))
+        for kind in ("warm", "hot", "code"):
+            for tid, base, size in regions_by_kind[kind]:
+                self.hierarchy.prewarm(tid, base, size, kind)
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, cycles: int) -> None:
+        """Advance the simulation by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_commits(self, commits: int, max_cycles: int = 10_000_000) -> None:
+        """Run until every thread commits ``commits`` instructions."""
+        start = [t.stats.committed for t in self.threads]
+        deadline = self.cycle + max_cycles
+        while self.cycle < deadline:
+            if all(t.stats.committed - s >= commits
+                   for t, s in zip(self.threads, start)):
+                return
+            self.step()
+        raise RuntimeError(f"commit target not reached in {max_cycles} cycles")
+
+    def reset_stats(self) -> None:
+        """Zero statistics after warm-up, keeping microarchitectural state."""
+        from repro.pipeline.thread import ThreadStats
+
+        self.stat_start_cycle = self.cycle
+        for thread in self.threads:
+            thread.stats = ThreadStats()
+        for stats in self.hierarchy.thread_stats.values():
+            stats.__init__()
+        self.branch_unit.cond_predictions = 0
+        self.branch_unit.cond_mispredictions = 0
+        mshrs = self.hierarchy.mshrs
+        mshrs.l2_overlap_samples = 0
+        mshrs.l2_overlap_sum = 0
+
+    @property
+    def stat_cycles(self) -> int:
+        """Cycles elapsed since the last statistics reset."""
+        return self.cycle - self.stat_start_cycle
+
+    # ----------------------------------------------------------------- step --
+
+    def step(self) -> None:
+        """Simulate one cycle."""
+        cycle = self.cycle
+        self.hierarchy.tick(cycle)
+        self._process_l2_detections(cycle)
+        self._writeback(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self.policy.begin_cycle(cycle)
+        self._rename(cycle)
+        self._fetch(cycle)
+        self.policy.end_cycle(cycle)
+        for thread in self.threads:
+            if thread.is_slow():
+                thread.stats.slow_cycles += 1
+        for hook in self.cycle_hooks:
+            hook(self)
+        if cycle % _PRUNE_INTERVAL == 0:
+            for thread in self.threads:
+                thread.prune_trace()
+        self.cycle = cycle + 1
+
+    # -------------------------------------------------------------- back end --
+
+    def _process_l2_detections(self, cycle: int) -> None:
+        """Mark L2 misses whose lookup has now resolved (STALL/FLUSH cue)."""
+        for op in self._l2_detect_events.pop(cycle, ()):
+            if op.status == ST_SQUASHED or op.waiting_line < 0:
+                continue
+            op.l2_detected = True
+            thread = self.threads[op.tid]
+            thread.detected_l2 += 1
+            self.policy.on_l2_miss_detected(op.tid, op)
+
+    def _writeback(self, cycle: int) -> None:
+        """Complete ops scheduled for this cycle; wake consumers."""
+        for op in self._completions.pop(cycle, ()):
+            if op.status == ST_SQUASHED:
+                continue
+            op.status = ST_COMPLETED
+            op.complete_cycle = cycle
+            for consumer in op.consumers:
+                consumer.deps_left -= 1
+                if consumer.deps_left == 0 and consumer.status == ST_IN_QUEUE:
+                    self._ready[_GROUP_FOR_CLASS[consumer.op_class]].append(consumer)
+            op.consumers.clear()
+            if op.mispredicted:
+                self._resolve_mispredict(op, cycle)
+
+    def _resolve_mispredict(self, branch_op: MicroOp, cycle: int) -> None:
+        """Squash the wrong path behind a resolved mispredicted branch."""
+        thread = self.threads[branch_op.tid]
+        self.squash_after(branch_op)
+        static = branch_op.static
+        next_pc = static.target if static.taken else static.pc + 4
+        thread.rewind_to(branch_op.trace_index + 1, next_pc)
+        thread.fetch_stall_until = max(
+            thread.fetch_stall_until, cycle + self.config.mispredict_penalty
+        )
+
+    def squash_after(self, boundary: MicroOp) -> int:
+        """Squash every instruction of the thread younger than ``boundary``.
+
+        Used for branch-misprediction recovery and by the FLUSH family of
+        policies (squash behind an L2-missing load).  Returns the number
+        of squashed instructions.  The caller is responsible for rewinding
+        fetch (:meth:`ThreadContext.rewind_to`) when the squash came from
+        a policy rather than a branch.
+        """
+        thread = self.threads[boundary.tid]
+        squashed = 0
+        rob = thread.rob
+        while rob and rob[-1].seq > boundary.seq:
+            self._squash_op(rob.pop())
+            squashed += 1
+        for op in thread.fetch_queue:
+            op.status = ST_SQUASHED
+            thread.stats.squashed += 1
+            squashed += 1
+        thread.fetch_queue.clear()
+        if thread.mispredict_op is not None and \
+                thread.mispredict_op.status == ST_SQUASHED:
+            thread.in_wrong_path = False
+            thread.wrong_path_pc = 0
+            thread.mispredict_op = None
+        return squashed
+
+    def _squash_op(self, op: MicroOp) -> None:
+        """Release every resource a renamed, in-flight op holds."""
+        thread = self.threads[op.tid]
+        resources = self.resources
+        resources.release_rob(op.tid)
+        if op.iq_allocated:
+            resources.release(iq_for_class(op.op_class), op.tid)
+            op.iq_allocated = False
+        if op.dest_allocated:
+            resources.release(reg_for_dest(op.static.dest_is_fp), op.tid)
+            op.dest_allocated = False
+        if op.waiting_line >= 0:
+            thread.pending_l1d -= 1
+            if op.l2_missed:
+                thread.pending_l2 -= 1
+            if op.l2_detected:
+                thread.detected_l2 -= 1
+            op.waiting_line = -1
+        op.status = ST_SQUASHED
+        thread.stats.squashed += 1
+
+    def _commit(self, cycle: int) -> None:
+        """Retire completed instructions in order, round-robin by thread."""
+        budget = self.config.commit_width
+        num = self.num_threads
+        start = cycle % num
+        for offset in range(num):
+            if budget <= 0:
+                break
+            thread = self.threads[(start + offset) % num]
+            rob = thread.rob
+            while budget > 0 and rob and rob[0].status == ST_COMPLETED:
+                op = rob.popleft()
+                self._commit_op(op)
+                budget -= 1
+
+    def _commit_op(self, op: MicroOp) -> None:
+        thread = self.threads[op.tid]
+        resources = self.resources
+        if op.dest_allocated:
+            resources.release(reg_for_dest(op.static.dest_is_fp), op.tid)
+            op.dest_allocated = False
+        resources.release_rob(op.tid)
+        op.status = ST_COMMITTED
+        thread.stats.committed += 1
+        self.policy.on_commit(op.tid, op)
+
+    # ---------------------------------------------------------------- issue --
+
+    def _issue(self, cycle: int) -> None:
+        """Select ready instructions oldest-first within unit limits."""
+        budget = self.config.issue_width
+        for group in _UNIT_GROUPS:
+            ready = self._ready[group]
+            if not ready:
+                continue
+            ready.sort(key=_seq_key)
+            cap = self._unit_caps[group]
+            issued = 0
+            kept: List[MicroOp] = []
+            for op in ready:
+                if op.status != ST_IN_QUEUE:
+                    continue  # squashed while waiting
+                if issued >= cap or budget <= 0:
+                    kept.append(op)
+                    continue
+                if self._issue_op(op, cycle):
+                    issued += 1
+                    budget -= 1
+                else:
+                    kept.append(op)
+            self._ready[group] = kept
+
+    def _issue_op(self, op: MicroOp, cycle: int) -> bool:
+        """Issue one op; returns False on a structural retry (MSHRs full)."""
+        op_class = op.op_class
+        thread = self.threads[op.tid]
+        if op_class == OpClass.LOAD:
+            result = self.hierarchy.access_load(
+                op.tid, op.static.mem_addr, cycle, self._make_waiter(op)
+            )
+            if result.retry:
+                return False
+            self._finish_issue(op, cycle)
+            self.policy.on_load_issued(op.tid, op, result)
+            if result.complete_cycle is not None:
+                self._completions.setdefault(result.complete_cycle, []).append(op)
+                return True
+            op.waiting_line = result.line_addr
+            op.tlb_missed = result.tlb_miss
+            thread.pending_l1d += 1
+            thread.stats.load_l1_misses += 1
+            self.policy.on_l1d_miss(op.tid, op)
+            if result.l2_miss:
+                op.l2_missed = True
+                thread.pending_l2 += 1
+                thread.stats.load_l2_misses += 1
+                if result.l2_detect_cycle is not None:
+                    self._l2_detect_events.setdefault(
+                        max(result.l2_detect_cycle, cycle + 1), []
+                    ).append(op)
+            return True
+        if op_class == OpClass.STORE:
+            self.hierarchy.access_store(op.tid, op.static.mem_addr, cycle)
+            self._finish_issue(op, cycle)
+            self._completions.setdefault(cycle + 1, []).append(op)
+            return True
+        self._finish_issue(op, cycle)
+        self._completions.setdefault(cycle + op.static.latency, []).append(op)
+        return True
+
+    def _finish_issue(self, op: MicroOp, cycle: int) -> None:
+        """Common issue bookkeeping: leave the queue, free the IQ entry."""
+        op.status = ST_ISSUED
+        op.issue_cycle = cycle
+        if op.iq_allocated:
+            self.resources.release(iq_for_class(op.op_class), op.tid)
+            op.iq_allocated = False
+
+    def _make_waiter(self, op: MicroOp):
+        """Fill callback for a missing load; completes it on arrival."""
+
+        def waiter(fill_cycle: int) -> None:
+            if op.status == ST_SQUASHED or op.waiting_line < 0:
+                return
+            thread = self.threads[op.tid]
+            thread.pending_l1d -= 1
+            if op.l2_missed:
+                thread.pending_l2 -= 1
+            if op.l2_detected:
+                thread.detected_l2 -= 1
+                self.policy.on_l2_fill(op.tid, op)
+            op.waiting_line = -1
+            self._completions.setdefault(fill_cycle, []).append(op)
+
+        return waiter
+
+    # --------------------------------------------------------------- rename --
+
+    def _rename(self, cycle: int) -> None:
+        """Move instructions from fetch queues into the back end."""
+        budget = self.config.decode_width
+        num = self.num_threads
+        start = cycle % num
+        min_fetch_age = self.config.decode_delay
+        for offset in range(num):
+            if budget <= 0:
+                break
+            thread = self.threads[(start + offset) % num]
+            queue = thread.fetch_queue
+            while budget > 0 and queue:
+                op = queue[0]
+                if op.fetch_cycle + min_fetch_age > cycle:
+                    break
+                if not self._can_rename(op):
+                    break
+                if not self.policy.may_rename(op.tid, op):
+                    thread.stats.policy_stall_cycles += 1
+                    break
+                queue.popleft()
+                self._do_rename(op, cycle)
+                budget -= 1
+
+    def _can_rename(self, op: MicroOp) -> bool:
+        resources = self.resources
+        if resources.rob_free_for_thread(op.tid) <= 0:
+            return False
+        if resources.free(iq_for_class(op.op_class)) <= 0:
+            return False
+        if op.static.has_dest and \
+                resources.free(reg_for_dest(op.static.dest_is_fp)) <= 0:
+            return False
+        return True
+
+    def _do_rename(self, op: MicroOp, cycle: int) -> None:
+        thread = self.threads[op.tid]
+        resources = self.resources
+        resources.acquire_rob(op.tid)
+        resources.acquire(iq_for_class(op.op_class), op.tid)
+        op.iq_allocated = True
+        if op.static.has_dest:
+            resources.acquire(reg_for_dest(op.static.dest_is_fp), op.tid)
+            op.dest_allocated = True
+        rob = thread.rob
+        rob.append(op)
+        for dist in op.static.src_dists:
+            if dist >= len(rob):
+                continue  # producer already committed (hence completed)
+            producer = rob[len(rob) - 1 - dist]
+            if producer.status in (ST_COMPLETED, ST_COMMITTED, ST_SQUASHED):
+                continue
+            if not producer.static.has_dest:
+                continue  # stores/branches produce no register value
+            producer.consumers.append(op)
+            op.deps_left += 1
+        op.status = ST_IN_QUEUE
+        op.rename_cycle = cycle
+        if op.deps_left == 0:
+            self._ready[_GROUP_FOR_CLASS[op.op_class]].append(op)
+        self.policy.on_rename(op.tid, op)
+
+    # ---------------------------------------------------------------- fetch --
+
+    def _fetch(self, cycle: int) -> None:
+        order = self.policy.fetch_order(cycle)
+        slots = self.config.fetch_width
+        threads_used = 0
+        for tid in order:
+            if slots <= 0 or threads_used >= self.config.fetch_threads:
+                break
+            thread = self.threads[tid]
+            if cycle < thread.fetch_stall_until:
+                thread.stats.fetch_stall_cycles += 1
+                continue
+            if len(thread.fetch_queue) >= thread.fetch_queue_size:
+                continue
+            fetched = self._fetch_thread(thread, slots, cycle)
+            if fetched:
+                threads_used += 1
+                slots -= fetched
+
+    def _fetch_thread(self, thread: ThreadContext, max_slots: int,
+                      cycle: int) -> int:
+        """Fetch up to ``max_slots`` instructions for one thread."""
+        if thread.in_wrong_path:
+            group_pc = thread.wrong_path_pc
+        else:
+            group_pc = thread.trace.get(thread.fetch_index).pc
+        fill_ready = self.hierarchy.access_ifetch(thread.tid, group_pc, cycle)
+        if fill_ready is not None:
+            thread.fetch_stall_until = max(thread.fetch_stall_until, fill_ready)
+            return 0
+
+        fetched = 0
+        stats = thread.stats
+        while fetched < max_slots and \
+                len(thread.fetch_queue) < thread.fetch_queue_size:
+            if thread.in_wrong_path:
+                static = thread.trace.wrong_path_op(thread.wrong_path_pc)
+                op = MicroOp(static, thread.tid, self._seq, -1, True, cycle)
+                self._seq += 1
+                thread.wrong_path_pc += 4
+                thread.fetch_queue.append(op)
+                fetched += 1
+                stats.fetched += 1
+                stats.fetched_wrong_path += 1
+                continue
+
+            static = thread.trace.get(thread.fetch_index)
+            op = MicroOp(static, thread.tid, self._seq, thread.fetch_index,
+                         False, cycle)
+            self._seq += 1
+            thread.fetch_index += 1
+            thread.fetch_queue.append(op)
+            fetched += 1
+            stats.fetched += 1
+            if static.op_class != OpClass.BRANCH:
+                continue
+
+            stats.branches += 1
+            prediction = self.branch_unit.predict_and_train(thread.tid, static)
+            op.pred_taken = prediction.taken
+            op.pred_target = prediction.target
+            if prediction.mispredicted:
+                stats.mispredicts += 1
+                op.mispredicted = True
+                thread.in_wrong_path = True
+                thread.mispredict_op = op
+                thread.wrong_path_pc = prediction.wrong_path_pc
+                if prediction.btb_bubble:
+                    thread.fetch_stall_until = max(
+                        thread.fetch_stall_until,
+                        cycle + self.config.btb_bubble_penalty,
+                    )
+                break
+            if prediction.btb_bubble:
+                thread.fetch_stall_until = max(
+                    thread.fetch_stall_until,
+                    cycle + self.config.btb_bubble_penalty,
+                )
+                break
+            if prediction.taken:
+                break  # cannot fetch past a taken branch in one group
+        return fetched
+
+
+def _seq_key(op: MicroOp) -> int:
+    return op.seq

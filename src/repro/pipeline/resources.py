@@ -1,0 +1,163 @@
+"""Shared back-end resources and their per-thread occupancy counters.
+
+This module is the heart of what the paper's policies observe and control:
+the three issue queues, the two rename-register pools and the shared ROB,
+each with a global free count and per-thread usage counters.  The counters
+are exactly the hardware counters of the paper's Figure 3: incremented at
+rename, queue counters decremented at issue, register counters decremented
+at commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.isa.instruction import OpClass
+from repro.pipeline.config import SMTConfig
+
+
+class Resource(enum.IntEnum):
+    """The five shared resources DCRA monitors (paper Section 3.4)."""
+
+    IQ_INT = 0
+    IQ_FP = 1
+    IQ_LS = 2
+    REG_INT = 3
+    REG_FP = 4
+
+
+#: Resources backed by issue queues.
+IQ_RESOURCES = (Resource.IQ_INT, Resource.IQ_FP, Resource.IQ_LS)
+
+#: Resources backed by rename-register pools.
+REG_RESOURCES = (Resource.REG_INT, Resource.REG_FP)
+
+#: Floating-point resources, the ones DCRA tracks activity for
+#: (Section 3.1.2: integer resources are used by every thread).
+FP_RESOURCES = (Resource.IQ_FP, Resource.REG_FP)
+
+_IQ_FOR_CLASS = {
+    OpClass.INT_ALU: Resource.IQ_INT,
+    OpClass.BRANCH: Resource.IQ_INT,
+    OpClass.FP_ALU: Resource.IQ_FP,
+    OpClass.LOAD: Resource.IQ_LS,
+    OpClass.STORE: Resource.IQ_LS,
+}
+
+
+def iq_for_class(op_class: OpClass) -> Resource:
+    """Issue-queue resource an op class occupies."""
+    return _IQ_FOR_CLASS[op_class]
+
+
+def reg_for_dest(dest_is_fp: bool) -> Resource:
+    """Register resource a destination allocates."""
+    return Resource.REG_FP if dest_is_fp else Resource.REG_INT
+
+
+class SharedResources:
+    """Occupancy accounting for all shared pools.
+
+    Args:
+        config: processor configuration (pool sizes).
+        num_threads: number of hardware contexts (sizes the rename pools,
+            since architectural registers are carved out per thread).
+    """
+
+    def __init__(self, config: SMTConfig, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self.totals: Dict[Resource, int] = {
+            Resource.IQ_INT: config.int_iq_size,
+            Resource.IQ_FP: config.fp_iq_size,
+            Resource.IQ_LS: config.ls_iq_size,
+            Resource.REG_INT: config.rename_registers("int", num_threads),
+            Resource.REG_FP: config.rename_registers("fp", num_threads),
+        }
+        self.used: Dict[Resource, int] = {r: 0 for r in Resource}
+        self.per_thread: Dict[Resource, List[int]] = {
+            r: [0] * num_threads for r in Resource
+        }
+        self.rob_size = config.rob_size
+        self.rob_used = 0
+        self.rob_per_thread = [0] * num_threads
+        #: The 512-entry ROB is shared (paper Table 2) and, like in the
+        #: paper, it is monopolisable under a naive fetch policy: DCRA
+        #: bounds a slow thread's ROB share only indirectly, through its
+        #: register caps.  ``rob_partitioned`` switches to a static
+        #: per-thread split (an ablation; SRA imposes its own cap anyway).
+        if config.rob_partitioned:
+            self.rob_cap_per_thread = config.rob_size // num_threads
+        else:
+            self.rob_cap_per_thread = config.rob_size
+
+    # -- generic pools ---------------------------------------------------------
+
+    def free(self, resource: Resource) -> int:
+        """Free entries of a resource."""
+        return self.totals[resource] - self.used[resource]
+
+    def usage(self, resource: Resource, tid: int) -> int:
+        """Entries of ``resource`` currently held by thread ``tid``."""
+        return self.per_thread[resource][tid]
+
+    def acquire(self, resource: Resource, tid: int) -> None:
+        """Allocate one entry; callers must have checked :meth:`free`."""
+        if self.used[resource] >= self.totals[resource]:
+            raise RuntimeError(f"{resource.name} over-allocated")
+        self.used[resource] += 1
+        self.per_thread[resource][tid] += 1
+
+    def release(self, resource: Resource, tid: int) -> None:
+        """Release one entry held by ``tid``."""
+        if self.per_thread[resource][tid] <= 0:
+            raise RuntimeError(f"{resource.name} underflow for thread {tid}")
+        self.used[resource] -= 1
+        self.per_thread[resource][tid] -= 1
+
+    # -- ROB --------------------------------------------------------------------
+
+    def rob_free(self) -> int:
+        """Free shared ROB entries."""
+        return self.rob_size - self.rob_used
+
+    def rob_free_for_thread(self, tid: int) -> int:
+        """Free ROB entries within a thread's static partition."""
+        shared_free = self.rob_size - self.rob_used
+        partition_free = self.rob_cap_per_thread - self.rob_per_thread[tid]
+        return min(shared_free, partition_free)
+
+    def acquire_rob(self, tid: int) -> None:
+        if self.rob_used >= self.rob_size:
+            raise RuntimeError("ROB over-allocated")
+        self.rob_used += 1
+        self.rob_per_thread[tid] += 1
+
+    def release_rob(self, tid: int) -> None:
+        if self.rob_per_thread[tid] <= 0:
+            raise RuntimeError(f"ROB underflow for thread {tid}")
+        self.rob_used -= 1
+        self.rob_per_thread[tid] -= 1
+
+    # -- derived views ------------------------------------------------------------
+
+    def iq_total_for_thread(self, tid: int) -> int:
+        """Total pre-issue queue occupancy of a thread (ICOUNT's metric)."""
+        per = self.per_thread
+        return (per[Resource.IQ_INT][tid] + per[Resource.IQ_FP][tid]
+                + per[Resource.IQ_LS][tid])
+
+    def check_consistency(self) -> None:
+        """Assert per-thread counters sum to the global counters.
+
+        Used by tests and debug runs; O(resources * threads).
+        """
+        for resource in Resource:
+            total = sum(self.per_thread[resource])
+            if total != self.used[resource]:
+                raise AssertionError(
+                    f"{resource.name}: per-thread sum {total} != "
+                    f"global {self.used[resource]}"
+                )
+        if sum(self.rob_per_thread) != self.rob_used:
+            raise AssertionError("ROB per-thread sum mismatch")

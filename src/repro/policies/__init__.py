@@ -1,0 +1,47 @@
+"""Fetch and resource-allocation policies.
+
+All policies the paper evaluates are provided:
+
+* :class:`RoundRobinPolicy` — alternate fetch, resource-blind.
+* :class:`IcountPolicy` — prioritise threads with few pre-issue instructions.
+* :class:`StallPolicy` — ICOUNT + fetch-stall on a detected L2 miss.
+* :class:`FlushPolicy` — STALL + squash the offending thread's younger
+  instructions to free its resources.
+* :class:`FlushPlusPlusPolicy` — switch between STALL and FLUSH based on
+  the workload's cache behaviour.
+* :class:`DataGatingPolicy` (DG) — fetch-stall on every pending L1D miss.
+* :class:`PredictiveDataGatingPolicy` (PDG) — gate on *predicted* misses.
+* :class:`StaticAllocationPolicy` (SRA) — rigid equal partitioning of all
+  shared resources.
+
+The paper's own contribution, DCRA, lives in :mod:`repro.core`; it plugs
+into the same :class:`Policy` interface.  Use :func:`make_policy` to build
+any policy (including DCRA) by name.
+"""
+
+from repro.policies.base import Policy, icount_order, round_robin_order
+from repro.policies.basic import IcountPolicy, RoundRobinPolicy
+from repro.policies.gating import DataGatingPolicy, PredictiveDataGatingPolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.policies.stall_flush import (
+    FlushPlusPlusPolicy,
+    FlushPolicy,
+    StallPolicy,
+)
+from repro.policies.static_alloc import StaticAllocationPolicy
+
+__all__ = [
+    "DataGatingPolicy",
+    "FlushPlusPlusPolicy",
+    "FlushPolicy",
+    "IcountPolicy",
+    "POLICY_NAMES",
+    "Policy",
+    "PredictiveDataGatingPolicy",
+    "RoundRobinPolicy",
+    "StallPolicy",
+    "StaticAllocationPolicy",
+    "icount_order",
+    "make_policy",
+    "round_robin_order",
+]

@@ -1,0 +1,106 @@
+"""Policy interface and shared fetch-priority helpers.
+
+A policy controls two things (paper Section 3.3): which threads may use
+the fetch bandwidth each cycle (``fetch_order``), and — for *allocation*
+policies such as SRA and DCRA — whether a thread may allocate further
+shared resources (``may_rename`` for hard rename-stage caps; DCRA instead
+excludes over-cap threads from fetch, which is where the paper applies
+its enforcement).
+
+The processor invokes the ``on_*`` hooks as the corresponding
+micro-events happen, giving policies exactly the "indirect indicators"
+(L1/L2 miss events) and direct occupancy counters the paper discusses.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.isa.instruction import MicroOp
+    from repro.mem.hierarchy import AccessResult
+    from repro.pipeline.processor import SMTProcessor
+
+
+def icount_order(processor: "SMTProcessor") -> List[int]:
+    """Thread ids sorted by ICOUNT priority (fewest pre-issue instructions).
+
+    The pre-issue count is the number of instructions in the fetch queue
+    plus those waiting in the issue queues, per Tullsen's ICOUNT.
+    """
+    resources = processor.resources
+
+    def pre_issue_count(tid: int) -> int:
+        return (processor.threads[tid].fetch_queue_occupancy()
+                + resources.iq_total_for_thread(tid))
+
+    return sorted(range(processor.num_threads), key=pre_issue_count)
+
+
+def round_robin_order(processor: "SMTProcessor", cycle: int) -> List[int]:
+    """Thread ids rotated by cycle number."""
+    num = processor.num_threads
+    start = cycle % num
+    return [(start + i) % num for i in range(num)]
+
+
+class Policy:
+    """Base policy: unrestricted sharing with ICOUNT fetch priority.
+
+    Subclasses override :meth:`fetch_order` (and, for allocation policies,
+    :meth:`may_rename`) plus whichever event hooks they need.
+    """
+
+    #: Human-readable policy name used in results and the registry.
+    name = "BASE"
+
+    def __init__(self) -> None:
+        self.processor: "SMTProcessor" = None  # set by attach()
+
+    def attach(self, processor: "SMTProcessor") -> None:
+        """Bind the policy to a processor; called once at construction."""
+        self.processor = processor
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for subclasses needing per-thread state after binding."""
+
+    # -- per-cycle control -----------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Called before rename/fetch each cycle (classification point)."""
+
+    def end_cycle(self, cycle: int) -> None:
+        """Called after fetch each cycle (bookkeeping point)."""
+
+    def fetch_order(self, cycle: int) -> List[int]:
+        """Ordered thread ids allowed to fetch this cycle."""
+        return icount_order(self.processor)
+
+    def may_rename(self, tid: int, op: "MicroOp") -> bool:
+        """Whether ``tid`` may allocate the resources ``op`` needs now."""
+        return True
+
+    # -- event hooks -------------------------------------------------------------
+
+    def on_rename(self, tid: int, op: "MicroOp") -> None:
+        """An instruction allocated its back-end resources."""
+
+    def on_commit(self, tid: int, op: "MicroOp") -> None:
+        """An instruction retired."""
+
+    def on_load_issued(self, tid: int, op: "MicroOp",
+                       result: "AccessResult") -> None:
+        """A load performed its cache access (hit or miss)."""
+
+    def on_l1d_miss(self, tid: int, op: "MicroOp") -> None:
+        """A load missed in the L1 data cache (known at issue time)."""
+
+    def on_l2_miss_detected(self, tid: int, op: "MicroOp") -> None:
+        """A load's L2 miss became known (L2 lookup latency elapsed)."""
+
+    def on_l2_fill(self, tid: int, op: "MicroOp") -> None:
+        """A previously detected L2 miss was serviced."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,32 @@
+"""ROUND-ROBIN and ICOUNT fetch policies (Tullsen et al.).
+
+These are the resource-blind baselines: ROUND-ROBIN alternates fetch among
+threads regardless of their state; ICOUNT favours threads with few
+instructions in the pre-issue stages, which naturally throttles stalled
+threads but — as the paper stresses — reacts far too slowly to L2 misses,
+letting a missing thread monopolise queues and registers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policies.base import Policy, icount_order, round_robin_order
+
+
+class RoundRobinPolicy(Policy):
+    """Fetch from all threads alternately, disregarding resource use."""
+
+    name = "ROUND-ROBIN"
+
+    def fetch_order(self, cycle: int) -> List[int]:
+        return round_robin_order(self.processor, cycle)
+
+
+class IcountPolicy(Policy):
+    """Prioritise threads with the fewest pre-issue instructions."""
+
+    name = "ICOUNT"
+
+    def fetch_order(self, cycle: int) -> List[int]:
+        return icount_order(self.processor)

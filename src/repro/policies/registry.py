@@ -1,0 +1,70 @@
+"""Policy registry: build any policy (including DCRA) by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.policies.base import Policy
+from repro.policies.basic import IcountPolicy, RoundRobinPolicy
+from repro.policies.gating import DataGatingPolicy, PredictiveDataGatingPolicy
+from repro.policies.stall_flush import (
+    FlushPlusPlusPolicy,
+    FlushPolicy,
+    StallPolicy,
+)
+from repro.policies.static_alloc import StaticAllocationPolicy
+
+
+def _make_dcra(**kwargs) -> Policy:
+    # Imported lazily: repro.core depends on repro.policies.
+    from repro.core.dcra import DcraConfig, DcraPolicy
+
+    if "config" in kwargs:
+        return DcraPolicy(kwargs["config"])
+    if kwargs:
+        return DcraPolicy(DcraConfig(**kwargs))
+    return DcraPolicy()
+
+
+def _make_adaptive_dcra(**kwargs) -> Policy:
+    from repro.core.adaptive import AdaptiveConfig, AdaptiveDcraPolicy
+
+    if "config" in kwargs:
+        return AdaptiveDcraPolicy(kwargs["config"])
+    if kwargs:
+        return AdaptiveDcraPolicy(AdaptiveConfig(**kwargs))
+    return AdaptiveDcraPolicy()
+
+
+_FACTORIES: Dict[str, Callable[..., Policy]] = {
+    "ROUND-ROBIN": RoundRobinPolicy,
+    "ICOUNT": IcountPolicy,
+    "STALL": StallPolicy,
+    "FLUSH": FlushPolicy,
+    "FLUSH++": FlushPlusPlusPolicy,
+    "DG": DataGatingPolicy,
+    "PDG": PredictiveDataGatingPolicy,
+    "SRA": StaticAllocationPolicy,
+    "DCRA": _make_dcra,
+    "DCRA-ADAPT": _make_adaptive_dcra,
+}
+
+#: Names accepted by :func:`make_policy`.
+POLICY_NAMES = tuple(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a policy by its paper name.
+
+    Args:
+        name: one of :data:`POLICY_NAMES` (case-insensitive).
+        **kwargs: forwarded to the policy constructor (e.g. DCRA's
+            ``activity_window`` or FLUSH++'s ``flush_threshold``).
+    """
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,50 @@
+"""Static resource allocation (SRA) — the Pentium-4-style even split.
+
+Every shared resource (the three issue queues, both rename-register pools
+and the ROB) is partitioned equally among the running threads.  A thread
+at its cap stalls at rename until it releases entries; fetch priority
+remains ICOUNT.  This guarantees no monopolisation but — the problem the
+paper's dynamic model fixes — wastes any entries their owner cannot use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.instruction import MicroOp
+from repro.pipeline.resources import Resource, iq_for_class, reg_for_dest
+from repro.policies.base import Policy
+
+
+class StaticAllocationPolicy(Policy):
+    """Equal hard partitioning of all shared resources."""
+
+    name = "SRA"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._caps: Dict[Resource, int] = {}
+        self._rob_cap = 0
+
+    def on_attach(self) -> None:
+        resources = self.processor.resources
+        num = self.processor.num_threads
+        self._caps = {r: resources.totals[r] // num for r in Resource}
+        self._rob_cap = resources.rob_size // num
+
+    def cap(self, resource: Resource) -> int:
+        """Per-thread entry cap of one resource (R / T)."""
+        return self._caps[resource]
+
+    def may_rename(self, tid: int, op: MicroOp) -> bool:
+        resources = self.processor.resources
+        if resources.rob_per_thread[tid] >= self._rob_cap:
+            return False
+        iq = iq_for_class(op.op_class)
+        if resources.usage(iq, tid) >= self._caps[iq]:
+            return False
+        if op.static.has_dest:
+            reg = reg_for_dest(op.static.dest_is_fp)
+            if resources.usage(reg, tid) >= self._caps[reg]:
+                return False
+        return True

@@ -1,0 +1,41 @@
+"""Synthetic SPEC2000-like workload substrate.
+
+The paper drives its simulator with 300M-instruction trace segments of the
+SPEC2000 suite compiled for Alpha.  Those traces are not available, so this
+package substitutes parameterised synthetic instruction streams: each
+benchmark becomes a :class:`~repro.trace.profiles.BenchmarkProfile` whose
+instruction mix, dependency structure, branch behaviour and memory footprint
+are tuned to reproduce the cache behaviour the paper reports in Table 3.
+Workload construction (Table 4) lives in :mod:`repro.trace.workloads`.
+"""
+
+from repro.trace.generator import SyntheticTraceGenerator, TraceBuffer
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    ILP_BENCHMARKS,
+    MEM_BENCHMARKS,
+    BenchmarkProfile,
+    get_profile,
+)
+from repro.trace.workloads import (
+    WORKLOAD_TABLE,
+    Workload,
+    all_workloads,
+    workload_groups,
+    make_workload,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ILP_BENCHMARKS",
+    "MEM_BENCHMARKS",
+    "BenchmarkProfile",
+    "SyntheticTraceGenerator",
+    "TraceBuffer",
+    "WORKLOAD_TABLE",
+    "Workload",
+    "all_workloads",
+    "workload_groups",
+    "get_profile",
+    "make_workload",
+]

@@ -1,0 +1,425 @@
+"""Synthetic instruction stream generation.
+
+:class:`SyntheticTraceGenerator` turns a :class:`BenchmarkProfile` into a
+deterministic, infinite stream of :class:`StaticOp` instructions.  The
+correct-path stream depends only on the seed, never on simulator state, so
+a thread's trace can be replayed after squashes; wrong-path instructions
+come from an independent RNG so fetching them does not perturb the correct
+path.
+
+:class:`TraceBuffer` provides indexed, replayable access on top of the
+generator with pruning of committed history, which is how the pipeline
+rewinds after branch mispredictions and FLUSH events.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.isa.instruction import BranchKind, OpClass, StaticOp
+from repro.trace.profiles import (
+    COLD_REGION_BYTES,
+    HOT_REGION_BYTES,
+    WARM_REGION_BYTES,
+    BenchmarkProfile,
+)
+
+#: Cache line size used for streaming strides (matches the memory system).
+_LINE = 64
+
+#: Strongly biased outcome probability for predictable branch sites.
+_STABLE_BIAS = 0.97
+
+#: Maximum dependency distance the generator will emit.
+_MAX_DEP_DIST = 64
+
+#: Maximum synthetic call-stack depth (mirrors the 256-entry RAS loosely).
+_MAX_CALL_DEPTH = 48
+
+#: Cold (DRAM-bound) accesses arrive in clusters of this mean length.
+#: Real miss streams are bursty — dependent loads walk a cold structure,
+#: then execution returns to cached data — and burstiness is what lets a
+#: thread overlap several L2 misses (memory-level parallelism) and what
+#: makes STALL-style policies viable (one stall covers a whole cluster).
+_COLD_BURST_LEN = 4
+
+_FP_LATENCY = 4
+
+
+class SyntheticTraceGenerator:
+    """Deterministic instruction stream for one thread.
+
+    Args:
+        profile: behaviour profile of the benchmark being imitated.
+        seed: RNG seed; two generators with the same profile and seed
+            produce identical streams.
+        tid: thread id, used only to place the thread's code and data in a
+            disjoint part of the address space (threads still share the L2,
+            so they interfere through capacity, as in the real machine).
+    """
+
+    def __init__(self, profile: BenchmarkProfile, seed: int, tid: int = 0) -> None:
+        self.profile = profile
+        self.tid = tid
+        self._rng = random.Random(seed)
+        self._wp_rng = random.Random(seed ^ 0x5DEECE66D)
+        # Threads get disjoint address spaces, staggered by an odd number
+        # of lines so their hot/code regions do not alias onto the same
+        # cache sets (physical allocation spreads pages in reality; a
+        # uniform layout would make all threads fight over one set range).
+        base = ((tid + 1) << 34) + tid * 20032
+        self._code_base = base
+        self._code_size = profile.code_kb * 1024
+        self._data_base = base + (1 << 30)
+        self._hot_base = self._data_base
+        self._warm_base = self._data_base + HOT_REGION_BYTES
+        self._cold_base = self._warm_base + WARM_REGION_BYTES
+        self._pc = self._code_base
+        self._stream_ptr = 0
+        self._cold_burst_left = 0
+        # Wrong-path fetch keeps private stream/burst state so speculative
+        # depth never perturbs the committed address stream.
+        self._wp_stream_ptr = 0
+        self._wp_burst_left = 0
+        self._call_stack: List[int] = []
+        self._branch_sites: Dict[int, float] = {}
+        self._branch_targets: Dict[int, int] = {}
+        # Static code layout: the op class at each pc is fixed on first
+        # (correct-path) visit, like real instructions.  Without this the
+        # set of branch/load sites grows to the whole code footprint and
+        # the BTB and PDG's miss predictor thrash unrealistically.
+        self._pc_class: Dict[int, OpClass] = {}
+        # Hot-block set: most taken branches land in a small, popular part
+        # of the code (loop nests / hot functions), which is what lets the
+        # BTB and the direction predictor train even for benchmarks with
+        # large code footprints (gcc, vortex).  The remaining targets are
+        # spread over the whole footprint and exercise I-cache capacity.
+        block_count = self._code_size // 32
+        hot_count = max(8, min(32, profile.code_kb // 2))
+        self._hot_blocks = [
+            self._code_base + self._rng.randrange(block_count) * 32
+            for _ in range(hot_count)
+        ]
+        self._instr_count = 0
+        self._since_load = _MAX_DEP_DIST
+        self._phase_left = 0
+        self._in_mem_phase = True
+        # Bresenham-style accumulator: phases follow the mem/compute ratio
+        # deterministically (starting with a memory phase), so even short
+        # runs see the profile's steady-state mix instead of the huge
+        # variance a random phase draw would give.
+        self._phase_acc = 0.9999
+        self._next_phase()
+        # Cumulative mix thresholds for a single uniform draw per op.
+        mix = profile.mix
+        acc = 0.0
+        self._mix_cdf: List[Tuple[float, OpClass]] = []
+        for prob, cls in zip(mix, (OpClass.INT_ALU, OpClass.FP_ALU, OpClass.LOAD,
+                                   OpClass.STORE, OpClass.BRANCH)):
+            acc += prob
+            self._mix_cdf.append((acc, cls))
+
+    def prewarm_regions(self):
+        """Regions to pre-install in the caches: (base, size, kind) tuples.
+
+        See :meth:`repro.mem.hierarchy.MemoryHierarchy.prewarm`; the warm
+        region is listed first so hot/code lines are most recent in LRU.
+        """
+        return [
+            (self._warm_base, WARM_REGION_BYTES, "warm"),
+            (self._hot_base, HOT_REGION_BYTES, "hot"),
+            (self._code_base, self._code_size, "code"),
+        ]
+
+    # -- phase machinery ----------------------------------------------------
+
+    def _next_phase(self) -> None:
+        """Advance to the next behaviour phase (memory-heavy or compute)."""
+        p = self.profile
+        self._phase_acc += p.mem_phase_frac
+        if self._phase_acc >= 1.0:
+            self._phase_acc -= 1.0
+            self._in_mem_phase = True
+        else:
+            self._in_mem_phase = False
+        # Durations jitter around the mean (0.4x..1.6x) so co-scheduled
+        # threads do not phase-lock, without exponential-tail variance.
+        jitter = 0.4 + 1.2 * self._rng.random()
+        self._phase_left = max(200, int(p.phase_len * jitter))
+
+    def _region_weights(self) -> Tuple[float, float]:
+        """Return (cold, warm) access probabilities for the current phase.
+
+        The steady-state average over phases matches the profile's
+        ``cold_frac``/``warm_frac`` so single-thread L2 miss rates land on
+        the Table 3 targets, while individual phases are visibly memory
+        bound or compute bound (Table 5 behaviour).
+        """
+        p = self.profile
+        f = p.mem_phase_frac
+        if self._in_mem_phase:
+            cold = min(0.95, p.cold_frac / max(f, 0.05))
+            warm = min(0.95 - cold, p.warm_frac / max(f, 0.05))
+        else:
+            # The remaining mass keeps the steady state on target.
+            if f >= 1.0:
+                cold, warm = p.cold_frac, p.warm_frac
+            else:
+                cold_mem = min(0.95, p.cold_frac / max(f, 0.05))
+                warm_mem = min(0.95 - cold_mem, p.warm_frac / max(f, 0.05))
+                cold = max(0.0, (p.cold_frac - f * cold_mem) / (1.0 - f))
+                warm = max(0.0, (p.warm_frac - f * warm_mem) / (1.0 - f))
+        return cold, warm
+
+    # -- operand helpers ----------------------------------------------------
+
+    def _dep_distance(self, rng: random.Random) -> int:
+        """Draw a producer distance from a truncated geometric law."""
+        p = self.profile.dep_geom_p
+        u = rng.random()
+        dist = 1 + int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+        return min(dist, _MAX_DEP_DIST)
+
+    def _sources(self, rng: random.Random, n_srcs: int) -> Tuple[int, ...]:
+        """Draw source distances, possibly biased towards the last load."""
+        p = self.profile
+        dists = []
+        for _ in range(n_srcs):
+            if self._since_load < _MAX_DEP_DIST and rng.random() < p.load_dep_bias:
+                dists.append(self._since_load + 1)
+            else:
+                dists.append(self._dep_distance(rng))
+        return tuple(dists)
+
+    def _cold_address(self, rng: random.Random, wrong_path: bool) -> int:
+        if rng.random() < self.profile.stream_frac:
+            if wrong_path:
+                self._wp_stream_ptr = (self._wp_stream_ptr + _LINE) \
+                    % COLD_REGION_BYTES
+                return self._cold_base + self._wp_stream_ptr
+            self._stream_ptr = (self._stream_ptr + _LINE) % COLD_REGION_BYTES
+            return self._cold_base + self._stream_ptr
+        off = rng.randrange(COLD_REGION_BYTES // _LINE) * _LINE
+        return self._cold_base + off
+
+    def _mem_address(self, rng: random.Random, wrong_path: bool = False) -> int:
+        """Pick a data address from the phase-weighted region model.
+
+        Cold accesses come in clusters of mean ``_COLD_BURST_LEN``: once a
+        cluster starts, the next few data references stay cold.  The
+        trigger probability is scaled down by the cluster length so the
+        steady-state cold fraction still matches the profile.
+        """
+        if wrong_path:
+            if self._wp_burst_left > 0:
+                self._wp_burst_left -= 1
+                return self._cold_address(rng, True)
+        elif self._cold_burst_left > 0:
+            self._cold_burst_left -= 1
+            return self._cold_address(rng, False)
+        cold, warm = self._region_weights()
+        # Renewal argument: a burst of length B covers B accesses, a
+        # non-burst draw covers one, so triggering with probability
+        # cold / (B - (B-1)*cold) makes the steady-state cold fraction
+        # equal to ``cold``.
+        burst = _COLD_BURST_LEN
+        trigger = cold / (burst - (burst - 1) * cold) if cold < 1.0 else 1.0
+        u = rng.random()
+        if u < trigger:
+            if wrong_path:
+                self._wp_burst_left = burst - 1
+            else:
+                self._cold_burst_left = burst - 1
+            return self._cold_address(rng, wrong_path)
+        u = rng.random()
+        if cold < 1.0 and u < warm / (1.0 - cold):
+            off = rng.randrange(WARM_REGION_BYTES // 8) * 8
+            return self._warm_base + off
+        off = rng.randrange(HOT_REGION_BYTES // 8) * 8
+        return self._hot_base + off
+
+    def _branch_site_bias(self, pc: int, rng: random.Random) -> float:
+        """Return (memoised) taken-probability of the branch site at pc."""
+        bias = self._branch_sites.get(pc)
+        if bias is None:
+            p = self.profile
+            if rng.random() < p.br_flaky_frac:
+                bias = 0.5
+            elif rng.random() < p.br_taken_bias:
+                bias = _STABLE_BIAS
+            else:
+                bias = 1.0 - _STABLE_BIAS
+            self._branch_sites[pc] = bias
+        return bias
+
+    def _site_target(self, pc: int, rng: random.Random) -> int:
+        """The (fixed) target of the branch site at ``pc``.
+
+        Real branches jump to one static target; memoising per site keeps
+        the BTB meaningful (a fresh random target per execution would make
+        every taken branch a target mispredict).
+        """
+        target = self._branch_targets.get(pc)
+        if target is None:
+            if rng.random() < 0.95:
+                target = self._hot_blocks[rng.randrange(len(self._hot_blocks))]
+            else:
+                target = (self._code_base
+                          + rng.randrange(self._code_size // 32) * 32)
+            self._branch_targets[pc] = target
+        return target
+
+    # -- op generation ------------------------------------------------------
+
+    def next_op(self) -> StaticOp:
+        """Generate the next correct-path instruction."""
+        rng = self._rng
+        self._instr_count += 1
+        self._phase_left -= 1
+        if self._phase_left <= 0:
+            self._next_phase()
+        op = self._make_op(rng, wrong_path=False)
+        return op
+
+    def wrong_path_op(self, pc: int) -> StaticOp:
+        """Generate a wrong-path instruction starting near ``pc``.
+
+        Wrong-path ops use an independent RNG stream so speculative fetch
+        depth never perturbs the committed trace.  They exercise the same
+        resources (queues, registers, caches) as correct-path work, which
+        is what makes wrong paths costly under resource pressure.
+        """
+        return self._make_op(self._wp_rng, wrong_path=True, wp_pc=pc)
+
+    def _draw_class(self, rng: random.Random) -> OpClass:
+        u = rng.random()
+        for threshold, op_class in self._mix_cdf:
+            if u < threshold:
+                return op_class
+        return self._mix_cdf[-1][1]
+
+    def _make_op(self, rng: random.Random, wrong_path: bool, wp_pc: int = 0) -> StaticOp:
+        p = self.profile
+        if wrong_path:
+            pc = wp_pc
+            # Wrong-path fetch reads the static layout where it exists but
+            # never mutates generator state (correct path stays identical
+            # whatever the speculation depth).
+            op_class = self._pc_class.get(pc)
+            if op_class is None:
+                op_class = self._draw_class(rng)
+        else:
+            pc = self._pc
+            self._pc += 4
+            op_class = self._pc_class.get(pc)
+            if op_class is None:
+                op_class = self._draw_class(rng)
+                self._pc_class[pc] = op_class
+
+        if op_class == OpClass.INT_ALU:
+            srcs = self._sources(rng, 1 + (rng.random() < p.two_src_prob))
+            if not wrong_path:
+                self._since_load += 1
+            return StaticOp(op_class, pc, False, srcs, latency=1)
+
+        if op_class == OpClass.FP_ALU:
+            srcs = self._sources(rng, 1 + (rng.random() < p.two_src_prob))
+            if not wrong_path:
+                self._since_load += 1
+            return StaticOp(op_class, pc, True, srcs, latency=_FP_LATENCY)
+
+        if op_class == OpClass.LOAD:
+            addr = self._mem_address(rng, wrong_path)
+            srcs = self._sources(rng, 1)
+            if not wrong_path:
+                self._since_load = 0
+            dest_fp = rng.random() < p.fp_load_frac
+            return StaticOp(op_class, pc, dest_fp, srcs, mem_addr=addr, latency=1)
+
+        if op_class == OpClass.STORE:
+            addr = self._mem_address(rng, wrong_path)
+            srcs = self._sources(rng, 2)
+            if not wrong_path:
+                self._since_load += 1
+            return StaticOp(op_class, pc, False, srcs, mem_addr=addr, latency=1)
+
+        # Branch: conditional, call, or return.
+        if not wrong_path:
+            self._since_load += 1
+        srcs = self._sources(rng, 1)
+        if wrong_path:
+            # Wrong-path control flow never redirects the real front end.
+            return StaticOp(op_class, pc, False, srcs,
+                            branch_kind=BranchKind.COND, taken=False, latency=1)
+        if self._call_stack and rng.random() < p.call_prob:
+            target = self._call_stack.pop()
+            self._pc = target
+            return StaticOp(op_class, pc, False, srcs,
+                            branch_kind=BranchKind.RETURN, taken=True,
+                            target=target, latency=1)
+        if len(self._call_stack) < _MAX_CALL_DEPTH and rng.random() < p.call_prob:
+            self._call_stack.append(pc + 4)
+            target = self._site_target(pc, rng)
+            self._pc = target
+            return StaticOp(op_class, pc, False, srcs,
+                            branch_kind=BranchKind.CALL, taken=True,
+                            target=target, latency=1)
+        bias = self._branch_site_bias(pc, rng)
+        taken = rng.random() < bias
+        target = self._site_target(pc, rng) if taken else pc + 4
+        if taken:
+            self._pc = target
+        return StaticOp(op_class, pc, False, srcs,
+                        branch_kind=BranchKind.COND, taken=taken,
+                        target=target, latency=1)
+
+
+class TraceBuffer:
+    """Replayable, windowed view over a generator's correct-path stream.
+
+    The pipeline fetches by monotonically increasing *trace index*; after a
+    squash it simply re-reads earlier indices.  Committed history is pruned
+    with :meth:`release_below` to keep memory bounded on long runs.
+    """
+
+    def __init__(self, generator: SyntheticTraceGenerator) -> None:
+        self._gen = generator
+        self._ops: List[StaticOp] = []
+        self._base = 0
+
+    @property
+    def profile(self) -> BenchmarkProfile:
+        return self._gen.profile
+
+    def get(self, index: int) -> StaticOp:
+        """Return the instruction at ``index``, generating it if needed."""
+        if index < self._base:
+            raise IndexError(
+                f"trace index {index} was pruned (base={self._base}); "
+                "release_below() was called past a live instruction"
+            )
+        while index - self._base >= len(self._ops):
+            self._ops.append(self._gen.next_op())
+        return self._ops[index - self._base]
+
+    def wrong_path_op(self, pc: int) -> StaticOp:
+        """Delegate wrong-path generation to the underlying generator."""
+        return self._gen.wrong_path_op(pc)
+
+    def prewarm_regions(self):
+        """Regions to pre-install in the caches (see the generator)."""
+        return self._gen.prewarm_regions()
+
+    def release_below(self, index: int) -> None:
+        """Drop instructions below ``index``; they can no longer be fetched."""
+        if index <= self._base:
+            return
+        drop = min(index - self._base, len(self._ops))
+        del self._ops[:drop]
+        self._base += drop
+
+    def __len__(self) -> int:
+        """Number of instructions generated so far (including pruned)."""
+        return self._base + len(self._ops)

@@ -1,0 +1,303 @@
+"""Benchmark behaviour profiles (the synthetic stand-in for SPEC2000 traces).
+
+Each profile parameterises the synthetic trace generator so that the
+resulting instruction stream exhibits the properties the paper's policies
+key off:
+
+* **instruction mix** — populates the three issue queues and the two
+  register files in realistic proportions;
+* **dependency structure** — controls exploitable ILP (how quickly a thread
+  can drain its queue entries), including a bias of sources towards recent
+  loads so cache misses actually clog the queues;
+* **branch behaviour** — fraction of hard-to-predict branch sites, which
+  sets the wrong-path resource pressure;
+* **memory footprint** — a three-region model (hot: L1-resident, warm:
+  L2-resident, cold: DRAM-resident) whose weights are tuned so single-thread
+  L2 miss rates line up with paper Table 3 (mcf 29.6%, art 18.6%, gzip 0.1%,
+  ...), plus phase alternation so threads move between "fast" and "slow"
+  phases as Section 3.1.1 and Table 5 describe.
+
+The paper classifies a benchmark as MEM when its L2 miss rate exceeds 1%
+and as ILP otherwise; `mem_class` records that published classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Byte sizes of the three synthetic memory regions.  The hot region fits
+#: comfortably in the 64KB L1D, the warm region fits in the 512KB L2 but not
+#: in L1, and the cold region fits nowhere.
+HOT_REGION_BYTES = 12 * 1024
+WARM_REGION_BYTES = 224 * 1024
+COLD_REGION_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Parameter set describing one synthetic benchmark.
+
+    Attributes:
+        name: SPEC2000 benchmark name this profile imitates.
+        suite: ``"int"`` or ``"fp"`` (drives register/queue usage: only fp
+            benchmarks touch the FP queue and FP registers, which is what
+            makes DCRA's activity classification useful, Section 3.1.2).
+        mem_class: the paper's Table 3 classification, ``"MEM"`` or ``"ILP"``.
+        l2_missrate_pct: the paper's reported L2 miss rate (Table 3), used
+            as the tuning target for the memory-region weights.
+        mix: probabilities of (int_alu, fp_alu, load, store, branch); they
+            must sum to 1.
+        fp_load_frac: fraction of loads whose destination is an FP register.
+        dep_geom_p: geometric distribution parameter for dependency
+            distances.  Larger values concentrate dependencies on very
+            recent producers (long chains, low ILP).
+        two_src_prob: probability an op has a second source operand.
+        load_dep_bias: probability that a source operand is redirected to
+            the nearest preceding load, creating load-use chains.
+        hot_frac / warm_frac / cold_frac: steady-state region weights of
+            data accesses (must sum to 1).
+        stream_frac: fraction of cold accesses that stream (stride through
+            the region) instead of hitting random lines; streaming loses
+            little to TLB misses and models array codes such as art/swim.
+        br_flaky_frac: fraction of branch *sites* with near-random outcome.
+        br_taken_bias: taken probability of well-behaved branch sites.
+        call_prob: probability a branch op is a call (a matching return is
+            emitted when the synthetic call stack unwinds).
+        code_kb: code footprint in KB (drives I-cache behaviour).
+        phase_len: mean instructions per behaviour phase.
+        mem_phase_frac: fraction of phases that are memory-intensive; in a
+            memory phase cold/warm weights are boosted, otherwise reduced,
+            yielding the fast/slow phase alternation of Table 5.
+    """
+
+    name: str
+    suite: str
+    mem_class: str
+    l2_missrate_pct: float
+    mix: Tuple[float, float, float, float, float]
+    fp_load_frac: float
+    dep_geom_p: float
+    two_src_prob: float
+    load_dep_bias: float
+    hot_frac: float
+    warm_frac: float
+    cold_frac: float
+    stream_frac: float
+    br_flaky_frac: float
+    br_taken_bias: float
+    call_prob: float
+    code_kb: int
+    phase_len: int
+    mem_phase_frac: float
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.mix) - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: instruction mix must sum to 1")
+        if abs(self.hot_frac + self.warm_frac + self.cold_frac - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: region weights must sum to 1")
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"{self.name}: suite must be 'int' or 'fp'")
+        if self.mem_class not in ("MEM", "ILP"):
+            raise ValueError(f"{self.name}: mem_class must be 'MEM' or 'ILP'")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.suite == "fp"
+
+
+def _int_mix(load: float, store: float, branch: float) -> Tuple[float, ...]:
+    """Integer-suite mix: the remainder is integer ALU work, no FP."""
+    return (1.0 - load - store - branch, 0.0, load, store, branch)
+
+
+def _fp_mix(fp: float, load: float, store: float, branch: float) -> Tuple[float, ...]:
+    """FP-suite mix: the remainder is integer (address/loop) work."""
+    return (1.0 - fp - load - store - branch, fp, load, store, branch)
+
+
+def _profile(
+    name: str,
+    suite: str,
+    mem_class: str,
+    l2_pct: float,
+    mix: Tuple[float, ...],
+    *,
+    fp_load_frac: float = 0.0,
+    dep_geom_p: float = 0.30,
+    two_src_prob: float = 0.45,
+    load_dep_bias: float = 0.25,
+    cold: float = 0.0,
+    warm: float = 0.02,
+    stream: float = 0.0,
+    flaky: float = 0.10,
+    taken: float = 0.60,
+    call: float = 0.04,
+    code_kb: int = 32,
+    phase_len: int = 3000,
+    mem_phase_frac: float = 0.5,
+) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        suite=suite,
+        mem_class=mem_class,
+        l2_missrate_pct=l2_pct,
+        mix=tuple(mix),  # type: ignore[arg-type]
+        fp_load_frac=fp_load_frac,
+        dep_geom_p=dep_geom_p,
+        two_src_prob=two_src_prob,
+        load_dep_bias=load_dep_bias,
+        hot_frac=1.0 - warm - cold,
+        warm_frac=warm,
+        cold_frac=cold,
+        stream_frac=stream,
+        br_flaky_frac=flaky,
+        br_taken_bias=taken,
+        call_prob=call,
+        code_kb=code_kb,
+        phase_len=phase_len,
+        mem_phase_frac=mem_phase_frac,
+    )
+
+
+# ---------------------------------------------------------------------------
+# MEM benchmarks (paper Table 3a): L2 miss rate above 1%.
+# ---------------------------------------------------------------------------
+
+_MEM_PROFILES = [
+    # mcf: pointer chasing over a huge graph; almost permanently slow.
+    _profile(
+        "mcf", "int", "MEM", 29.6, _int_mix(0.34, 0.10, 0.20),
+        cold=0.26, warm=0.06, stream=0.05, dep_geom_p=0.45,
+        load_dep_bias=0.35, flaky=0.22, phase_len=1200, mem_phase_frac=0.9,
+    ),
+    # twolf: placement/routing, moderate miss rate, branchy.
+    _profile(
+        "twolf", "int", "MEM", 2.9, _int_mix(0.28, 0.13, 0.16),
+        cold=0.018, warm=0.06, dep_geom_p=0.40, load_dep_bias=0.35,
+        flaky=0.18, phase_len=1200, mem_phase_frac=0.6,
+    ),
+    # vpr: similar structure to twolf, slightly better locality.
+    _profile(
+        "vpr", "int", "MEM", 1.9, _int_mix(0.30, 0.12, 0.14),
+        cold=0.016, warm=0.05, dep_geom_p=0.40, load_dep_bias=0.35,
+        flaky=0.16, phase_len=1200, mem_phase_frac=0.6,
+    ),
+    # parser: dictionary walks, short phases.
+    _profile(
+        "parser", "int", "MEM", 1.0, _int_mix(0.26, 0.12, 0.18),
+        cold=0.014, warm=0.04, dep_geom_p=0.42, load_dep_bias=0.40,
+        flaky=0.15, phase_len=1000, mem_phase_frac=0.55,
+    ),
+    # art: streaming neural-net simulation over arrays far larger than L2.
+    _profile(
+        "art", "fp", "MEM", 18.6, _fp_mix(0.28, 0.30, 0.08, 0.08),
+        fp_load_frac=0.85, cold=0.14, warm=0.04, stream=0.85,
+        dep_geom_p=0.25, load_dep_bias=0.25, flaky=0.04, taken=0.80,
+        phase_len=1500, mem_phase_frac=0.85,
+    ),
+    # swim: shallow-water grid sweeps, heavily streaming.
+    _profile(
+        "swim", "fp", "MEM", 11.4, _fp_mix(0.32, 0.28, 0.10, 0.05),
+        fp_load_frac=0.90, cold=0.092, warm=0.04, stream=0.95,
+        dep_geom_p=0.22, load_dep_bias=0.30, flaky=0.02, taken=0.90,
+        phase_len=2000, mem_phase_frac=0.8,
+    ),
+    # lucas: FFT-style strides with large footprint.
+    _profile(
+        "lucas", "fp", "MEM", 7.47, _fp_mix(0.34, 0.26, 0.10, 0.04),
+        fp_load_frac=0.90, cold=0.055, warm=0.04, stream=0.75,
+        dep_geom_p=0.25, load_dep_bias=0.30, flaky=0.02, taken=0.90,
+        phase_len=1500, mem_phase_frac=0.75,
+    ),
+    # equake: sparse matrix-vector work, mixed random/stream accesses.
+    _profile(
+        "equake", "fp", "MEM", 4.72, _fp_mix(0.26, 0.30, 0.09, 0.08),
+        fp_load_frac=0.80, cold=0.032, warm=0.05, stream=0.50,
+        dep_geom_p=0.32, load_dep_bias=0.40, flaky=0.06, taken=0.75,
+        phase_len=1200, mem_phase_frac=0.7,
+    ),
+]
+
+# ---------------------------------------------------------------------------
+# ILP benchmarks (paper Table 3b): L2 miss rate at or below ~1%.
+# ---------------------------------------------------------------------------
+
+_ILP_PROFILES = [
+    _profile(
+        "gap", "int", "ILP", 0.7, _int_mix(0.26, 0.12, 0.14),
+        cold=0.005, warm=0.025, dep_geom_p=0.33, flaky=0.10,
+    ),
+    _profile(
+        "vortex", "int", "ILP", 0.3, _int_mix(0.28, 0.16, 0.14),
+        cold=0.003, warm=0.022, dep_geom_p=0.33, flaky=0.08, code_kb=96,
+    ),
+    _profile(
+        "gcc", "int", "ILP", 0.3, _int_mix(0.26, 0.14, 0.17),
+        cold=0.003, warm=0.025, dep_geom_p=0.35, flaky=0.12, code_kb=128,
+    ),
+    _profile(
+        "perl", "int", "ILP", 0.1, _int_mix(0.27, 0.15, 0.16),
+        cold=0.001, warm=0.02, dep_geom_p=0.35, flaky=0.10, code_kb=96,
+    ),
+    _profile(
+        "bzip2", "int", "ILP", 0.1, _int_mix(0.28, 0.10, 0.13),
+        cold=0.001, warm=0.02, dep_geom_p=0.30, flaky=0.11,
+    ),
+    _profile(
+        "crafty", "int", "ILP", 0.1, _int_mix(0.26, 0.09, 0.12),
+        cold=0.001, warm=0.015, dep_geom_p=0.28, flaky=0.09,
+    ),
+    _profile(
+        "gzip", "int", "ILP", 0.1, _int_mix(0.24, 0.10, 0.13),
+        cold=0.0006, warm=0.018, dep_geom_p=0.28, flaky=0.09, code_kb=16,
+    ),
+    _profile(
+        "eon", "int", "ILP", 0.0, _int_mix(0.26, 0.15, 0.11),
+        cold=0.0005, warm=0.012, dep_geom_p=0.26, flaky=0.06, code_kb=48,
+    ),
+    _profile(
+        "apsi", "fp", "ILP", 0.9, _fp_mix(0.30, 0.26, 0.12, 0.05),
+        fp_load_frac=0.85, cold=0.0065, warm=0.03, stream=0.60,
+        dep_geom_p=0.26, flaky=0.03, taken=0.85,
+    ),
+    _profile(
+        "wupwise", "fp", "ILP", 0.9, _fp_mix(0.32, 0.24, 0.11, 0.04),
+        fp_load_frac=0.90, cold=0.006, warm=0.03, stream=0.70,
+        dep_geom_p=0.24, flaky=0.02, taken=0.90,
+    ),
+    _profile(
+        "mesa", "fp", "ILP", 0.1, _fp_mix(0.24, 0.22, 0.13, 0.08),
+        fp_load_frac=0.70, cold=0.001, warm=0.02, stream=0.40,
+        dep_geom_p=0.28, flaky=0.05, taken=0.75,
+    ),
+    _profile(
+        "fma3d", "fp", "ILP", 0.0, _fp_mix(0.30, 0.24, 0.12, 0.05),
+        fp_load_frac=0.85, cold=0.0005, warm=0.015, stream=0.50,
+        dep_geom_p=0.26, flaky=0.03, taken=0.85,
+    ),
+]
+
+#: All benchmark profiles keyed by name.
+ALL_BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    p.name: p for p in _MEM_PROFILES + _ILP_PROFILES
+}
+
+#: Names of memory-bounded benchmarks (paper Table 3a).
+MEM_BENCHMARKS = tuple(p.name for p in _MEM_PROFILES)
+
+#: Names of high-ILP benchmarks (paper Table 3b).
+ILP_BENCHMARKS = tuple(p.name for p in _ILP_PROFILES)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by SPEC2000 name.
+
+    Raises:
+        KeyError: if the benchmark is not part of the paper's suite.
+    """
+    try:
+        return ALL_BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

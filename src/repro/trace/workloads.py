@@ -1,0 +1,122 @@
+"""Multiprogrammed workloads (paper Table 4).
+
+The paper evaluates 2-, 3- and 4-thread workloads of three types — ILP
+(only high-ILP threads), MEM (only memory-bounded threads) and MIX — with
+four randomly drawn groups per (thread count, type) cell to avoid bias.
+This module reproduces that table verbatim and provides helpers to
+instantiate the corresponding synthetic thread set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.trace.profiles import BenchmarkProfile, get_profile
+
+#: Workload types used throughout the paper.
+WORKLOAD_TYPES = ("ILP", "MIX", "MEM")
+
+#: Paper Table 4 — workload groups keyed by (num_threads, type); the four
+#: entries per key are the four groups whose averages the paper plots.
+WORKLOAD_TABLE: Dict[Tuple[int, str], Tuple[Tuple[str, ...], ...]] = {
+    (2, "ILP"): (
+        ("gzip", "bzip2"), ("wupwise", "gcc"), ("fma3d", "mesa"), ("apsi", "gcc"),
+    ),
+    (2, "MIX"): (
+        ("gzip", "twolf"), ("wupwise", "twolf"), ("lucas", "crafty"),
+        ("equake", "bzip2"),
+    ),
+    (2, "MEM"): (
+        ("mcf", "twolf"), ("art", "vpr"), ("art", "twolf"), ("swim", "mcf"),
+    ),
+    (3, "ILP"): (
+        ("gcc", "eon", "gap"), ("gcc", "apsi", "gzip"),
+        ("crafty", "perl", "wupwise"), ("mesa", "vortex", "fma3d"),
+    ),
+    (3, "MIX"): (
+        ("twolf", "eon", "vortex"), ("lucas", "gap", "apsi"),
+        ("equake", "perl", "gcc"), ("mcf", "apsi", "fma3d"),
+    ),
+    (3, "MEM"): (
+        ("mcf", "twolf", "vpr"), ("swim", "twolf", "equake"),
+        ("art", "twolf", "lucas"), ("equake", "vpr", "swim"),
+    ),
+    (4, "ILP"): (
+        ("gzip", "bzip2", "eon", "gcc"), ("mesa", "gzip", "fma3d", "bzip2"),
+        ("crafty", "fma3d", "apsi", "vortex"), ("apsi", "gap", "wupwise", "perl"),
+    ),
+    (4, "MIX"): (
+        ("gzip", "twolf", "bzip2", "mcf"), ("mcf", "mesa", "lucas", "gzip"),
+        ("art", "gap", "twolf", "crafty"), ("swim", "fma3d", "vpr", "bzip2"),
+    ),
+    (4, "MEM"): (
+        ("mcf", "twolf", "vpr", "parser"), ("art", "twolf", "equake", "mcf"),
+        ("equake", "parser", "mcf", "lucas"), ("art", "mcf", "vpr", "swim"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multiprogrammed workload: an ordered set of benchmarks.
+
+    Attributes:
+        benchmarks: benchmark names, one per hardware context.
+        wtype: ``"ILP"``, ``"MIX"`` or ``"MEM"`` (paper terminology).
+        group: 1-based group index within the (thread count, type) cell.
+    """
+
+    benchmarks: Tuple[str, ...]
+    wtype: str
+    group: int
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def name(self) -> str:
+        """Identifier such as ``MIX2.g1 (gzip+twolf)``."""
+        return (
+            f"{self.wtype}{self.num_threads}.g{self.group} "
+            f"({'+'.join(self.benchmarks)})"
+        )
+
+    def profiles(self) -> List[BenchmarkProfile]:
+        """Resolve benchmark names to their synthetic profiles."""
+        return [get_profile(b) for b in self.benchmarks]
+
+
+def make_workload(num_threads: int, wtype: str, group: int) -> Workload:
+    """Build one paper workload.
+
+    Args:
+        num_threads: 2, 3 or 4.
+        wtype: ``"ILP"``, ``"MIX"`` or ``"MEM"``.
+        group: group number, 1 through 4 (paper Table 4 columns).
+    """
+    if wtype not in WORKLOAD_TYPES:
+        raise ValueError(f"workload type must be one of {WORKLOAD_TYPES}")
+    try:
+        groups = WORKLOAD_TABLE[(num_threads, wtype)]
+    except KeyError:
+        raise ValueError(
+            f"no workloads defined for {num_threads} threads"
+        ) from None
+    if not 1 <= group <= len(groups):
+        raise ValueError(f"group must be in 1..{len(groups)}")
+    return Workload(groups[group - 1], wtype, group)
+
+
+def workload_groups(num_threads: int, wtype: str) -> List[Workload]:
+    """All four groups of one (thread count, type) cell."""
+    return [make_workload(num_threads, wtype, g) for g in (1, 2, 3, 4)]
+
+
+def all_workloads() -> Iterator[Workload]:
+    """Iterate the full 36-workload evaluation set of the paper."""
+    for num_threads in (2, 3, 4):
+        for wtype in WORKLOAD_TYPES:
+            for workload in workload_groups(num_threads, wtype):
+                yield workload

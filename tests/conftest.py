@@ -1,0 +1,28 @@
+"""Shared fixtures: small, fast configurations for pipeline tests."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+
+
+@pytest.fixture
+def small_config() -> SMTConfig:
+    """A scaled-down machine: quick to simulate, still exercises limits."""
+    return SMTConfig(
+        int_iq_size=16,
+        fp_iq_size=16,
+        ls_iq_size=16,
+        rob_size=64,
+        int_physical_registers=128,
+        fp_physical_registers=128,
+        fetch_queue_size=16,
+        l2_latency=10,
+        memory_latency=50,
+        tlb_penalty=20,
+    )
+
+
+@pytest.fixture
+def baseline_config() -> SMTConfig:
+    """The paper's Table 2 baseline."""
+    return SMTConfig()

@@ -1,0 +1,52 @@
+"""Tests for the terminal bar-chart helpers."""
+
+import pytest
+
+from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart([("DCRA", 8.1), ("SRA", 0.0)], unit="%")
+        assert "DCRA" in chart and "SRA" in chart
+        assert "#" in chart
+        assert "8.10%" in chart
+
+    def test_longest_value_gets_longest_bar(self):
+        chart = bar_chart([("a", 1.0), ("b", 4.0)], width=20)
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("#") > line_a.count("#")
+
+    def test_negative_values_drawn_leftward(self):
+        chart = bar_chart([("win", 10.0), ("loss", -5.0)])
+        loss_line = chart.splitlines()[1]
+        assert "<" in loss_line
+
+    def test_all_equal_values_no_crash(self):
+        chart = bar_chart([("a", 2.0), ("b", 2.0)])
+        assert chart.count("|") == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("much-longer-label", 2.0)])
+        bars = [line.index("|") for line in chart.splitlines()]
+        assert len(set(bars)) == 1
+
+
+class TestGroupedBarChart:
+    def test_groups_share_scale(self):
+        chart = grouped_bar_chart({
+            "MEM2": [("DCRA", 27.8), ("ICOUNT", 0.0)],
+            "ILP2": [("DCRA", 8.1), ("ICOUNT", 0.0)],
+        }, unit="%")
+        assert "MEM2:" in chart and "ILP2:" in chart
+        mem_line = [l for l in chart.splitlines() if "27.80" in l][0]
+        ilp_line = [l for l in chart.splitlines() if "8.10" in l][0]
+        assert mem_line.count("#") > ilp_line.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})

@@ -1,0 +1,118 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.mem.cache import Cache
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache("T", size, assoc, line)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = make_cache(64 * 1024, 2, 64)
+        assert cache.num_sets == 512
+        assert cache.assoc == 2
+        assert cache.line_bytes == 64
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            Cache("T", 1024, 2, 48)
+
+    def test_rejects_size_not_multiple(self):
+        with pytest.raises(ValueError):
+            Cache("T", 1000, 2, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache("T", 3 * 64 * 2, 2, 64)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000 + 63)  # same 64B line
+        assert not cache.lookup(0x1000 + 64)  # next line
+
+    def test_line_address(self):
+        cache = make_cache()
+        assert cache.line_address(0x1234) == 0x1200
+
+    def test_fill_idempotent(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.fill(0x40) is None
+        assert cache.occupancy() == 1
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        # 1KB, 2-way, 64B lines -> 8 sets; addresses 0, 512, 1024 share set 0.
+        cache = make_cache(1024, 2, 64)
+        cache.fill(0)
+        cache.fill(512)
+        victim = cache.fill(1024)  # evicts line 0 (LRU)
+        assert victim == 0
+        assert not cache.contains(0)
+        assert cache.contains(512)
+        assert cache.contains(1024)
+
+    def test_lookup_refreshes_lru(self):
+        cache = make_cache(1024, 2, 64)
+        cache.fill(0)
+        cache.fill(512)
+        cache.lookup(0)           # 0 becomes MRU
+        victim = cache.fill(1024)
+        assert victim == 512
+
+    def test_lookup_without_lru_update(self):
+        cache = make_cache(1024, 2, 64)
+        cache.fill(0)
+        cache.fill(512)
+        cache.lookup(0, update_lru=False)
+        victim = cache.fill(1024)
+        assert victim == 0
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = make_cache(1024, 2, 64)
+        for i in range(100):
+            cache.fill(i * 64)
+        assert cache.occupancy() <= 1024 // 64
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+
+    def test_invalidate_absent(self):
+        assert not make_cache().invalidate(0x1000)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_miss_rate_empty(self):
+        assert make_cache().miss_rate() == 0.0
+
+    def test_contains_does_not_count(self):
+        cache = make_cache()
+        cache.contains(0)
+        assert cache.accesses == 0

@@ -1,0 +1,100 @@
+"""Unit tests for DCRA thread classification (phases and activity)."""
+
+import pytest
+
+from repro.core.classification import ActivityTracker, ThreadClass, classify
+from repro.pipeline.resources import Resource
+
+
+class TestThreadClass:
+    def test_classify_combinations(self):
+        assert classify(slow=True, active=True) == ThreadClass.SLOW_ACTIVE
+        assert classify(slow=True, active=False) == ThreadClass.SLOW_INACTIVE
+        assert classify(slow=False, active=True) == ThreadClass.FAST_ACTIVE
+        assert classify(slow=False, active=False) == ThreadClass.FAST_INACTIVE
+
+    def test_predicates(self):
+        assert ThreadClass.SLOW_ACTIVE.is_slow
+        assert ThreadClass.SLOW_ACTIVE.is_active
+        assert not ThreadClass.FAST_INACTIVE.is_slow
+        assert not ThreadClass.FAST_INACTIVE.is_active
+
+    def test_paper_abbreviations(self):
+        assert ThreadClass.FAST_ACTIVE.value == "FA"
+        assert ThreadClass.SLOW_INACTIVE.value == "SI"
+
+
+class TestActivityTracker:
+    def test_starts_active(self):
+        tracker = ActivityTracker(2, window=4)
+        assert tracker.is_active(Resource.IQ_FP, 0)
+        assert tracker.is_active(Resource.REG_FP, 1)
+
+    def test_integer_resources_always_active(self):
+        tracker = ActivityTracker(1, window=1)
+        for _ in range(5):
+            tracker.tick()
+        assert tracker.is_active(Resource.IQ_INT, 0)
+        assert tracker.is_active(Resource.REG_INT, 0)
+        assert tracker.is_active(Resource.IQ_LS, 0)
+
+    def test_decay_to_inactive(self):
+        tracker = ActivityTracker(1, window=3)
+        for _ in range(3):
+            tracker.tick()
+        assert not tracker.is_active(Resource.IQ_FP, 0)
+
+    def test_use_resets_counter(self):
+        tracker = ActivityTracker(1, window=3)
+        tracker.tick()
+        tracker.tick()
+        tracker.note_use(Resource.IQ_FP, 0)
+        tracker.tick()
+        assert tracker.counter(Resource.IQ_FP, 0) == 3
+        assert tracker.is_active(Resource.IQ_FP, 0)
+
+    def test_activity_is_per_resource(self):
+        tracker = ActivityTracker(1, window=2)
+        tracker.note_use(Resource.IQ_FP, 0)
+        tracker.tick()
+        tracker.tick()
+        # REG_FP was never used: inactive.  IQ_FP was used one tick ago.
+        assert tracker.is_active(Resource.IQ_FP, 0)
+        assert not tracker.is_active(Resource.REG_FP, 0)
+
+    def test_activity_is_per_thread(self):
+        tracker = ActivityTracker(2, window=2)
+        tracker.note_use(Resource.IQ_FP, 0)
+        tracker.tick()
+        tracker.tick()
+        tracker.tick()
+        assert not tracker.is_active(Resource.IQ_FP, 0)
+        assert not tracker.is_active(Resource.IQ_FP, 1)
+
+    def test_reuse_reactivates(self):
+        tracker = ActivityTracker(1, window=2)
+        for _ in range(3):
+            tracker.tick()
+        assert not tracker.is_active(Resource.IQ_FP, 0)
+        tracker.note_use(Resource.IQ_FP, 0)
+        tracker.tick()
+        assert tracker.is_active(Resource.IQ_FP, 0)
+
+    def test_active_threads_helper(self):
+        tracker = ActivityTracker(3, window=1)
+        tracker.note_use(Resource.IQ_FP, 1)
+        tracker.tick()
+        assert tracker.active_threads(Resource.IQ_FP, range(3)) == [1]
+        assert tracker.active_threads(Resource.IQ_INT, range(3)) == [0, 1, 2]
+
+    def test_counter_for_int_resource_raises(self):
+        tracker = ActivityTracker(1)
+        with pytest.raises(ValueError):
+            tracker.counter(Resource.IQ_INT, 0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ActivityTracker(1, window=0)
+
+    def test_paper_default_window(self):
+        assert ActivityTracker(1).window == 256

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip+twolf"])
+        args.func  # bound
+        assert args.benchmarks == ["gzip", "twolf"]
+        assert args.policy == "DCRA"
+        assert args.cycles == 15_000
+
+    def test_compare_policies(self):
+        args = build_parser().parse_args(
+            ["compare", "gzip", "--policies", "ICOUNT", "SRA"])
+        assert args.policies == ["ICOUNT", "SRA"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quake3"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gzip", "--policy", "ORACLE"])
+
+
+class TestCommands:
+    def test_policies_listing(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "DCRA" in out and "ICOUNT" in out
+
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "29.60" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "MEM2.g1" in out
+        assert out.count("\n") == 36
+
+    def test_run_command(self, capsys):
+        assert main(["run", "gzip", "--cycles", "1500",
+                     "--warmup", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "throughput" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "gzip", "--policies", "ICOUNT", "SRA",
+                     "--cycles", "1500", "--warmup", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "ICOUNT" in out and "SRA" in out and "Hmean" in out

@@ -1,0 +1,130 @@
+"""Smoke tests for the experiment drivers (tiny budgets).
+
+These check that every driver runs end to end, returns well-formed rows
+and formats cleanly; the quantitative shape checks live in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness import experiments as exp
+
+CYCLES = 2_000
+WARMUP = 400
+CELLS = ((2, "MIX"),)
+
+
+class TestFigure2:
+    def test_rows_and_formatting(self):
+        rows = exp.figure2_resource_sensitivity(
+            cycles=CYCLES, warmup=WARMUP, fractions=(0.25, 1.0),
+            resources=("int_iq", "fp_regs"))
+        assert {r.resource for r in rows} == {"int_iq", "fp_regs"}
+        for row in rows:
+            assert row.relative_ipc >= 0
+        table = exp.format_figure2(rows)
+        assert "int_iq" in table
+
+    def test_full_fraction_is_unity(self):
+        rows = exp.figure2_resource_sensitivity(
+            cycles=CYCLES, warmup=WARMUP, fractions=(1.0,),
+            resources=("ls_iq",))
+        assert rows[0].relative_ipc == pytest.approx(1.0)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            exp._fig2_config_for("l3_cache", 0.5)
+
+    def test_config_scaling(self):
+        config = exp._fig2_config_for("int_iq", 0.5)
+        assert config.int_iq_size == 16
+        config = exp._fig2_config_for("int_regs", 0.5)
+        assert config.int_physical_registers == 32 + 80
+
+
+class TestTable3:
+    def test_rows(self):
+        rows = exp.table3_miss_rates(cycles=CYCLES, warmup=WARMUP,
+                                     benchmarks=("gzip", "mcf"))
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["mcf"].paper_l2_missrate_pct == 29.6
+        assert by_name["mcf"].measured_l2_missrate_pct > \
+            by_name["gzip"].measured_l2_missrate_pct
+        assert "mcf" in exp.format_table3(rows)
+
+    def test_measured_class_rule(self):
+        row = exp.Table3Row("x", "int", "MEM", 5.0, 0.4)
+        assert row.measured_class == "ILP"
+        row = exp.Table3Row("x", "int", "MEM", 5.0, 4.0)
+        assert row.measured_class == "MEM"
+
+
+class TestTable5:
+    def test_rows_sum_to_hundred(self):
+        rows = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP)
+        assert [r.wtype for r in rows] == ["ILP", "MIX", "MEM"]
+        for row in rows:
+            total = row.slow_slow_pct + row.mixed_pct + row.fast_fast_pct
+            assert total == pytest.approx(100.0)
+        assert "SLOW-SLOW" in exp.format_table5(rows)
+
+
+class TestPolicyComparison:
+    def test_compare_policies_shape(self):
+        results = exp.compare_policies(["ICOUNT", "SRA"], cells=CELLS,
+                                       cycles=CYCLES, warmup=WARMUP)
+        assert len(results) == 2
+        assert {r.policy for r in results} == {"ICOUNT", "SRA"}
+        assert "ICOUNT" in exp.format_cell_results(results)
+
+    def test_improvements_over(self):
+        results = exp.compare_policies(["ICOUNT", "DCRA"], cells=CELLS,
+                                       cycles=CYCLES, warmup=WARMUP)
+        rows = exp.improvements_over(results)
+        assert len(rows) == 1
+        assert rows[0].baseline == "ICOUNT"
+        assert "ICOUNT" in exp.format_improvements(rows)
+
+    def test_improvements_require_subject(self):
+        results = exp.compare_policies(["ICOUNT", "SRA"], cells=CELLS,
+                                       cycles=CYCLES, warmup=WARMUP)
+        with pytest.raises(ValueError):
+            exp.improvements_over(results, subject="DCRA")
+
+    def test_figure4_driver(self):
+        rows = exp.figure4_dcra_vs_static(cells=CELLS, cycles=CYCLES,
+                                          warmup=WARMUP)
+        assert all(r.baseline == "SRA" for r in rows)
+
+
+class TestSweeps:
+    def test_figure6_rows(self):
+        rows = exp.figure6_register_sweep(
+            register_sizes=(352,), cells=CELLS,
+            cycles=CYCLES, warmup=WARMUP)
+        baselines = {r.baseline for r in rows}
+        assert baselines == {"ICOUNT", "FLUSH++", "DG", "SRA"}
+        assert "registers" in exp.format_sweep(rows, "registers")
+
+    def test_figure7_rows_and_factor_selection(self):
+        rows = exp.figure7_latency_sweep(
+            latencies=((100, 10),), cells=CELLS,
+            cycles=CYCLES, warmup=WARMUP)
+        assert {r.parameter for r in rows} == {100}
+
+    def test_dcra_for_latency_factors(self):
+        name, kwargs = exp.dcra_for_latency(100)
+        assert name == "DCRA"
+        config = kwargs["config"]
+        assert config.iq_sharing_factor(1, 1) == pytest.approx(0.5)
+        name, kwargs = exp.dcra_for_latency(500)
+        assert kwargs["config"].iq_sharing_factor(1, 1) == 0.0
+
+
+class TestText52:
+    def test_rows(self):
+        rows = exp.text52_frontend_and_mlp(cells=CELLS, cycles=CYCLES,
+                                           warmup=WARMUP)
+        assert {r.policy for r in rows} == {"FLUSH++", "DCRA"}
+        for row in rows:
+            assert row.fetched_per_commit > 0
+        assert "fetch/commit" in exp.format_text52(rows)

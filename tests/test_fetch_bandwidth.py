@@ -1,0 +1,65 @@
+"""Tests for fetch-bandwidth arbitration (ICOUNT.2.8 behaviour)."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.basic import IcountPolicy, RoundRobinPolicy
+from repro.trace.profiles import get_profile
+
+
+def build(num_threads, policy=None, **cfg):
+    benchmarks = ["gzip", "eon", "bzip2", "crafty"][:num_threads]
+    return SMTProcessor(SMTConfig(**cfg),
+                        [get_profile(b) for b in benchmarks],
+                        policy or IcountPolicy(), seed=2)
+
+
+def fetchers_per_cycle(processor, cycles):
+    """Count how many distinct threads fetch each cycle."""
+    counts = []
+    fetched_before = [0] * processor.num_threads
+
+    def hook(proc):
+        now = [t.stats.fetched for t in proc.threads]
+        counts.append(sum(1 for a, b in zip(fetched_before, now) if b > a))
+        fetched_before[:] = now
+
+    processor.cycle_hooks.append(hook)
+    processor.run(cycles)
+    return counts
+
+
+class TestFetchArbitration:
+    def test_at_most_two_threads_fetch_per_cycle(self):
+        processor = build(4)
+        counts = fetchers_per_cycle(processor, 300)
+        assert max(counts) <= processor.config.fetch_threads
+
+    def test_fetch_width_bounds_total(self):
+        processor = build(2)
+        total_before = 0
+
+        def hook(proc, state={"last": 0}):
+            now = sum(t.stats.fetched for t in proc.threads)
+            assert now - state["last"] <= proc.config.fetch_width
+            state["last"] = now
+
+        processor.cycle_hooks.append(hook)
+        processor.run(300)
+
+    def test_single_fetch_thread_configuration(self):
+        processor = build(2, fetch_threads=1)
+        counts = fetchers_per_cycle(processor, 300)
+        assert max(counts) <= 1
+
+    def test_full_fetch_queue_blocks_thread(self):
+        processor = build(1, fetch_queue_size=8)
+        processor.run(200)
+        assert len(processor.threads[0].fetch_queue) <= 8
+
+    def test_all_threads_eventually_fetch(self):
+        processor = build(4, policy=RoundRobinPolicy())
+        processor.run(500)
+        for thread in processor.threads:
+            assert thread.stats.fetched > 0

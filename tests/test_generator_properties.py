@@ -1,0 +1,70 @@
+"""Property-based tests for the synthetic trace generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import BranchKind, OpClass
+from repro.trace.generator import SyntheticTraceGenerator
+from repro.trace.profiles import ALL_BENCHMARKS, get_profile
+
+benchmark_names = st.sampled_from(sorted(ALL_BENCHMARKS))
+seeds = st.integers(0, 2**31)
+
+
+class TestStreamWellFormedness:
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_ops_are_well_formed(self, name, seed):
+        generator = SyntheticTraceGenerator(get_profile(name), seed=seed)
+        for _ in range(300):
+            op = generator.next_op()
+            assert op.pc >= generator._code_base
+            if op.op_class in (OpClass.LOAD, OpClass.STORE):
+                assert op.mem_addr is not None
+                assert op.mem_addr >= generator._data_base
+            else:
+                assert op.mem_addr is None
+            if op.op_class == OpClass.BRANCH:
+                assert op.branch_kind != BranchKind.NONE
+                if op.taken:
+                    assert op.target > 0
+            for dist in op.src_dists:
+                assert dist >= 1
+
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_fp_only_from_fp_suites(self, name, seed):
+        profile = get_profile(name)
+        generator = SyntheticTraceGenerator(profile, seed=seed)
+        for _ in range(300):
+            op = generator.next_op()
+            if profile.suite == "int":
+                assert op.op_class != OpClass.FP_ALU
+                assert not op.dest_is_fp
+
+    @given(name=benchmark_names, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_determinism_under_interleaved_wrong_path(self, name, seed):
+        reference = SyntheticTraceGenerator(get_profile(name), seed=seed)
+        probed = SyntheticTraceGenerator(get_profile(name), seed=seed)
+        for step in range(200):
+            if step % 7 == 0:
+                probed.wrong_path_op(0x4000 + step * 4)
+            a = reference.next_op()
+            b = probed.next_op()
+            assert (a.pc, a.op_class, a.mem_addr, a.src_dists, a.taken) == \
+                (b.pc, b.op_class, b.mem_addr, b.src_dists, b.taken)
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_pc_continuity(self, seed):
+        """PCs advance by 4 except across taken branches."""
+        generator = SyntheticTraceGenerator(get_profile("gzip"), seed=seed)
+        previous = None
+        for _ in range(400):
+            op = generator.next_op()
+            if previous is not None:
+                if previous.op_class == OpClass.BRANCH and previous.taken:
+                    assert op.pc == previous.target
+                else:
+                    assert op.pc == previous.pc + 4
+            previous = op

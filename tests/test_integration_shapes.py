@@ -1,0 +1,149 @@
+"""End-to-end behavioural shape tests.
+
+Fast (but not instant) checks that the simulated system exhibits the
+qualitative behaviours the paper's argument rests on.  Quantitative
+paper-vs-measured comparisons live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import (
+    SMTConfig,
+    SMTProcessor,
+    get_profile,
+    make_policy,
+    run_benchmarks,
+)
+
+CYCLES = 6_000
+WARMUP = 1_500
+
+
+def ipc_of(benchmark, **kwargs):
+    result = run_benchmarks([benchmark], "ICOUNT", cycles=CYCLES,
+                            warmup=WARMUP, **kwargs)
+    return result.threads[0].ipc
+
+
+class TestBenchmarkCharacter:
+    def test_mem_benchmarks_slower_than_ilp(self):
+        assert ipc_of("mcf") < ipc_of("gzip")
+        assert ipc_of("art") < ipc_of("eon")
+
+    def test_mem_benchmarks_mostly_slow_phase(self):
+        result = run_benchmarks(["mcf"], "ICOUNT", cycles=CYCLES,
+                                warmup=WARMUP)
+        assert result.threads[0].slow_cycle_frac > 0.7
+
+    def test_ilp_benchmarks_mostly_fast_phase(self):
+        result = run_benchmarks(["eon"], "ICOUNT", cycles=CYCLES,
+                                warmup=WARMUP)
+        assert result.threads[0].slow_cycle_frac < 0.7
+
+    def test_l2_missrate_ordering_matches_table3(self):
+        rates = {}
+        for name in ("mcf", "swim", "twolf", "gzip"):
+            result = run_benchmarks([name], "ICOUNT", cycles=CYCLES,
+                                    warmup=WARMUP)
+            rates[name] = result.threads[0].l2_missrate_pct
+        assert rates["mcf"] > rates["swim"] > rates["twolf"] > rates["gzip"]
+
+    def test_fp_benchmark_uses_fp_resources(self):
+        from repro.pipeline.resources import Resource
+        processor = SMTProcessor(SMTConfig(), [get_profile("swim")],
+                                 make_policy("ICOUNT"), seed=1)
+        fp_seen = [0]
+        processor.cycle_hooks.append(
+            lambda p: fp_seen.__setitem__(
+                0, fp_seen[0] + p.resources.usage(Resource.IQ_FP, 0)))
+        processor.run(2000)
+        assert fp_seen[0] > 0
+
+    def test_int_benchmark_never_uses_fp_resources(self):
+        from repro.pipeline.resources import Resource
+        processor = SMTProcessor(SMTConfig(), [get_profile("gzip")],
+                                 make_policy("ICOUNT"), seed=1)
+        processor.run(2000)
+        assert processor.resources.usage(Resource.IQ_FP, 0) == 0
+        assert processor.resources.usage(Resource.REG_FP, 0) == 0
+
+
+class TestMonopolizationStory:
+    """The paper's motivating observation: under ICOUNT a missing thread
+    camps on shared resources; DCRA caps it and the co-runner speeds up."""
+
+    def _gzip_ipc_with_mcf(self, policy):
+        result = run_benchmarks(["mcf", "gzip"], policy, cycles=CYCLES,
+                                warmup=WARMUP)
+        return result.threads[1].ipc
+
+    def test_dcra_protects_fast_thread(self):
+        assert (self._gzip_ipc_with_mcf("DCRA")
+                > self._gzip_ipc_with_mcf("ICOUNT") * 1.1)
+
+    def test_mcf_holds_fewer_registers_under_dcra(self):
+        from repro.pipeline.resources import Resource
+
+        def avg_mcf_regs(policy_name):
+            processor = SMTProcessor(
+                SMTConfig(),
+                [get_profile("mcf"), get_profile("gzip")],
+                make_policy(policy_name), seed=1)
+            total = [0]
+            processor.cycle_hooks.append(
+                lambda p: total.__setitem__(
+                    0, total[0] + p.resources.usage(Resource.REG_INT, 0)))
+            processor.run(CYCLES)
+            return total[0] / CYCLES
+
+        assert avg_mcf_regs("DCRA") < avg_mcf_regs("ICOUNT") * 0.95
+
+
+class TestPolicyCharacter:
+    def test_dg_starves_memory_thread(self):
+        """DG gates on every L1 miss — harsher on MEM threads than DCRA."""
+        dg = run_benchmarks(["mcf", "gzip"], "DG", cycles=CYCLES,
+                            warmup=WARMUP)
+        dcra = run_benchmarks(["mcf", "gzip"], "DCRA", cycles=CYCLES,
+                              warmup=WARMUP)
+        assert dg.threads[0].ipc <= dcra.threads[0].ipc * 1.2
+
+    def test_flush_increases_frontend_activity(self):
+        """FLUSH-style squashes force refetching (Section 5.2's 2x)."""
+        flush = run_benchmarks(["mcf", "twolf"], "FLUSH", cycles=CYCLES,
+                               warmup=WARMUP)
+        stall = run_benchmarks(["mcf", "twolf"], "STALL", cycles=CYCLES,
+                               warmup=WARMUP)
+        assert flush.fetch_overhead() > stall.fetch_overhead()
+
+    def test_memory_latency_hurts_icount_more_than_dcra(self):
+        def throughput(policy, latency):
+            config = SMTConfig().with_latencies(latency, 20)
+            result = run_benchmarks(["mcf", "gzip"], policy, config,
+                                    cycles=CYCLES, warmup=WARMUP)
+            return result.throughput
+
+        icount_drop = throughput("ICOUNT", 100) - throughput("ICOUNT", 500)
+        dcra_drop = throughput("DCRA", 100) - throughput("DCRA", 500)
+        assert dcra_drop <= icount_drop + 0.3
+
+    def test_sra_insulates_threads(self):
+        """Under SRA, adding a hostile co-runner cannot starve a thread
+        below a reasonable fraction of its half-machine speed."""
+        result = run_benchmarks(["gzip", "mcf"], "SRA", cycles=CYCLES,
+                                warmup=WARMUP)
+        alone = ipc_of("gzip")
+        assert result.threads[0].ipc > 0.3 * alone
+
+
+class TestMemoryParallelism:
+    def test_overlapping_misses_measured(self):
+        result = run_benchmarks(["swim"], "ICOUNT", cycles=CYCLES,
+                                warmup=WARMUP)
+        assert result.avg_l2_overlap > 1.0
+
+    def test_perfect_dl1_removes_overlap(self):
+        config = SMTConfig(perfect_dl1=True)
+        result = run_benchmarks(["swim"], "ICOUNT", config, cycles=CYCLES,
+                                warmup=WARMUP)
+        assert result.avg_l2_overlap == pytest.approx(0.0)

@@ -1,0 +1,125 @@
+"""Unit tests for throughput/fairness metrics and result containers."""
+
+import pytest
+
+from repro.metrics.stats import (
+    SimulationResult,
+    ThreadResult,
+    collect_result,
+    hmean,
+    hmean_speedup,
+    throughput,
+    weighted_speedup,
+)
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.basic import IcountPolicy
+from repro.trace.profiles import get_profile
+
+
+class TestScalarMetrics:
+    def test_throughput_is_sum(self):
+        assert throughput([1.0, 2.0, 0.5]) == 3.5
+
+    def test_hmean_balanced(self):
+        assert hmean([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_hmean_punishes_imbalance(self):
+        balanced = hmean([0.5, 0.5])
+        skewed = hmean([0.9, 0.1])
+        assert skewed < balanced
+
+    def test_hmean_zero_on_starved_thread(self):
+        assert hmean([1.0, 0.0]) == 0.0
+
+    def test_hmean_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            hmean([])
+        with pytest.raises(ValueError):
+            hmean([-1.0])
+
+    def test_hmean_speedup(self):
+        # Both threads at half their single-thread speed -> 0.5.
+        assert hmean_speedup([1.0, 0.25], [2.0, 0.5]) == pytest.approx(0.5)
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 0.25], [2.0, 0.5]) == pytest.approx(0.5)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            hmean_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hmean_speedup([1.0], [0.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0, 1.0], [1.0])
+
+
+def make_result():
+    threads = [
+        ThreadResult("gzip", committed=2400, ipc=2.4, fetched=3000,
+                     fetched_wrong_path=300, squashed=350,
+                     mispredict_rate=0.04, l1d_missrate=0.02,
+                     l2_missrate_pct=0.1, slow_cycle_frac=0.2),
+        ThreadResult("mcf", committed=100, ipc=0.1, fetched=400,
+                     fetched_wrong_path=150, squashed=200,
+                     mispredict_rate=0.2, l1d_missrate=0.4,
+                     l2_missrate_pct=29.0, slow_cycle_frac=0.95),
+    ]
+    return SimulationResult("DCRA", cycles=1000, threads=threads,
+                            avg_l2_overlap=5.5)
+
+
+class TestSimulationResult:
+    def test_throughput(self):
+        assert make_result().throughput == pytest.approx(2.5)
+
+    def test_fetch_overhead(self):
+        result = make_result()
+        assert result.fetch_overhead() == pytest.approx(3400 / 2500 - 1.0)
+
+    def test_hmean_vs(self):
+        result = make_result()
+        value = result.hmean_vs([2.4, 0.2])
+        assert 0 < value < 1
+
+    def test_weighted_speedup_vs(self):
+        result = make_result()
+        assert result.weighted_speedup_vs([2.4, 0.2]) == pytest.approx(
+            (1.0 + 0.5) / 2)
+
+    def test_fetch_overhead_zero_when_nothing_committed(self):
+        result = make_result()
+        for thread in result.threads:
+            thread.committed = 0
+        assert result.fetch_overhead() == 0.0
+
+
+class TestCollectResult:
+    def test_collect_from_processor(self):
+        processor = SMTProcessor(SMTConfig(), [get_profile("gzip")],
+                                 IcountPolicy(), seed=1)
+        processor.run(1500)
+        result = collect_result(processor)
+        assert result.policy == "ICOUNT"
+        assert result.cycles == 1500
+        assert result.threads[0].benchmark == "gzip"
+        assert result.threads[0].ipc == pytest.approx(
+            processor.threads[0].stats.committed / 1500)
+
+    def test_collect_honours_reset(self):
+        processor = SMTProcessor(SMTConfig(), [get_profile("gzip")],
+                                 IcountPolicy(), seed=1)
+        processor.run(1000)
+        processor.reset_stats()
+        processor.run(500)
+        result = collect_result(processor)
+        assert result.cycles == 500
+
+    def test_custom_names_and_policy(self):
+        processor = SMTProcessor(SMTConfig(), [get_profile("gzip")],
+                                 IcountPolicy(), seed=1)
+        processor.run(100)
+        result = collect_result(processor, benchmarks=["workload-a"],
+                                policy_name="custom")
+        assert result.threads[0].benchmark == "workload-a"
+        assert result.policy == "custom"

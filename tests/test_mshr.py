@@ -1,0 +1,82 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1000, fill_cycle=50, is_l2_miss=True, tid=1)
+        assert mshrs.lookup(0x1000) is entry
+        assert entry.tid == 1
+        assert entry.is_l2_miss
+
+    def test_double_allocate_rejected(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, 50, False, 0)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x1000, 60, False, 0)
+
+    def test_capacity(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x0, 10, False, 0)
+        mshrs.allocate(0x40, 10, False, 0)
+        assert mshrs.full()
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x80, 10, False, 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestMergeAndFill:
+    def test_merge_invokes_waiters_on_pop(self):
+        mshrs = MSHRFile(4)
+        entry = mshrs.allocate(0x1000, 30, True, 0)
+        seen = []
+        mshrs.merge(entry, seen.append)
+        mshrs.merge(entry, seen.append)
+        assert mshrs.merges == 2
+        ready = mshrs.pop_ready(30)
+        assert ready == [entry]
+        for waiter in ready[0].waiters:
+            waiter(30)
+        assert seen == [30, 30]
+
+    def test_pop_ready_only_due(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x0, 10, False, 0)
+        mshrs.allocate(0x40, 20, False, 0)
+        assert len(mshrs.pop_ready(10)) == 1
+        assert mshrs.outstanding() == 1
+
+    def test_pop_ready_removes_entry(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x0, 10, False, 0)
+        mshrs.pop_ready(10)
+        assert mshrs.lookup(0x0) is None
+
+
+class TestOverlapAccounting:
+    def test_outstanding_l2_filtering(self):
+        mshrs = MSHRFile(8)
+        mshrs.allocate(0x0, 99, True, 0)
+        mshrs.allocate(0x40, 99, False, 0)
+        mshrs.allocate(0x80, 99, True, 1)
+        assert mshrs.outstanding_l2() == 2
+        assert mshrs.outstanding_l2(tid=0) == 1
+        assert mshrs.outstanding_l2(tid=1) == 1
+
+    def test_overlap_sampling_ignores_idle_cycles(self):
+        mshrs = MSHRFile(8)
+        mshrs.sample_overlap()          # nothing outstanding: not sampled
+        mshrs.allocate(0x0, 99, True, 0)
+        mshrs.allocate(0x40, 99, True, 0)
+        mshrs.sample_overlap()
+        assert mshrs.average_l2_overlap() == pytest.approx(2.0)
+
+    def test_average_zero_when_never_sampled(self):
+        assert MSHRFile(2).average_l2_overlap() == 0.0

@@ -1,0 +1,248 @@
+"""Stage-level pipeline tests with hand-written instruction sequences.
+
+A fake trace feeds precisely constructed StaticOps through the real
+pipeline, pinning down the timing and resource behaviour of each stage:
+dependency-driven issue, unit caps, queue/ROB stalls, fetch-group breaks,
+misprediction recovery and load-miss handling.
+"""
+
+import pytest
+
+from repro.isa.instruction import (
+    BranchKind,
+    OpClass,
+    ST_COMMITTED,
+    StaticOp,
+)
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.pipeline.resources import Resource
+from repro.policies.basic import IcountPolicy
+from repro.trace.profiles import get_profile
+
+#: Address inside the synthetic hot region of thread 0 (pre-warmed, hits).
+HOT_ADDR_BASE = (1 << 34) + (1 << 30)
+
+#: Address far outside every region (always misses to memory).
+COLD_ADDR = (1 << 40)
+
+#: Code addresses inside thread 0's code region (pre-warmed L1I).
+CODE_BASE = 1 << 34
+
+
+class FakeTrace:
+    """TraceBuffer stand-in serving a fixed program then integer no-ops."""
+
+    def __init__(self, ops):
+        self._ops = list(ops)
+        self.profile = get_profile("gzip")
+
+    def get(self, index):
+        if index < len(self._ops):
+            return self._ops[index]
+        filler_pc = CODE_BASE + 4 * index
+        return StaticOp(OpClass.INT_ALU, filler_pc)
+
+    def wrong_path_op(self, pc):
+        return StaticOp(OpClass.INT_ALU, pc)
+
+    def release_below(self, index):
+        pass
+
+    def prewarm_regions(self):
+        return [
+            (HOT_ADDR_BASE, 12 * 1024, "hot"),
+            (CODE_BASE, 32 * 1024, "code"),
+        ]
+
+
+def build(ops, config=None):
+    config = config or SMTConfig()
+    processor = SMTProcessor(config, [get_profile("gzip")], IcountPolicy(),
+                             seed=1)
+    processor.threads[0].trace = FakeTrace(ops)
+    # Re-point fetch at the fake program.
+    processor.threads[0].fetch_index = 0
+    return processor
+
+
+def int_op(index, src_dists=()):
+    return StaticOp(OpClass.INT_ALU, CODE_BASE + 4 * index,
+                    src_dists=tuple(src_dists))
+
+
+def load_op(index, addr, src_dists=()):
+    return StaticOp(OpClass.LOAD, CODE_BASE + 4 * index,
+                    src_dists=tuple(src_dists), mem_addr=addr)
+
+
+def committed(processor):
+    return processor.threads[0].stats.committed
+
+
+class TestDependencyTiming:
+    def test_independent_ops_flow_freely(self):
+        processor = build([int_op(i) for i in range(32)])
+        processor.run(40)
+        assert committed(processor) >= 32
+
+    def test_dependent_load_use_chain_waits_for_memory(self):
+        # op1 loads from a cold address; op2 consumes its result.
+        ops = [load_op(0, COLD_ADDR), int_op(1, src_dists=[1])]
+        processor = build(ops)
+        config = processor.config
+        latency = (config.l1_latency + config.l2_latency
+                   + config.memory_latency)
+        processor.run(latency - 20)
+        assert committed(processor) < 2
+        # A first touch of the cold page also pays the TLB penalty.
+        processor.run(config.tlb_penalty + 120)
+        assert committed(processor) >= 2
+
+    def test_hot_load_completes_quickly(self):
+        ops = [load_op(0, HOT_ADDR_BASE + 64), int_op(1, src_dists=[1])]
+        processor = build(ops)
+        processor.run(40)
+        assert committed(processor) >= 2
+
+
+class TestIssueLimits:
+    def test_int_unit_cap_bounds_issue_rate(self):
+        """With 6 int units, 60 independent int ops need >= 10 issue cycles."""
+        processor = build([int_op(i) for i in range(60)])
+        issue_cycles = set()
+        original = processor._issue_op
+
+        def spy(op, cycle):
+            ok = original(op, cycle)
+            if ok and op.op_class == OpClass.INT_ALU:
+                issue_cycles.add(cycle)
+            return ok
+
+        processor._issue_op = spy
+        processor.run(60)
+        per_cycle = {}
+        # Re-run accounting: count issues per cycle via issue_cycle marks.
+        assert committed(processor) >= 60
+        # 60 ops at <= 6 per cycle need at least 10 distinct cycles.
+        assert len(issue_cycles) >= 10
+
+    def test_commit_width_respected(self):
+        processor = build([int_op(i) for i in range(64)])
+        before_after = []
+
+        def hook(proc, acc=before_after):
+            acc.append(committed(proc))
+
+        processor.cycle_hooks.append(hook)
+        processor.run(60)
+        deltas = [b - a for a, b in zip(before_after, before_after[1:])]
+        assert max(deltas) <= processor.config.commit_width
+
+
+class TestStructuralStalls:
+    def test_ls_queue_exhaustion_blocks_rename(self):
+        config = SMTConfig(ls_iq_size=4)
+        # Many cold loads: they park in the LS queue awaiting memory.
+        ops = [load_op(i, COLD_ADDR + 64 * 101 * i) for i in range(16)]
+        processor = build(ops, config)
+        processor.run(30)
+        assert processor.resources.used[Resource.IQ_LS] <= 4
+
+    def test_rob_exhaustion_bounds_inflight(self):
+        config = SMTConfig(rob_size=16)
+        ops = [load_op(0, COLD_ADDR)] + [int_op(i, src_dists=[i])
+                                         for i in range(1, 64)]
+        processor = build(ops, config)
+        processor.run(100)
+        assert processor.resources.rob_used <= 16
+
+    def test_rename_register_exhaustion(self):
+        # 3 threads reserve 96 arch regs; tiny file leaves a small pool.
+        config = SMTConfig(int_physical_registers=48)
+        ops = [load_op(0, COLD_ADDR)] + [int_op(i) for i in range(1, 64)]
+        processor = build(ops, config)
+        processor.run(100)
+        assert (processor.resources.used[Resource.REG_INT]
+                <= config.rename_registers("int", 1))
+
+
+class TestFetchMechanics:
+    def test_taken_branch_breaks_fetch_group(self):
+        target = CODE_BASE + 0x800
+        branch = StaticOp(OpClass.BRANCH, CODE_BASE + 8,
+                          branch_kind=BranchKind.COND, taken=True,
+                          target=target)
+        ops = [int_op(0), int_op(1), branch]
+        processor = build(ops)
+        processor.run(2)
+        # Only the group up to the branch can fetch in cycle 0.
+        assert processor.threads[0].stats.fetched <= 2 * 8
+
+    def test_mispredicted_branch_refetches_correct_path(self):
+        target = CODE_BASE + 0x800
+        # A taken branch with a cold BTB mispredicts on first execution.
+        branch = StaticOp(OpClass.BRANCH, CODE_BASE,
+                          branch_kind=BranchKind.COND, taken=True,
+                          target=target)
+        ops = [branch] + [int_op(i) for i in range(1, 24)]
+        processor = build(ops)
+        processor.run(120)
+        stats = processor.threads[0].stats
+        assert stats.mispredicts >= 1
+        assert stats.squashed >= 0
+        assert committed(processor) >= 20  # correct path resumed
+
+    def test_wrong_path_work_is_fetched_on_mispredict(self):
+        branch = StaticOp(OpClass.BRANCH, CODE_BASE,
+                          branch_kind=BranchKind.COND, taken=True,
+                          target=CODE_BASE + 0x800)
+        processor = build([branch] + [int_op(i) for i in range(1, 24)])
+        processor.run(60)
+        assert processor.threads[0].stats.fetched_wrong_path > 0
+
+
+class TestStores:
+    def test_store_commits_without_memory_wait(self):
+        store = StaticOp(OpClass.STORE, CODE_BASE, mem_addr=COLD_ADDR)
+        processor = build([store, int_op(1)])
+        processor.run(40)
+        assert committed(processor) >= 2
+
+    def test_store_miss_fills_cache_for_later_load(self):
+        addr = COLD_ADDR + 0x5000
+        store = StaticOp(OpClass.STORE, CODE_BASE, mem_addr=addr)
+        processor = build([store])
+        processor.run(500)
+        assert processor.hierarchy.l1d.contains(addr)
+
+
+class TestPendingMissCounters:
+    def test_cold_load_marks_thread_slow(self):
+        processor = build([load_op(0, COLD_ADDR)] +
+                          [int_op(i) for i in range(1, 8)])
+        processor.run(30)
+        assert processor.threads[0].pending_l1d >= 1
+        assert processor.threads[0].is_slow()
+
+    def test_counters_drain_after_fill(self):
+        processor = build([load_op(0, COLD_ADDR)] +
+                          [int_op(i) for i in range(1, 8)])
+        processor.run(600)
+        assert processor.threads[0].pending_l1d == 0
+        assert processor.threads[0].pending_l2 == 0
+
+    def test_l2_detection_happens_after_l2_latency(self):
+        processor = build([load_op(0, COLD_ADDR)])
+        detected_at = []
+        original = processor.policy.on_l2_miss_detected
+
+        def spy(tid, op):
+            detected_at.append(processor.cycle)
+            original(tid, op)
+
+        processor.policy.on_l2_miss_detected = spy
+        processor.run(80)
+        assert detected_at, "L2 miss never detected"
+        # Detection can only happen after the L2 lookup latency elapsed.
+        assert detected_at[0] >= processor.config.l2_latency

@@ -1,0 +1,112 @@
+"""Unit tests for the SPEC2000 benchmark profiles (Table 3 inputs)."""
+
+import pytest
+
+from repro.trace.profiles import (
+    ALL_BENCHMARKS,
+    ILP_BENCHMARKS,
+    MEM_BENCHMARKS,
+    BenchmarkProfile,
+    get_profile,
+)
+
+
+class TestSuiteCoverage:
+    def test_all_twenty_benchmarks_present(self):
+        assert len(ALL_BENCHMARKS) == 20
+
+    def test_paper_mem_set(self):
+        assert set(MEM_BENCHMARKS) == {
+            "mcf", "twolf", "vpr", "parser", "art", "swim", "lucas", "equake",
+        }
+
+    def test_paper_ilp_set(self):
+        assert set(ILP_BENCHMARKS) == {
+            "gap", "vortex", "gcc", "perl", "bzip2", "crafty", "gzip", "eon",
+            "apsi", "wupwise", "mesa", "fma3d",
+        }
+
+    def test_mem_class_matches_one_percent_rule(self):
+        # Paper: MEM iff the published L2 miss rate reaches 1% (parser,
+        # at exactly 1.0, is listed as MEM in Table 3a).
+        for profile in ALL_BENCHMARKS.values():
+            expected = "MEM" if profile.l2_missrate_pct >= 1.0 else "ILP"
+            assert profile.mem_class == expected, profile.name
+
+    def test_paper_miss_rates(self):
+        assert get_profile("mcf").l2_missrate_pct == 29.6
+        assert get_profile("art").l2_missrate_pct == 18.6
+        assert get_profile("swim").l2_missrate_pct == 11.4
+        assert get_profile("eon").l2_missrate_pct == 0.0
+
+
+class TestProfileConsistency:
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_mix_sums_to_one(self, name):
+        assert sum(get_profile(name).mix) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_region_weights_sum_to_one(self, name):
+        profile = get_profile(name)
+        assert (profile.hot_frac + profile.warm_frac
+                + profile.cold_frac) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_cold_fraction_tracks_target(self, name):
+        """The cold region weight is the L2-miss tuning knob and must be
+        of the same order as the published rate."""
+        profile = get_profile(name)
+        assert profile.cold_frac <= profile.l2_missrate_pct / 100.0 * 1.5 + 0.002
+
+    def test_int_benchmarks_have_no_fp_work(self):
+        for name in ALL_BENCHMARKS:
+            profile = get_profile(name)
+            if profile.suite == "int":
+                assert profile.mix[1] == 0.0
+                assert profile.fp_load_frac == 0.0
+
+    def test_fp_benchmarks_have_fp_work(self):
+        for name in ALL_BENCHMARKS:
+            profile = get_profile(name)
+            if profile.suite == "fp":
+                assert profile.mix[1] > 0.0
+                assert profile.fp_load_frac > 0.0
+
+
+class TestValidation:
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom3")
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix must sum"):
+            BenchmarkProfile(
+                name="x", suite="int", mem_class="ILP", l2_missrate_pct=0.0,
+                mix=(0.5, 0.0, 0.2, 0.1, 0.1), fp_load_frac=0.0,
+                dep_geom_p=0.3, two_src_prob=0.4, load_dep_bias=0.2,
+                hot_frac=1.0, warm_frac=0.0, cold_frac=0.0, stream_frac=0.0,
+                br_flaky_frac=0.1, br_taken_bias=0.6, call_prob=0.04,
+                code_kb=32, phase_len=1000, mem_phase_frac=0.5,
+            )
+
+    def test_bad_regions_rejected(self):
+        with pytest.raises(ValueError, match="region weights"):
+            BenchmarkProfile(
+                name="x", suite="int", mem_class="ILP", l2_missrate_pct=0.0,
+                mix=(0.6, 0.0, 0.2, 0.1, 0.1), fp_load_frac=0.0,
+                dep_geom_p=0.3, two_src_prob=0.4, load_dep_bias=0.2,
+                hot_frac=0.5, warm_frac=0.1, cold_frac=0.1, stream_frac=0.0,
+                br_flaky_frac=0.1, br_taken_bias=0.6, call_prob=0.04,
+                code_kb=32, phase_len=1000, mem_phase_frac=0.5,
+            )
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(ValueError, match="suite"):
+            BenchmarkProfile(
+                name="x", suite="vector", mem_class="ILP", l2_missrate_pct=0.0,
+                mix=(0.6, 0.0, 0.2, 0.1, 0.1), fp_load_frac=0.0,
+                dep_geom_p=0.3, two_src_prob=0.4, load_dep_bias=0.2,
+                hot_frac=1.0, warm_frac=0.0, cold_frac=0.0, stream_frac=0.0,
+                br_flaky_frac=0.1, br_taken_bias=0.6, call_prob=0.04,
+                code_kb=32, phase_len=1000, mem_phase_frac=0.5,
+            )

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sharing import SHARING_FACTORS, precomputed_table, slow_share
+from repro.core.classification import ActivityTracker
+from repro.mem.cache import Cache
+from repro.mem.tlb import TranslationBuffer
+from repro.metrics.stats import hmean, hmean_speedup
+from repro.pipeline.resources import Resource
+from repro.branch.ras import ReturnAddressStack
+
+factor_names = st.sampled_from(sorted(SHARING_FACTORS))
+
+
+class TestSharingModelProperties:
+    @given(total=st.integers(1, 1024), fa=st.integers(0, 8),
+           sa=st.integers(1, 8), factor=factor_names)
+    def test_share_bounded(self, total, fa, sa, factor):
+        share = slow_share(total, fa, sa, factor)
+        assert 0 <= share <= total
+
+    @given(total=st.integers(1, 1024), fa=st.integers(0, 8),
+           sa=st.integers(1, 8), factor=factor_names)
+    def test_share_at_least_equal_active_split(self, total, fa, sa, factor):
+        share = slow_share(total, fa, sa, factor)
+        assert share >= int(total / (fa + sa)) - 1  # rounding slack
+
+    @given(total=st.integers(8, 1024), fa=st.integers(1, 8),
+           sa=st.integers(1, 8), factor=factor_names)
+    def test_borrowing_exceeds_equal_split_when_fast_present(
+            self, total, fa, sa, factor):
+        """With fast threads present, a slow thread's cap is at least the
+        equal active split (it borrows, never lends)."""
+        share = slow_share(total, fa, sa, factor)
+        assert share >= int(total / (fa + sa))
+
+    @given(total=st.integers(8, 1024), fa=st.integers(0, 8),
+           sa=st.integers(1, 7), factor=factor_names)
+    def test_share_decreases_with_more_slow_threads(self, total, fa, sa,
+                                                    factor):
+        assert (slow_share(total, fa, sa + 1, factor)
+                <= slow_share(total, fa, sa, factor) + 1)
+
+    @given(total=st.integers(1, 512), threads=st.integers(1, 8),
+           factor=factor_names)
+    def test_table_covers_all_combinations(self, total, threads, factor):
+        table = precomputed_table(total, threads, factor)
+        expected_rows = threads * (threads + 1) // 2
+        assert len(table) == expected_rows
+        assert len({(fa, sa) for fa, sa, _ in table}) == expected_rows
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = Cache("T", 2048, 2, 64)
+        for addr in addrs:
+            cache.lookup(addr)
+            cache.fill(addr)
+        assert cache.occupancy() <= 2048 // 64
+
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_fill_then_immediate_lookup_hits(self, addrs):
+        cache = Cache("T", 2048, 2, 64)
+        for addr in addrs:
+            cache.fill(addr)
+            assert cache.contains(addr)
+
+    @given(addrs=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_reference_model_agreement(self, addrs):
+        """The cache agrees with a brute-force LRU reference model."""
+        cache = Cache("T", 1024, 2, 64)
+        sets = [OrderedDict() for _ in range(cache.num_sets)]
+        for addr in addrs:
+            line = addr >> 6
+            ref_set = sets[line & (cache.num_sets - 1)]
+            ref_hit = line in ref_set
+            assert cache.lookup(addr) == ref_hit
+            if ref_hit:
+                ref_set.move_to_end(line)
+            else:
+                if len(ref_set) >= 2:
+                    ref_set.popitem(last=False)
+                ref_set[line] = True
+            cache.fill(addr)
+
+
+class TestTlbProperties:
+    @given(addrs=st.lists(st.integers(0, 1 << 28), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_repeat_access_hits(self, addrs):
+        tlb = TranslationBuffer(entries=64)
+        for addr in addrs:
+            tlb.access(addr)
+            assert tlb.access(addr)
+
+
+class TestRasProperties:
+    @given(pushes=st.lists(st.integers(0, 1 << 30), max_size=64))
+    def test_lifo_order_without_overflow(self, pushes):
+        ras = ReturnAddressStack(128)
+        for value in pushes:
+            ras.push(value)
+        for value in reversed(pushes):
+            assert ras.pop() == value
+        assert ras.pop() is None
+
+
+class TestMetricProperties:
+    @given(values=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=8))
+    def test_hmean_bounded_by_min_and_max(self, values):
+        result = hmean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(ipcs=st.lists(st.floats(0.01, 8.0), min_size=1, max_size=6))
+    def test_relative_to_self_is_one(self, ipcs):
+        assert hmean_speedup(ipcs, ipcs) == 1.0
+
+    @given(
+        ipcs=st.lists(st.floats(0.01, 8.0), min_size=2, max_size=6),
+        scale=st.floats(0.1, 0.9),
+    )
+    def test_uniform_slowdown_scales_hmean(self, ipcs, scale):
+        slowed = [ipc * scale for ipc in ipcs]
+        assert hmean_speedup(slowed, ipcs) - scale < 1e-9
+
+
+class TestActivityProperties:
+    @given(uses=st.lists(st.booleans(), min_size=1, max_size=100),
+           window=st.integers(1, 16))
+    def test_active_iff_recent_use(self, uses, window):
+        """The tracker is active exactly when a use happened within the
+        last `window` ticks (or fewer than `window` ticks elapsed)."""
+        tracker = ActivityTracker(1, window=window)
+        since_use = None
+        for used in uses:
+            if used:
+                tracker.note_use(Resource.IQ_FP, 0)
+                since_use = 0
+            tracker.tick()
+            # Before any use, counters start full and only decay; once a
+            # use happened, activity tracks the recency exactly.
+            if since_use is not None:
+                assert tracker.is_active(Resource.IQ_FP, 0) == \
+                    (since_use < window)
+                since_use += 1
+
+    @given(window=st.integers(1, 32))
+    def test_decays_exactly_after_window(self, window):
+        """A use keeps the thread active for exactly `window` ticks: the
+        tick carrying the use resets the counter, the following `window`
+        idle ticks decay it to zero."""
+        tracker = ActivityTracker(1, window=window)
+        tracker.note_use(Resource.IQ_FP, 0)
+        tracker.tick()  # the cycle of the use itself
+        for _ in range(window - 1):
+            tracker.tick()
+            assert tracker.is_active(Resource.IQ_FP, 0)
+        tracker.tick()
+        assert not tracker.is_active(Resource.IQ_FP, 0)

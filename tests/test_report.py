@@ -1,0 +1,60 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.metrics.report import comparison_table, paper_scorecard, thread_table
+from repro.metrics.stats import SimulationResult, ThreadResult
+
+
+def make_result(policy="DCRA", ipcs=(2.0, 0.5)):
+    threads = [
+        ThreadResult(f"bench{i}", committed=int(ipc * 1000), ipc=ipc,
+                     fetched=1500, fetched_wrong_path=100, squashed=120,
+                     mispredict_rate=0.05, l1d_missrate=0.03,
+                     l2_missrate_pct=1.0, slow_cycle_frac=0.4)
+        for i, ipc in enumerate(ipcs)
+    ]
+    return SimulationResult(policy, cycles=1000, threads=threads,
+                            avg_l2_overlap=2.0)
+
+
+class TestThreadTable:
+    def test_contains_all_threads(self):
+        table = thread_table(make_result())
+        assert "bench0" in table
+        assert "bench1" in table
+        assert "DCRA" in table
+
+    def test_contains_metrics(self):
+        table = thread_table(make_result())
+        assert "2.00" in table  # IPC
+        assert "throughput 2.50" in table
+
+
+class TestComparisonTable:
+    def test_side_by_side(self):
+        table = comparison_table([make_result("ICOUNT"), make_result("DCRA")])
+        assert "ICOUNT" in table and "DCRA" in table
+
+    def test_with_hmean(self):
+        table = comparison_table([make_result()], single_ipcs=[2.0, 1.0])
+        assert "Hmean" in table
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            comparison_table([])
+
+    def test_rejects_mismatched_workloads(self):
+        a = make_result(ipcs=(1.0,))
+        b = make_result(ipcs=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            comparison_table([a, b])
+
+
+class TestScorecard:
+    def test_rendering(self):
+        card = paper_scorecard({
+            "DCRA vs SRA Hmean": {"paper": 8.0, "measured": 7.8},
+        })
+        assert "DCRA vs SRA Hmean" in card
+        assert "8.0" in card and "7.8" in card

@@ -1,0 +1,86 @@
+"""Tests for the harness runner (workload execution and evaluation)."""
+
+import pytest
+
+from repro.harness.runner import (
+    clear_baseline_cache,
+    evaluate_workload,
+    geometric_mean,
+    improvement_pct,
+    run_benchmarks,
+    run_workload,
+    single_thread_ipc,
+)
+from repro.pipeline.config import SMTConfig
+from repro.trace.workloads import make_workload
+
+CYCLES = 2_500
+WARMUP = 500
+
+
+class TestRunBenchmarks:
+    def test_basic_run(self):
+        result = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                                warmup=WARMUP)
+        assert result.policy == "ICOUNT"
+        assert result.cycles == CYCLES
+        assert result.threads[0].ipc > 0
+
+    def test_policy_tuple_spec(self):
+        result = run_benchmarks(["gzip"], ("DCRA", {"activity_window": 64}),
+                                cycles=CYCLES, warmup=WARMUP)
+        assert result.policy == "DCRA"
+
+    def test_same_seed_reproducible(self):
+        a = run_benchmarks(["twolf"], "ICOUNT", cycles=CYCLES, warmup=WARMUP,
+                           seed=5)
+        b = run_benchmarks(["twolf"], "ICOUNT", cycles=CYCLES, warmup=WARMUP,
+                           seed=5)
+        assert a.threads[0].ipc == b.threads[0].ipc
+
+    def test_run_workload_wrapper(self):
+        workload = make_workload(2, "MIX", 1)
+        result = run_workload(workload, "SRA", cycles=CYCLES, warmup=WARMUP)
+        assert [t.benchmark for t in result.threads] \
+            == list(workload.benchmarks)
+
+
+class TestSingleThreadBaselines:
+    def test_cached(self):
+        clear_baseline_cache()
+        first = single_thread_ipc("gzip", cycles=CYCLES, warmup=WARMUP)
+        second = single_thread_ipc("gzip", cycles=CYCLES, warmup=WARMUP)
+        assert first == second
+
+    def test_cache_key_includes_config(self):
+        clear_baseline_cache()
+        small = SMTConfig(int_iq_size=8)
+        a = single_thread_ipc("gzip", cycles=CYCLES, warmup=WARMUP)
+        b = single_thread_ipc("gzip", small, cycles=CYCLES, warmup=WARMUP)
+        assert a != b
+
+
+class TestEvaluateWorkload:
+    def test_multiple_policies(self):
+        workload = make_workload(2, "MIX", 1)
+        evaluations = evaluate_workload(workload, ["ICOUNT", "SRA"],
+                                        cycles=CYCLES, warmup=WARMUP)
+        assert set(evaluations) == {"ICOUNT", "SRA"}
+        for evaluation in evaluations.values():
+            assert evaluation.throughput > 0
+            assert evaluation.hmean > 0
+
+
+class TestHelpers:
+    def test_improvement_pct(self):
+        assert improvement_pct(1.1, 1.0) == pytest.approx(10.0)
+        assert improvement_pct(0.9, 1.0) == pytest.approx(-10.0)
+        with pytest.raises(ValueError):
+            improvement_pct(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

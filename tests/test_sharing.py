@@ -1,0 +1,125 @@
+"""Unit tests for the DCRA sharing model — including exact Table 1."""
+
+import pytest
+
+from repro.core.sharing import (
+    SHARING_FACTORS,
+    SharingModel,
+    precomputed_table,
+    resolve_factor,
+    slow_share,
+)
+
+#: Paper Table 1: (FA, SA, E_slow) for a 32-entry resource, 4 threads,
+#: sharing factor C = 1/(FA+SA).
+PAPER_TABLE_1 = [
+    (0, 1, 32),
+    (1, 1, 24),
+    (0, 2, 16),
+    (2, 1, 18),
+    (1, 2, 14),
+    (0, 3, 11),
+    (3, 1, 14),
+    (2, 2, 12),
+    (1, 3, 10),
+    (0, 4, 8),
+]
+
+
+class TestTable1Exact:
+    def test_reproduces_paper_table_1(self):
+        assert precomputed_table(32, 4, "inverse_active") == PAPER_TABLE_1
+
+    @pytest.mark.parametrize("fa,sa,expected", PAPER_TABLE_1)
+    def test_individual_entries(self, fa, sa, expected):
+        assert slow_share(32, fa, sa, "inverse_active") == expected
+
+    def test_table_has_ten_entries_for_four_threads(self):
+        # The paper notes the 4-context table needs 10 entries.
+        assert len(precomputed_table(32, 4)) == 10
+
+
+class TestSlowShareProperties:
+    def test_no_slow_threads_means_no_limit(self):
+        assert slow_share(80, 3, 0) == 80
+
+    def test_all_slow_equal_split(self):
+        for threads in (1, 2, 3, 4):
+            assert slow_share(80, 0, threads) == round(80 / threads)
+
+    def test_share_at_least_equal_split(self):
+        for fa in range(5):
+            for sa in range(1, 5):
+                share = slow_share(80, fa, sa)
+                assert share >= 80 // (fa + sa)
+
+    def test_share_never_exceeds_total(self):
+        for fa in range(5):
+            for sa in range(1, 5):
+                assert slow_share(80, fa, sa) <= 80
+
+    def test_slow_threads_cannot_collectively_oversubscribe_vs_fair(self):
+        """SA slow threads at their cap leave room for fast threads as
+        long as the fast threads use less than an equal share — the
+        paper's borrow-from-fast idea (equation 2/3)."""
+        total = 80
+        for fa in range(1, 4):
+            for sa in range(1, 4):
+                cap = slow_share(total, fa, sa, "inverse_active_plus4")
+                active = fa + sa
+                borrowed = cap * sa - (total // active) * sa
+                spare_of_fast = total - (total // active) * active + \
+                    (total // active) * fa
+                assert borrowed <= spare_of_fast + active  # rounding slack
+
+    def test_zero_factor_is_equal_split_of_active(self):
+        assert slow_share(80, 2, 2, "zero") == 20
+        assert slow_share(80, 1, 1, "zero") == 40
+
+    def test_plus4_tighter_than_plain(self):
+        for fa in range(1, 4):
+            for sa in range(1, 4):
+                assert (slow_share(80, fa, sa, "inverse_active_plus4")
+                        <= slow_share(80, fa, sa, "inverse_active"))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            slow_share(32, -1, 1)
+
+
+class TestFactors:
+    def test_known_names(self):
+        assert set(SHARING_FACTORS) == {
+            "inverse_active", "inverse_active_plus4", "zero"}
+
+    def test_resolve_accepts_callable(self):
+        factor = resolve_factor(lambda fa, sa: 0.25)
+        assert factor(1, 1) == 0.25
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown sharing factor"):
+            resolve_factor("quadratic")
+
+    def test_factor_values(self):
+        assert SHARING_FACTORS["inverse_active"](1, 1) == pytest.approx(0.5)
+        assert SHARING_FACTORS["inverse_active_plus4"](1, 1) == pytest.approx(1 / 6)
+        assert SHARING_FACTORS["zero"](3, 1) == 0.0
+
+
+class TestSharingModel:
+    def test_separate_iq_and_reg_factors(self):
+        model = SharingModel("zero", "inverse_active")
+        assert model.share_for_iq(32, 1, 1) == 16
+        assert model.share_for_reg(32, 1, 1) == 24
+
+    def test_latency_presets(self):
+        low = SharingModel.for_memory_latency(100)
+        mid = SharingModel.for_memory_latency(300)
+        high = SharingModel.for_memory_latency(500)
+        # 100 cycles: C = 1/T everywhere.
+        assert low.share_for_iq(32, 1, 1) == 24
+        # 300 cycles: C = 1/(T+4).
+        assert mid.share_for_iq(32, 1, 1) == round(16 * (1 + 1 / 6))
+        # 500 cycles: C = 0 for queues, 1/(T+4) for registers.
+        assert high.share_for_iq(32, 1, 1) == 16
+        assert high.share_for_reg(32, 1, 1) == round(16 * (1 + 1 / 6))

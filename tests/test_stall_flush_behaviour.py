@@ -1,0 +1,92 @@
+"""Behavioural tests for the STALL/FLUSH family on the live pipeline."""
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import make_policy
+from repro.trace.profiles import get_profile
+
+
+def build(policy_name, benchmarks=("mcf", "gzip"), seed=3, **kwargs):
+    policy = make_policy(policy_name, **kwargs)
+    processor = SMTProcessor(SMTConfig(),
+                             [get_profile(b) for b in benchmarks],
+                             policy, seed=seed)
+    return processor
+
+
+class TestStall:
+    def test_missing_thread_fetch_is_gated(self):
+        processor = build("STALL")
+        gated_cycles = [0]
+
+        def hook(proc):
+            if proc.threads[0].detected_l2 > 0:
+                gated_cycles[0] += 1
+
+        processor.cycle_hooks.append(hook)
+        processor.run(4000)
+        # mcf spends much of its time with detected L2 misses.
+        assert gated_cycles[0] > 400
+
+    def test_stall_beats_nothing_for_co_runner(self):
+        """Gating mcf must help gzip relative to plain ICOUNT."""
+        stall = build("STALL")
+        icount = build("ICOUNT")
+        stall.run(6000)
+        icount.run(6000)
+        assert stall.threads[1].stats.committed >= \
+            icount.threads[1].stats.committed * 0.9
+
+
+class TestFlush:
+    def test_flush_rewinds_trace(self):
+        processor = build("FLUSH", benchmarks=("mcf",))
+        max_index_seen = [0]
+        refetch_seen = [False]
+
+        def hook(proc):
+            index = proc.threads[0].fetch_index
+            if index < max_index_seen[0]:
+                refetch_seen[0] = True
+            max_index_seen[0] = max(max_index_seen[0], index)
+
+        processor.cycle_hooks.append(hook)
+        processor.run(4000)
+        assert refetch_seen[0], "FLUSH never rewound the trace"
+
+    def test_flush_keeps_forward_progress(self):
+        processor = build("FLUSH", benchmarks=("mcf", "twolf"))
+        processor.run(6000)
+        for thread in processor.threads:
+            assert thread.stats.committed > 0
+        processor.resources.check_consistency()
+
+    def test_flush_squashes_more_than_stall(self):
+        flush = build("FLUSH", benchmarks=("mcf", "twolf"))
+        stall = build("STALL", benchmarks=("mcf", "twolf"))
+        flush.run(5000)
+        stall.run(5000)
+        flush_squashed = sum(t.stats.squashed for t in flush.threads)
+        stall_squashed = sum(t.stats.squashed for t in stall.threads)
+        assert flush_squashed > stall_squashed
+
+
+class TestFlushPlusPlus:
+    def test_behaves_like_stall_on_single_mem_thread(self):
+        """With one memory-bound thread, pressure stays below the
+        threshold and FLUSH++ must not flush."""
+        fpp = build("FLUSH++", benchmarks=("twolf", "gzip"))
+        stall = build("STALL", benchmarks=("twolf", "gzip"))
+        fpp.run(5000)
+        stall.run(5000)
+        # Similar squash budgets: no flushing beyond branch recovery.
+        fpp_squashed = sum(t.stats.squashed for t in fpp.threads)
+        stall_squashed = sum(t.stats.squashed for t in stall.threads)
+        assert fpp_squashed <= stall_squashed * 1.5
+
+    def test_flushes_under_mem_pressure(self):
+        processor = build("FLUSH++", benchmarks=("mcf", "art"))
+        processor.run(6000)
+        assert processor.policy._memory_bound_threads() >= 1

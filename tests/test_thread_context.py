@@ -1,0 +1,92 @@
+"""Unit tests for per-thread pipeline state (ThreadContext)."""
+
+from repro.isa.instruction import MicroOp, OpClass, StaticOp
+from repro.pipeline.thread import ThreadContext, ThreadStats
+from repro.trace.generator import SyntheticTraceGenerator, TraceBuffer
+from repro.trace.profiles import get_profile
+
+
+def make_context(tid=0, benchmark="gzip"):
+    trace = TraceBuffer(SyntheticTraceGenerator(get_profile(benchmark),
+                                                seed=5, tid=tid))
+    return ThreadContext(tid, trace, fetch_queue_size=16)
+
+
+def micro(context, index, wrong_path=False):
+    static = context.trace.get(index) if not wrong_path else \
+        context.trace.wrong_path_op(0x1000)
+    return MicroOp(static, context.tid, index, -1 if wrong_path else index,
+                   wrong_path, fetch_cycle=0)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        context = make_context()
+        assert context.fetch_index == 0
+        assert not context.in_wrong_path
+        assert context.fetch_queue_occupancy() == 0
+        assert not context.is_slow()
+
+    def test_is_slow_tracks_pending_l1(self):
+        context = make_context()
+        context.pending_l1d = 2
+        assert context.is_slow()
+        context.pending_l1d = 0
+        assert not context.is_slow()
+
+    def test_stats_ipc(self):
+        stats = ThreadStats(committed=500)
+        assert stats.ipc(1000) == 0.5
+        assert stats.ipc(0) == 0.0
+
+
+class TestRewind:
+    def test_rewind_resets_wrong_path_state(self):
+        context = make_context()
+        context.in_wrong_path = True
+        context.wrong_path_pc = 0x999
+        context.mispredict_op = micro(context, 3)
+        context.rewind_to(4, 0x4000)
+        assert context.fetch_index == 4
+        assert not context.in_wrong_path
+        assert context.mispredict_op is None
+
+
+class TestPruning:
+    def test_prune_keeps_rob_window(self):
+        context = make_context()
+        for index in range(50):
+            context.trace.get(index)
+        context.rob.append(micro(context, 10))
+        context.fetch_index = 50
+        context.prune_trace()
+        # Index 10 is in flight: it (and successors) must stay readable.
+        assert context.trace.get(10) is not None
+
+    def test_prune_respects_fetch_queue_head(self):
+        context = make_context()
+        for index in range(50):
+            context.trace.get(index)
+        context.fetch_queue.append(micro(context, 5))
+        context.fetch_index = 50
+        context.prune_trace()
+        assert context.trace.get(5) is not None
+
+    def test_prune_ignores_wrong_path_entries(self):
+        context = make_context()
+        for index in range(50):
+            context.trace.get(index)
+        context.fetch_queue.append(micro(context, 0, wrong_path=True))
+        context.fetch_queue.append(micro(context, 30))
+        context.fetch_index = 50
+        context.prune_trace()
+        assert context.trace.get(30) is not None
+
+    def test_prune_drops_dead_history(self):
+        context = make_context()
+        for index in range(64):
+            context.trace.get(index)
+        context.fetch_index = 60
+        context.prune_trace()
+        # Everything below the fetch index is gone (nothing in flight).
+        assert len(context.trace._ops) <= 4

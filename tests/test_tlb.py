@@ -1,0 +1,34 @@
+"""Unit tests for the data TLB."""
+
+import pytest
+
+from repro.mem.tlb import TranslationBuffer
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TranslationBuffer(entries=4, page_bytes=8192)
+        assert not tlb.access(0x0)
+        assert tlb.access(0x1000)  # same 8KB page
+        assert not tlb.access(0x2000)  # next page
+
+    def test_lru_eviction(self):
+        tlb = TranslationBuffer(entries=2, page_bytes=8192)
+        tlb.access(0 * 8192)
+        tlb.access(1 * 8192)
+        tlb.access(0 * 8192)       # page 0 now MRU
+        tlb.access(2 * 8192)       # evicts page 1
+        assert tlb.access(0 * 8192)
+        assert not tlb.access(1 * 8192)
+
+    def test_miss_rate(self):
+        tlb = TranslationBuffer(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate() == pytest.approx(0.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TranslationBuffer(entries=0)
+        with pytest.raises(ValueError):
+            TranslationBuffer(page_bytes=3000)

@@ -1,0 +1,86 @@
+"""Unit tests for the Table 4 workload definitions."""
+
+import pytest
+
+from repro.trace.profiles import get_profile
+from repro.trace.workloads import (
+    WORKLOAD_TABLE,
+    all_workloads,
+    make_workload,
+    workload_groups,
+)
+
+
+class TestTable4Fidelity:
+    def test_nine_cells_four_groups_each(self):
+        assert len(WORKLOAD_TABLE) == 9
+        for groups in WORKLOAD_TABLE.values():
+            assert len(groups) == 4
+
+    def test_thread_counts_match_cell(self):
+        for (num_threads, _), groups in WORKLOAD_TABLE.items():
+            for group in groups:
+                assert len(group) == num_threads
+
+    def test_exact_paper_rows(self):
+        assert WORKLOAD_TABLE[(2, "MEM")][0] == ("mcf", "twolf")
+        assert WORKLOAD_TABLE[(3, "MIX")][3] == ("mcf", "apsi", "fma3d")
+        assert WORKLOAD_TABLE[(4, "ILP")][2] == (
+            "crafty", "fma3d", "apsi", "vortex")
+        assert WORKLOAD_TABLE[(4, "MEM")][3] == ("art", "mcf", "vpr", "swim")
+
+    def test_ilp_workloads_contain_only_ilp_threads(self):
+        for (_, wtype), groups in WORKLOAD_TABLE.items():
+            if wtype != "ILP":
+                continue
+            for group in groups:
+                for benchmark in group:
+                    assert get_profile(benchmark).mem_class == "ILP", group
+
+    def test_mem_workloads_contain_only_mem_threads(self):
+        for (_, wtype), groups in WORKLOAD_TABLE.items():
+            if wtype != "MEM":
+                continue
+            for group in groups:
+                for benchmark in group:
+                    assert get_profile(benchmark).mem_class == "MEM", group
+
+    def test_mix_workloads_contain_both(self):
+        for (_, wtype), groups in WORKLOAD_TABLE.items():
+            if wtype != "MIX":
+                continue
+            for group in groups:
+                classes = {get_profile(b).mem_class for b in group}
+                assert classes == {"ILP", "MEM"}, group
+
+
+class TestWorkloadApi:
+    def test_make_workload(self):
+        workload = make_workload(2, "MEM", 1)
+        assert workload.benchmarks == ("mcf", "twolf")
+        assert workload.num_threads == 2
+        assert "MEM2.g1" in workload.name
+
+    def test_profiles_resolution(self):
+        workload = make_workload(2, "MIX", 1)
+        profiles = workload.profiles()
+        assert [p.name for p in profiles] == list(workload.benchmarks)
+
+    def test_workload_groups(self):
+        groups = workload_groups(3, "ILP")
+        assert [w.group for w in groups] == [1, 2, 3, 4]
+
+    def test_all_workloads_is_36(self):
+        assert len(list(all_workloads())) == 36
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            make_workload(2, "FOO", 1)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            make_workload(5, "MIX", 1)
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            make_workload(2, "MIX", 5)
