@@ -32,7 +32,9 @@ def test_simulation_speed(benchmark, benchmarks, label):
     processor = benchmark.pedantic(run_config, args=(benchmarks,),
                                    rounds=1, iterations=1)
     committed = sum(t.stats.committed for t in processor.threads)
-    print(f"\n{label}: {CYCLES} cycles, {committed} instructions committed")
+    cycles_per_sec = CYCLES / benchmark.stats.stats.mean
+    print(f"\n{label}: {CYCLES} cycles, {committed} instructions committed, "
+          f"{cycles_per_sec:,.0f} simulated cycles/s")
     assert committed > 0
 
 

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Regenerate every paper artefact at full budget and dump raw results.
 
-Writes the output consumed by EXPERIMENTS.md.  Expect a ~1h run in pure
-Python; individual artefacts are flushed as they finish.
+Writes the output consumed by EXPERIMENTS.md; individual artefacts are
+flushed as they finish.  Every driver runs through the parallel
+experiment engine: ``--jobs N`` simulates on N worker processes and, by
+the engine's determinism contract, produces output identical to the
+serial run (the per-job seeds are fixed here, not derived from worker
+scheduling).  Expect a ~1h run serially in pure Python.
 
 Run:
-    python scripts/run_all_experiments.py [output-file]
+    python scripts/run_all_experiments.py [output-file] [--jobs N]
 """
 
+import argparse
 import sys
 import time
 
@@ -18,8 +23,22 @@ CYCLES = 24_000
 WARMUP = 5_000
 
 
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table and figure of the paper.")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="output file (default: stdout)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweeps (default: serial); "
+             "results are identical for any N")
+    return parser.parse_args(argv)
+
+
 def main() -> None:
-    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+    args = parse_args()
+    jobs = args.jobs
+    out = open(args.output, "w") if args.output else sys.stdout
 
     def emit(text=""):
         print(text, file=out, flush=True)
@@ -35,20 +54,20 @@ def main() -> None:
 
     stamp("Figure 2 — resource sensitivity (perfect L1D)")
     emit(exp.format_figure2(exp.figure2_resource_sensitivity(
-        cycles=12_000, warmup=3_000)))
+        cycles=12_000, warmup=3_000, jobs=jobs)))
 
     stamp("Table 3 — L2 miss rates")
     emit(exp.format_table3(exp.table3_miss_rates(
-        cycles=15_000, warmup=4_000)))
+        cycles=15_000, warmup=4_000, jobs=jobs)))
 
     stamp("Table 5 — phase distribution (2-thread)")
     emit(exp.format_table5(exp.table5_phase_distribution(
-        cycles=20_000, warmup=4_000)))
+        cycles=20_000, warmup=4_000, jobs=jobs)))
 
     stamp("Figures 4+5 — full 9-cell policy comparison")
     results = exp.compare_policies(
         ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
-        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP)
+        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP, jobs=jobs)
     emit(exp.format_cell_results(results))
     emit()
     rows = exp.improvements_over(results)
@@ -63,15 +82,15 @@ def main() -> None:
 
     stamp("Figure 6 — register sweep")
     emit(exp.format_sweep(exp.figure6_register_sweep(
-        cycles=20_000, warmup=4_000), "registers"))
+        cycles=20_000, warmup=4_000, jobs=jobs), "registers"))
 
     stamp("Figure 7 — latency sweep")
     emit(exp.format_sweep(exp.figure7_latency_sweep(
-        cycles=20_000, warmup=4_000), "latency"))
+        cycles=20_000, warmup=4_000, jobs=jobs), "latency"))
 
     stamp("Section 5.2 — front-end activity / MLP")
     emit(exp.format_text52(exp.text52_frontend_and_mlp(
-        cycles=20_000, warmup=4_000)))
+        cycles=20_000, warmup=4_000, jobs=jobs)))
 
     stamp("done")
 

@@ -5,7 +5,8 @@ Commands:
 * ``run`` — simulate a benchmark mix under one policy and print the
   per-thread breakdown.
 * ``compare`` — run several policies on the same mix and print a
-  side-by-side table with Hmean fairness.
+  side-by-side table with Hmean fairness (``--jobs N`` simulates the
+  policies and baselines on N worker processes).
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
 """
 
@@ -15,7 +16,8 @@ import argparse
 import sys
 from typing import List
 
-from repro.harness.runner import run_benchmarks, single_thread_ipc
+from repro.harness.engine import SimJob, ensure_baselines, run_jobs
+from repro.harness.runner import run_benchmarks
 from repro.metrics.report import comparison_table, thread_table
 from repro.policies.registry import POLICY_NAMES
 from repro.trace.profiles import ALL_BENCHMARKS, get_profile
@@ -31,14 +33,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    results = [
-        run_benchmarks(args.benchmarks, policy, cycles=args.cycles,
-                       warmup=args.warmup, seed=args.seed)
-        for policy in args.policies
-    ]
-    singles = [single_thread_ipc(benchmark, cycles=args.cycles,
-                                 warmup=args.warmup, seed=args.seed)
-               for benchmark in args.benchmarks]
+    singles_by_benchmark = ensure_baselines(
+        args.benchmarks, cycles=args.cycles, warmup=args.warmup,
+        seed=args.seed, max_workers=args.jobs)
+    jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
+                   args.warmup, args.seed)
+            for policy in args.policies]
+    results = run_jobs(jobs, args.jobs)
+    singles = [singles_by_benchmark[b] for b in args.benchmarks]
     print(f"Workload: {'+'.join(args.benchmarks)}")
     print(comparison_table(results, single_ipcs=singles))
     return 0
@@ -107,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--cycles", type=int, default=15_000)
         sub_parser.add_argument("--warmup", type=int, default=3_000)
         sub_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the policy runs and baselines "
+             "(default: serial); results are identical for any N")
     return parser
 
 

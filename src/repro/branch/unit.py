@@ -65,6 +65,16 @@ class BranchUnit:
         """Current global-history register of a thread (for inspection)."""
         return self._history[tid]
 
+    def reset_stats(self) -> None:
+        """Zero prediction statistics, keeping all predictor state."""
+        self.cond_predictions = 0
+        self.cond_mispredictions = 0
+        self.btb.hits = 0
+        self.btb.misses = 0
+        for ras in self._ras:
+            ras.overflows = 0
+            ras.underflows = 0
+
     def predict_and_train(self, tid: int, op: StaticOp) -> BranchPrediction:
         """Predict the fetched branch and immediately train the tables.
 

@@ -81,6 +81,21 @@ class AdaptiveDcraPolicy(DcraPolicy):
         self._probe_rates = [[0.0, 0.0] for _ in range(num)]
         self._settle_left = [0] * num
 
+    def reset_stats(self) -> None:
+        """Zero statistics; rebase window baselines on the stats reset.
+
+        ``_window_start_commits`` stores absolute committed counts, which
+        the processor is about to zero (this hook runs before the thread
+        stats are replaced).  Rebasing by the pre-reset counts keeps the
+        current window's measured commit rate identical to what an
+        uninterrupted run would have seen, so a warm-up reset never
+        changes probing verdicts.
+        """
+        super().reset_stats()
+        self.clamp_verdicts = 0
+        for tid, thread in enumerate(self.processor.threads):
+            self._window_start_commits[tid] -= thread.stats.committed
+
     # -- cap override ---------------------------------------------------------
 
     def cap_for(self, resource: Resource, tid: int) -> int:

@@ -87,6 +87,19 @@ class ActivityTracker:
                 elif counters[tid] > 0:
                     counters[tid] -= 1
 
+    def signature(self) -> tuple:
+        """Hashable snapshot of the FP active/inactive flags.
+
+        DCRA's entitlements depend on the classification only through
+        these flags (integer resources are always active), so a caller
+        can compare signatures across cycles and skip recomputing caps
+        when nothing changed.
+        """
+        return tuple(
+            tuple(c > 0 for c in self._counters[resource])
+            for resource in FP_RESOURCES
+        )
+
     def is_active(self, resource: Resource, tid: int) -> bool:
         """Activity flag for a (resource, thread) pair.
 

@@ -7,7 +7,15 @@ Each cycle DCRA:
 2. computes, for each of the five shared resources, the entitlement of a
    slow-active thread from the sharing model (equation 3);
 3. fetch-stalls any slow-active thread whose occupancy of some resource
-   exceeds its entitlement, until it drains back under the cap.
+   has reached its entitlement, until it drains back below the cap.
+
+The cap boundary is the same at both enforcement points: a slow-active
+thread may hold *at most* ``cap`` entries of a resource.  The rename
+gate blocks an allocation while ``usage >= cap`` (allocating would
+exceed the cap) and the fetch gate stalls the thread while
+``usage >= cap`` (nothing it fetches could be renamed anyway, and the
+~30 instructions the four-stage front end can buffer must not pile up
+behind the cap).
 
 Fast threads are never restricted — they take whatever the slow threads
 leave — and inactive threads are not allocating the resource at all.
@@ -91,6 +99,16 @@ class DcraPolicy(Policy):
         self._caps = {resource: self.processor.resources.totals[resource]
                       for resource in Resource}
         self._equal_split = dict(self._caps)
+        #: Last (slow flags, FP activity flags) the caps were computed
+        #: for; caps are recomputed only when this signature changes.
+        self._class_sig = None
+        #: Per resource with at least one slow-active thread, the tids to
+        #: check against the cap each cycle.
+        self._gated: List = []
+
+    def reset_stats(self) -> None:
+        """Zero the stall-cycle statistic (control state untouched)."""
+        self.stall_cycles = [0] * len(self.stall_cycles)
 
     # -- classification ------------------------------------------------------
 
@@ -101,41 +119,77 @@ class DcraPolicy(Policy):
         return thread.pending_l2 > 0
 
     def begin_cycle(self, cycle: int) -> None:
-        """Re-evaluate classification, entitlements and enforcement."""
-        processor = self.processor
-        resources = processor.resources
-        num = processor.num_threads
-        slow = [self._is_slow(tid) for tid in range(num)]
+        """Re-evaluate classification, entitlements and enforcement.
 
+        The sharing-model caps depend on the classification only through
+        the slow flags and the FP activity flags, both of which change
+        rarely relative to the cycle clock, so caps (and the set of
+        gated threads) are recomputed only when that signature changes.
+        The occupancy-vs-cap check runs every cycle: occupancy moves
+        with every rename/issue/commit.
+        """
+        processor = self.processor
+        threads = processor.threads
+        num = processor.num_threads
+        if type(self)._is_slow is DcraPolicy._is_slow:
+            # Fast path: the counter reads of the base classification,
+            # without a method call per thread per cycle.
+            if self.config.slow_trigger == "l1d":
+                slow = [t.pending_l1d > 0 for t in threads]
+            else:
+                slow = [t.pending_l2 > 0 for t in threads]
+        else:
+            # _is_slow is the classification extension point; honour
+            # subclass overrides at the cost of the per-thread call.
+            slow = [self._is_slow(tid) for tid in range(num)]
         self._slow = slow
+        sig = (tuple(slow), self.activity.signature())
+        if sig != self._class_sig:
+            self._class_sig = sig
+            self._recompute_caps(slow)
+
         over_cap = [False] * num
+        per_thread = processor.resources.per_thread
+        cap_for = self.cap_for
+        for resource, tids in self._gated:
+            usage_row = per_thread[resource]
+            for tid in tids:
+                # A slow-active thread that has consumed its full
+                # entitlement is gated (see ``cap_for`` for the boundary
+                # semantics shared with ``may_rename``).
+                if usage_row[tid] >= cap_for(resource, tid):
+                    over_cap[tid] = True
+        self._over_cap = over_cap
+        stall_cycles = self.stall_cycles
+        for tid in range(num):
+            if over_cap[tid]:
+                stall_cycles[tid] += 1
+
+    def _recompute_caps(self, slow: List[bool]) -> None:
+        """Refresh per-resource entitlements after a classification change."""
+        resources = self.processor.resources
+        num = self.processor.num_threads
+        activity = self.activity
+        gated = []
         for resource in Resource:
-            active = [self.activity.is_active(resource, tid)
-                      for tid in range(num)]
+            active = [activity.is_active(resource, tid) for tid in range(num)]
             fast_active = sum(1 for tid in range(num)
                               if active[tid] and not slow[tid])
-            slow_active = sum(1 for tid in range(num)
-                              if active[tid] and slow[tid])
+            slow_active_tids = [tid for tid in range(num)
+                                if active[tid] and slow[tid]]
+            slow_active = len(slow_active_tids)
             total = resources.totals[resource]
             if resource in IQ_RESOURCES:
                 cap = self.sharing.share_for_iq(total, fast_active, slow_active)
             else:
                 cap = self.sharing.share_for_reg(total, fast_active, slow_active)
             self._caps[resource] = cap
+            active_count = fast_active + slow_active
             self._equal_split[resource] = (
-                total // (fast_active + slow_active)
-                if fast_active + slow_active else total)
-            if slow_active == 0:
-                continue
-            for tid in range(num):
-                if slow[tid] and active[tid] and \
-                        resources.usage(resource, tid) > \
-                        self.cap_for(resource, tid):
-                    over_cap[tid] = True
-        self._over_cap = over_cap
-        for tid in range(num):
-            if over_cap[tid]:
-                self.stall_cycles[tid] += 1
+                total // active_count if active_count else total)
+            if slow_active:
+                gated.append((resource, slow_active_tids))
+        self._gated = gated
 
     # -- control ---------------------------------------------------------------
 
@@ -146,23 +200,32 @@ class DcraPolicy(Policy):
     def may_rename(self, tid: int, op: MicroOp) -> bool:
         if not self.config.enforce_at_rename or not self._slow[tid]:
             return True
-        resources = self.processor.resources
-        needed = [iq_for_class(op.op_class)]
-        if op.static.has_dest:
-            needed.append(reg_for_dest(op.static.dest_is_fp))
-        for resource in needed:
-            if not self.activity.is_active(resource, tid):
-                continue
-            if resources.usage(resource, tid) >= self.cap_for(resource, tid):
+        per_thread = self.processor.resources.per_thread
+        activity = self.activity
+        iq = iq_for_class(op.op_class)
+        # usage >= cap: allocating one more entry would exceed the cap
+        # (same boundary as the fetch gate in begin_cycle).
+        if activity.is_active(iq, tid) and \
+                per_thread[iq][tid] >= self.cap_for(iq, tid):
+            return False
+        static = op.static
+        if static.has_dest:
+            reg = reg_for_dest(static.dest_is_fp)
+            if activity.is_active(reg, tid) and \
+                    per_thread[reg][tid] >= self.cap_for(reg, tid):
                 return False
         return True
 
     def cap_for(self, resource: Resource, tid: int) -> int:
         """Effective entitlement of one slow-active thread.
 
-        The base policy gives every slow-active thread the same sharing-
-        model cap; subclasses (e.g. the degenerate-case guard of
-        :mod:`repro.core.adaptive`) override this per thread.
+        A slow-active thread may hold at most this many entries of
+        ``resource``: both enforcement points — the rename gate of
+        :meth:`may_rename` and the fetch gate of :meth:`begin_cycle` —
+        compare ``usage >= cap_for(...)``, so the boundary cannot drift
+        between them.  The base policy gives every slow-active thread
+        the same sharing-model cap; subclasses (e.g. the degenerate-case
+        guard of :mod:`repro.core.adaptive`) override this per thread.
         """
         return self._caps[resource]
 

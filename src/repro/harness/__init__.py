@@ -1,13 +1,33 @@
 """Experiment harness.
 
-:mod:`repro.harness.runner` runs workloads under policies and computes the
-paper's metrics (with cached single-thread baselines for Hmean);
+:mod:`repro.harness.runner` runs workloads under policies and computes
+the paper's metrics, with single-thread Hmean baselines memoised in a
+disk-backed, process-safe cache (:class:`~repro.harness.runner.BaselineCache`,
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dcra``).
+
+:mod:`repro.harness.engine` is the parallel experiment engine:
+declarative :class:`~repro.harness.engine.SimJob` specs executed over a
+process pool (:func:`~repro.harness.engine.run_jobs`), deterministic for
+any worker count.
+
 :mod:`repro.harness.experiments` regenerates every table and figure of
-the paper's evaluation section.
+the paper's evaluation section; each driver expresses its sweep as a job
+list and takes a ``jobs`` worker-count parameter (also reachable as
+``--jobs`` on ``python -m repro`` and ``scripts/run_all_experiments.py``).
 """
 
+from repro.harness.engine import (
+    SimJob,
+    derive_seed,
+    ensure_baselines,
+    parallel_map,
+    run_job,
+    run_jobs,
+)
 from repro.harness.runner import (
+    BaselineCache,
     PolicyEvaluation,
+    baseline_cache,
     clear_baseline_cache,
     evaluate_workload,
     run_benchmarks,
@@ -16,10 +36,18 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "BaselineCache",
     "PolicyEvaluation",
+    "SimJob",
+    "baseline_cache",
     "clear_baseline_cache",
+    "derive_seed",
+    "ensure_baselines",
     "evaluate_workload",
+    "parallel_map",
     "run_benchmarks",
+    "run_job",
+    "run_jobs",
     "run_workload",
     "single_thread_ipc",
 ]

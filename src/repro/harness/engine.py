@@ -1,0 +1,180 @@
+"""Parallel experiment engine: declarative jobs over a process pool.
+
+Reproducing the paper end-to-end means simulating dozens of
+policy x workload x configuration combinations, each an independent,
+deterministic, CPU-bound cycle-simulation.  This module turns such a
+sweep into data: a driver describes every run as a :class:`SimJob`,
+submits the list to :func:`run_jobs`, and gets the corresponding
+:class:`~repro.metrics.stats.SimulationResult` list back in submission
+order — computed serially or on a process pool, with identical results
+either way.
+
+Determinism
+-----------
+Each job carries its own explicit seed (see :func:`derive_seed` for
+building disjoint per-job seeds from a base seed), and every job
+constructs a fresh simulator, so results depend only on the job
+description — never on scheduling, worker count or completion order.
+``run_jobs(jobs, n)`` is therefore bitwise-identical to
+``[run_job(j) for j in jobs]`` for any ``n``.
+
+Baseline sharing
+----------------
+Single-thread baseline runs (the Hmean denominators) are memoised by
+the disk-backed :class:`~repro.harness.runner.BaselineCache`, which is
+process-safe: worker processes and the parent all read and write the
+same on-disk entries, so a baseline is simulated once per sweep rather
+than once per process.  :func:`ensure_baselines` precomputes missing
+baselines through the pool before a sweep starts.
+
+The pool falls back to serial execution (with a warning) when process
+pools are unavailable in the host environment.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import (
+    DEFAULT_CYCLES,
+    DEFAULT_WARMUP,
+    PolicySpec,
+    baseline_cache,
+    run_benchmarks,
+    single_thread_ipc,
+)
+from repro.metrics.stats import SimulationResult
+from repro.pipeline.config import SMTConfig
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation run, described declaratively.
+
+    Attributes:
+        benchmarks: benchmark names, one per hardware context.
+        policy: policy name, or ``(name, kwargs)`` for parameterised
+            policies; must be picklable for pool execution (the named
+            sharing factors and frozen config dataclasses all are).
+        config: processor configuration; Table 2 baseline when None.
+        cycles: measured cycles (after warm-up).
+        warmup: cycles simulated before statistics are reset.
+        seed: workload seed for this job.
+        tag: optional caller-side correlation label; ignored by the
+            engine, carried for bookkeeping in driver code.
+    """
+
+    benchmarks: Tuple[str, ...]
+    policy: PolicySpec = "ICOUNT"
+    config: Optional[SMTConfig] = None
+    cycles: int = DEFAULT_CYCLES
+    warmup: int = DEFAULT_WARMUP
+    seed: int = 1
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-job seed from a base seed and a job index.
+
+    Use when a driver wants statistically independent repetitions of
+    the same configuration; jobs that must see identical instruction
+    streams (policy comparisons) should share one seed instead.
+    """
+    return base_seed * 1_000_003 + index * 7919 + 1
+
+
+def run_job(job: SimJob) -> SimulationResult:
+    """Execute one job in the current process."""
+    return run_benchmarks(list(job.benchmarks), job.policy, job.config,
+                          job.cycles, job.warmup, job.seed)
+
+
+def _make_pool(max_workers: int) -> Optional[ProcessPoolExecutor]:
+    """Create a process pool, or None when the host cannot provide one."""
+    try:
+        return ProcessPoolExecutor(max_workers=max_workers)
+    except (OSError, ValueError, ImportError) as error:
+        warnings.warn(
+            f"process pool unavailable ({error}); running serially",
+            RuntimeWarning, stacklevel=3)
+        return None
+
+
+def parallel_map(func: Callable, items: Sequence,
+                 max_workers: int = 1) -> List:
+    """Map a picklable top-level function over items, order-preserving.
+
+    The generic sibling of :func:`run_jobs` for drivers whose per-item
+    work is not a plain :class:`SimJob` (e.g. runs that install cycle
+    hooks).  With ``max_workers <= 1`` — or when no pool can be created
+    — it degrades to a plain serial map, so results never depend on the
+    execution mode.
+    """
+    items = list(items)
+    if max_workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    pool = _make_pool(min(max_workers, len(items)))
+    if pool is None:
+        return [func(item) for item in items]
+    with pool:
+        return list(pool.map(func, items))
+
+
+def run_jobs(jobs: Iterable[SimJob],
+             max_workers: int = 1) -> List[SimulationResult]:
+    """Execute jobs and return their results in submission order.
+
+    Args:
+        jobs: the job list; each job is independent and deterministic.
+        max_workers: process count; ``<= 1`` runs serially in-process.
+    """
+    return parallel_map(run_job, list(jobs), max_workers)
+
+
+def _baseline_item(item: Tuple[str, SMTConfig, int, int, int]) -> float:
+    """Worker-side baseline computation: one :func:`single_thread_ipc`.
+
+    Module-level so the pool can pickle it; delegating to
+    :func:`single_thread_ipc` keeps the baseline recipe (policy, which
+    thread's IPC, cache keying) defined in exactly one place, and lets
+    the worker write the shared disk cache itself.
+    """
+    benchmark, config, cycles, warmup, seed = item
+    return single_thread_ipc(benchmark, config, cycles, warmup, seed)
+
+
+def ensure_baselines(
+    benchmarks: Sequence[str],
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+    max_workers: int = 1,
+) -> Dict[str, float]:
+    """Single-thread IPCs for benchmarks, computing misses in parallel.
+
+    Cache hits (memory or disk) are returned directly; the missing
+    baselines are simulated through the pool and written back to the
+    shared cache, so subsequent :func:`single_thread_ipc` calls — in
+    this or any worker process — hit.
+    """
+    config = config or SMTConfig()
+    unique = list(dict.fromkeys(benchmarks))
+    missing = [b for b in unique
+               if baseline_cache.get(b, config, cycles, warmup, seed) is None]
+    if missing and max_workers > 1:
+        items = [(b, config, cycles, warmup, seed) for b in missing]
+        for benchmark, ipc in zip(
+                missing, parallel_map(_baseline_item, items, max_workers)):
+            # Mirror the worker's result into this process's cache (the
+            # worker already wrote the disk entry; this fills memory and
+            # covers a disk-less environment).
+            baseline_cache.put(benchmark, config, cycles, warmup, seed, ipc)
+    return {b: single_thread_ipc(b, config, cycles, warmup, seed)
+            for b in unique}

@@ -6,6 +6,15 @@ them as the paper lays them out.  Cycle budgets are parameters: the
 defaults keep a full regeneration tractable in pure Python, and every
 driver accepts larger budgets for lower-variance runs.
 
+Every driver expresses its sweep as a list of declarative
+:class:`~repro.harness.engine.SimJob` specs submitted to the parallel
+experiment engine and accepts a ``jobs`` parameter (worker process
+count, default serial).  Results are identical for any ``jobs`` value:
+job seeds are fixed by the driver and each job simulates independently
+(see :mod:`repro.harness.engine` for the determinism contract).
+Single-thread Hmean baselines are shared across processes through the
+disk-backed baseline cache.
+
 Experiment-to-paper map:
 
 ==========  ==========================================================
@@ -29,13 +38,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dcra import DcraConfig
 from repro.core.sharing import SharingModel
-from repro.harness.runner import (
-    PolicySpec,
-    evaluate_workload,
-    improvement_pct,
-    run_benchmarks,
-    single_thread_ipc,
+from repro.harness.engine import (
+    SimJob,
+    ensure_baselines,
+    parallel_map,
+    run_jobs,
 )
+from repro.harness.runner import PolicySpec, improvement_pct
+from repro.metrics.stats import safe_hmean
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
 from repro.policies.registry import make_policy
@@ -118,6 +128,7 @@ def figure2_resource_sensitivity(
     fractions: Sequence[float] = FIG2_FRACTIONS,
     resources: Optional[Sequence[str]] = None,
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[Figure2Row]:
     """Regenerate Figure 2: % of full speed vs % of one resource.
 
@@ -125,21 +136,28 @@ def figure2_resource_sensitivity(
     one resource (issue queue or rename-register pool) and reports the
     mean IPC relative to the full-resource run.
     """
-    rows: List[Figure2Row] = []
     resource_names = list(resources or FIG2_RESOURCES)
+    job_list: List[SimJob] = []
     for resource in resource_names:
         benchmarks = FIG2_RESOURCES[resource]
-        full = {
-            b: run_benchmarks([b], "ICOUNT", FIG2_CONFIG, cycles, warmup,
-                              seed).threads[0].ipc
-            for b in benchmarks
-        }
+        job_list.extend(
+            SimJob((b,), "ICOUNT", FIG2_CONFIG, cycles, warmup, seed)
+            for b in benchmarks)
         for fraction in fractions:
             config = _fig2_config_for(resource, fraction)
+            job_list.extend(
+                SimJob((b,), "ICOUNT", config, cycles, warmup, seed)
+                for b in benchmarks)
+    results = iter(run_jobs(job_list, jobs))
+
+    rows: List[Figure2Row] = []
+    for resource in resource_names:
+        benchmarks = FIG2_RESOURCES[resource]
+        full = {b: next(results).threads[0].ipc for b in benchmarks}
+        for fraction in fractions:
             ratios = []
             for benchmark in benchmarks:
-                ipc = run_benchmarks([benchmark], "ICOUNT", config, cycles,
-                                     warmup, seed).threads[0].ipc
+                ipc = next(results).threads[0].ipc
                 if full[benchmark] > 0:
                     ratios.append(ipc / full[benchmark])
             rows.append(Figure2Row(resource, fraction,
@@ -187,12 +205,15 @@ def table3_miss_rates(
     warmup: int = 4_000,
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 3,
+    jobs: int = 1,
 ) -> List[Table3Row]:
     """Regenerate Table 3: single-thread L2 miss rate per benchmark."""
+    names = list(benchmarks or sorted(ALL_BENCHMARKS))
+    job_list = [SimJob((name,), "ICOUNT", None, cycles, warmup, seed)
+                for name in names]
     rows = []
-    for name in benchmarks or sorted(ALL_BENCHMARKS):
+    for name, result in zip(names, run_jobs(job_list, jobs)):
         profile = get_profile(name)
-        result = run_benchmarks([name], "ICOUNT", None, cycles, warmup, seed)
         rows.append(Table3Row(
             benchmark=name,
             suite=profile.suite,
@@ -230,34 +251,51 @@ class Table5Row:
     fast_fast_pct: float
 
 
+def _table5_counts(item: Tuple[Workload, int, int, int]) -> Tuple[int, int, int]:
+    """Phase-combination cycle counts of one 2-thread workload under DCRA.
+
+    Module-level (not a closure) so :func:`parallel_map` can ship it to
+    worker processes; returns (slow-slow, mixed, fast-fast) counts.
+    """
+    workload, cycles, warmup, seed = item
+    processor = SMTProcessor(SMTConfig(), workload.profiles(),
+                             make_policy("DCRA"), seed=seed)
+    processor.run(warmup)
+    counts = [0, 0, 0]  # slow-slow, mixed, fast-fast
+
+    def sample(proc, counts=counts):
+        slow = sum(1 for t in proc.threads if t.is_slow())
+        if slow == 2:
+            counts[0] += 1
+        elif slow == 1:
+            counts[1] += 1
+        else:
+            counts[2] += 1
+
+    processor.cycle_hooks.append(sample)
+    processor.run(cycles)
+    return tuple(counts)
+
+
 def table5_phase_distribution(
     cycles: int = 20_000,
     warmup: int = 4_000,
     seed: int = 5,
+    jobs: int = 1,
 ) -> List[Table5Row]:
     """Regenerate Table 5: % of cycles 2-thread workloads spend with both
     threads slow, one slow one fast, or both fast (under DCRA)."""
+    wtypes = ("ILP", "MIX", "MEM")
+    items = [(workload, cycles, warmup, seed)
+             for wtype in wtypes
+             for workload in workload_groups(2, wtype)]
+    per_workload = iter(parallel_map(_table5_counts, items, jobs))
     rows = []
-    for wtype in ("ILP", "MIX", "MEM"):
-        counts = [0, 0, 0]  # slow-slow, mixed, fast-fast
-        for workload in workload_groups(2, wtype):
-            profiles = workload.profiles()
-            processor = SMTProcessor(SMTConfig(), profiles,
-                                     make_policy("DCRA"), seed=seed)
-            processor.run(warmup)
-
-            def sample(proc, counts=counts):
-                slow = sum(1 for t in proc.threads if t.is_slow())
-                counts[2 - slow] += 0  # keep indices obvious below
-                if slow == 2:
-                    counts[0] += 1
-                elif slow == 1:
-                    counts[1] += 1
-                else:
-                    counts[2] += 1
-
-            processor.cycle_hooks.append(sample)
-            processor.run(cycles)
+    for wtype in wtypes:
+        counts = [0, 0, 0]
+        for _ in workload_groups(2, wtype):
+            for i, count in enumerate(next(per_workload)):
+                counts[i] += count
         total = sum(counts)
         rows.append(Table5Row(
             wtype=wtype,
@@ -299,21 +337,47 @@ def compare_policies(
     cycles: int = 30_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[CellResult]:
     """Evaluate policies over workload cells, averaging the four groups.
 
-    This is the engine behind Figures 4, 5, 6 and 7.
+    This is the driver behind Figures 4, 5, 6 and 7.  The sweep runs as
+    two engine phases: the single-thread Hmean baselines of every
+    benchmark involved, then one job per (workload, policy); all jobs
+    share ``seed`` so every policy sees identical instruction streams.
     """
+    config = config or SMTConfig()
+    cell_workloads = [(num_threads, wtype,
+                       list(workload_groups(num_threads, wtype)))
+                      for num_threads, wtype in cells]
+    all_benchmarks = [b
+                      for _, _, workloads in cell_workloads
+                      for workload in workloads
+                      for b in workload.benchmarks]
+    singles = ensure_baselines(all_benchmarks, config, cycles, warmup,
+                               seed, max_workers=jobs)
+
+    job_list: List[SimJob] = []
+    for _, _, workloads in cell_workloads:
+        for workload in workloads:
+            job_list.extend(
+                SimJob(tuple(workload.benchmarks), policy, config, cycles,
+                       warmup, seed)
+                for policy in policies)
+    job_results = iter(run_jobs(job_list, jobs))
+
     results: List[CellResult] = []
-    for num_threads, wtype in cells:
+    for num_threads, wtype, workloads in cell_workloads:
         sums: Dict[str, List[float]] = {}
-        for workload in workload_groups(num_threads, wtype):
-            evaluations = evaluate_workload(workload, policies, config,
-                                            cycles, warmup, seed)
-            for name, evaluation in evaluations.items():
-                entry = sums.setdefault(name, [0.0, 0.0])
-                entry[0] += evaluation.throughput / 4.0
-                entry[1] += evaluation.hmean / 4.0
+        for workload in workloads:
+            workload_singles = [singles[b] for b in workload.benchmarks]
+            for _ in policies:
+                result = next(job_results)
+                entry = sums.setdefault(result.policy, [0.0, 0.0])
+                entry[0] += result.throughput / 4.0
+                hmean = safe_hmean(result.ipcs, workload_singles,
+                                   workload.name)
+                entry[1] += hmean / 4.0
         for name, (throughput, hmean) in sums.items():
             results.append(CellResult(num_threads, wtype, name,
                                       throughput, hmean))
@@ -363,10 +427,11 @@ def figure4_dcra_vs_static(
     cycles: int = 30_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[ImprovementRow]:
     """Regenerate Figure 4: DCRA improvement over SRA per workload cell."""
     results = compare_policies(["SRA", "DCRA"], cells, None, cycles,
-                               warmup, seed)
+                               warmup, seed, jobs)
     return improvements_over(results)
 
 
@@ -375,10 +440,11 @@ def figure5_policy_comparison(
     cycles: int = 30_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[CellResult]:
     """Regenerate Figure 5: throughput and Hmean for the fetch policies."""
     return compare_policies(["ICOUNT", "DG", "FLUSH++", "DCRA"], cells,
-                            None, cycles, warmup, seed)
+                            None, cycles, warmup, seed, jobs)
 
 
 def format_improvements(rows: Sequence[ImprovementRow]) -> str:
@@ -433,9 +499,11 @@ def _averaged_improvements(
     warmup: int,
     seed: int,
     subject: str = "DCRA",
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Mean Hmean-improvement of the subject over each baseline."""
-    results = compare_policies(policies, cells, config, cycles, warmup, seed)
+    results = compare_policies(policies, cells, config, cycles, warmup,
+                               seed, jobs)
     rows = improvements_over(results, subject)
     sums: Dict[str, List[float]] = {}
     for row in rows:
@@ -449,6 +517,7 @@ def figure6_register_sweep(
     cycles: int = 25_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[SweepRow]:
     """Regenerate Figure 6: Hmean improvement vs register file size."""
     rows = []
@@ -456,7 +525,7 @@ def figure6_register_sweep(
         config = SMTConfig().with_registers(size)
         improvements = _averaged_improvements(
             ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], config, cells,
-            cycles, warmup, seed)
+            cycles, warmup, seed, jobs=jobs)
         for baseline, value in sorted(improvements.items()):
             rows.append(SweepRow(size, baseline, value))
     return rows
@@ -486,6 +555,7 @@ def figure7_latency_sweep(
     cycles: int = 25_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[SweepRow]:
     """Regenerate Figure 7: Hmean improvement vs memory latency."""
     rows = []
@@ -493,7 +563,7 @@ def figure7_latency_sweep(
         config = SMTConfig().with_latencies(memory_latency, l2_latency)
         improvements = _averaged_improvements(
             ["ICOUNT", "FLUSH++", "DG", "SRA", dcra_for_latency(memory_latency)],
-            config, cells, cycles, warmup, seed)
+            config, cells, cycles, warmup, seed, jobs=jobs)
         for baseline, value in sorted(improvements.items()):
             rows.append(SweepRow(memory_latency, baseline, value))
     return rows
@@ -527,17 +597,26 @@ def text52_frontend_and_mlp(
     cycles: int = 25_000,
     warmup: int = 5_000,
     seed: int = 1,
+    jobs: int = 1,
 ) -> List[Text52Row]:
     """Measure the Section 5.2 claims: FLUSH++ fetches ~2x more than DCRA
     while DCRA overlaps more L2 misses (memory parallelism)."""
+    policies = ("FLUSH++", "DCRA")
+    job_list = [
+        SimJob(tuple(workload.benchmarks), policy, None, cycles, warmup, seed)
+        for num_threads, wtype in cells
+        for policy in policies
+        for workload in workload_groups(num_threads, wtype)
+    ]
+    job_results = iter(run_jobs(job_list, jobs))
+
     rows = []
     for num_threads, wtype in cells:
-        for policy in ("FLUSH++", "DCRA"):
+        for policy in policies:
             fetched = committed = 0
             overlap = 0.0
-            for workload in workload_groups(num_threads, wtype):
-                result = evaluate_workload(
-                    workload, [policy], None, cycles, warmup, seed)[policy].result
+            for _ in workload_groups(num_threads, wtype):
+                result = next(job_results)
                 fetched += result.total_fetched
                 committed += result.total_committed
                 overlap += result.avg_l2_overlap / 4.0

@@ -4,14 +4,25 @@ The functions here are the building blocks every experiment driver and
 example uses: run a set of benchmarks under a policy, collect a
 :class:`~repro.metrics.stats.SimulationResult`, and evaluate throughput
 and Hmean fairness against cached single-thread baselines.
+
+Single-thread baselines are memoised both in memory and on disk (see
+:class:`BaselineCache`), so repeated invocations — and the worker
+processes of the parallel experiment engine
+(:mod:`repro.harness.engine`) — share one set of baseline runs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import shutil
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.metrics.stats import SimulationResult, collect_result
+from repro.metrics.stats import SimulationResult, collect_result, safe_hmean
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
 from repro.policies.registry import make_policy
@@ -26,12 +37,140 @@ DEFAULT_WARMUP = 3_000
 
 PolicySpec = Union[str, Tuple[str, dict]]
 
-_baseline_cache: Dict[tuple, float] = {}
+#: Bump on deliberate cache-format changes.  Code-change staleness is
+#: handled automatically by :func:`simulator_fingerprint`.
+BASELINE_CACHE_VERSION = 1
+
+_fingerprint_cache: Optional[str] = None
 
 
-def clear_baseline_cache() -> None:
-    """Drop memoised single-thread IPCs (use after monkey-patching)."""
-    _baseline_cache.clear()
+def simulator_fingerprint() -> str:
+    """Content hash of the installed ``repro`` source tree.
+
+    Part of every baseline-cache key: any edit to the simulator source
+    changes the fingerprint, so disk entries written by older code can
+    never be served silently — no manual version bump required.  Falls
+    back to the package version marker when the source is unreadable
+    (e.g. a frozen install).
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        digest = hashlib.sha256()
+        try:
+            import repro
+
+            root = Path(repro.__file__).parent
+            for path in sorted(root.rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(path.read_bytes())
+            _fingerprint_cache = digest.hexdigest()[:16]
+        except OSError:
+            _fingerprint_cache = "unknown-source"
+    return _fingerprint_cache
+
+
+class BaselineCache:
+    """Disk-backed, process-safe memoisation of single-thread IPCs.
+
+    Layout and invalidation rules:
+
+    * Entries live under ``$REPRO_CACHE_DIR/baselines/`` (defaulting to
+      ``~/.cache/repro-dcra/baselines/``), one JSON file per entry.  The
+      environment variable is re-read on every access, so tests and
+      parallel drivers can redirect the cache without re-importing.
+    * The file name is the SHA-256 of the full run descriptor:
+      :data:`BASELINE_CACHE_VERSION`, the :func:`simulator_fingerprint`
+      (a content hash of the ``repro`` source tree), benchmark name,
+      the ``repr`` of the :class:`SMTConfig` (every field participates),
+      measured cycles, warm-up cycles and seed.  Changing *any* input —
+      including any line of simulator code — therefore misses rather
+      than returning a stale value; bumping the version constant
+      invalidates everything at once.
+    * Writes go to a temporary file followed by :func:`os.replace`, so
+      concurrent readers in other processes see either the complete
+      entry or none at all — no locking is required, and racing writers
+      deterministically write identical content.
+
+    Disk I/O is best-effort: an unreadable or unwritable cache degrades
+    to the in-memory dictionary without failing the run.
+    """
+
+    def __init__(self) -> None:
+        self._memory: Dict[str, float] = {}
+
+    @staticmethod
+    def directory() -> Path:
+        """Resolve the cache directory (honours ``REPRO_CACHE_DIR``)."""
+        root = os.environ.get("REPRO_CACHE_DIR")
+        base = Path(root) if root else Path.home() / ".cache" / "repro-dcra"
+        return base / "baselines"
+
+    @staticmethod
+    def _key(benchmark: str, config: SMTConfig, cycles: int, warmup: int,
+             seed: int) -> str:
+        descriptor = (f"v{BASELINE_CACHE_VERSION}|{simulator_fingerprint()}|"
+                      f"{benchmark}|{config!r}|{cycles}|{warmup}|{seed}")
+        return hashlib.sha256(descriptor.encode()).hexdigest()
+
+    def get(self, benchmark: str, config: SMTConfig, cycles: int,
+            warmup: int, seed: int) -> Optional[float]:
+        """Cached IPC for a baseline run, or None on a miss."""
+        key = self._key(benchmark, config, cycles, warmup, seed)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        try:
+            with open(self.directory() / f"{key}.json") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        ipc = payload.get("ipc")
+        if not isinstance(ipc, (int, float)):
+            return None
+        self._memory[key] = float(ipc)
+        return float(ipc)
+
+    def put(self, benchmark: str, config: SMTConfig, cycles: int,
+            warmup: int, seed: int, ipc: float) -> None:
+        """Store a baseline result in memory and (best-effort) on disk."""
+        key = self._key(benchmark, config, cycles, warmup, seed)
+        self._memory[key] = ipc
+        directory = self.directory()
+        path = directory / f"{key}.json"
+        payload = json.dumps({
+            "ipc": ipc,
+            "version": BASELINE_CACHE_VERSION,
+            "benchmark": benchmark,
+            "cycles": cycles,
+            "warmup": warmup,
+            "seed": seed,
+        })
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            tmp = directory / f".{key}.{os.getpid()}.tmp"
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop in-memory entries; with ``disk=True`` also wipe the files."""
+        self._memory.clear()
+        if disk:
+            shutil.rmtree(self.directory(), ignore_errors=True)
+
+
+#: The process-wide baseline cache instance.
+baseline_cache = BaselineCache()
+
+
+def clear_baseline_cache(disk: bool = False) -> None:
+    """Drop memoised single-thread IPCs (use after monkey-patching).
+
+    Args:
+        disk: also remove the on-disk entries (see :class:`BaselineCache`).
+    """
+    baseline_cache.clear(disk=disk)
 
 
 def _build_policy(policy: PolicySpec):
@@ -93,17 +232,18 @@ def single_thread_ipc(
 ) -> float:
     """IPC of a benchmark running alone on the machine (Hmean baseline).
 
-    Results are memoised: Hmean evaluation of many policies over many
-    workloads reuses the same per-benchmark baselines.
+    Results are memoised in memory and on disk (:class:`BaselineCache`):
+    Hmean evaluation of many policies over many workloads — and every
+    worker process of a parallel sweep — reuses the same per-benchmark
+    baselines.
     """
     config = config or SMTConfig()
-    key = (benchmark, config, cycles, warmup, seed)
-    cached = _baseline_cache.get(key)
+    cached = baseline_cache.get(benchmark, config, cycles, warmup, seed)
     if cached is not None:
         return cached
     result = run_benchmarks([benchmark], "ICOUNT", config, cycles, warmup, seed)
     ipc = result.threads[0].ipc
-    _baseline_cache[key] = ipc
+    baseline_cache.put(benchmark, config, cycles, warmup, seed, ipc)
     return ipc
 
 
@@ -139,26 +279,44 @@ def evaluate_workload(
         evaluations[result.policy] = PolicyEvaluation(
             policy=result.policy,
             throughput=result.throughput,
-            hmean=result.hmean_vs(singles),
+            hmean=safe_hmean(result.ipcs, singles, workload.name),
             result=result,
         )
     return evaluations
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean, used when averaging improvement ratios."""
+    """Geometric mean, used when averaging improvement ratios.
+
+    A non-positive value (a thread that committed nothing in a short
+    measurement window) makes the geometric mean undefined; rather than
+    crashing a long sweep, the function warns and reports 0.0 — the
+    natural "completely degenerate" limit of the metric.
+    """
     if not values:
         raise ValueError("geometric mean of an empty sequence")
     product = 1.0
     for value in values:
         if value <= 0:
-            raise ValueError("geometric mean requires positive values")
+            warnings.warn(
+                f"geometric mean of non-positive value {value!r}: a thread "
+                "committed no instructions in the measurement window; "
+                "reporting 0.0", RuntimeWarning, stacklevel=2)
+            return 0.0
         product *= value
     return product ** (1.0 / len(values))
 
 
 def improvement_pct(new: float, old: float) -> float:
-    """Relative improvement of ``new`` over ``old`` in percent."""
+    """Relative improvement of ``new`` over ``old`` in percent.
+
+    A non-positive baseline (zero IPC from a degenerate window) makes
+    the ratio undefined; the function warns and reports NaN so sweep
+    output stays well-formed instead of raising mid-run.
+    """
     if old <= 0:
-        raise ValueError("baseline must be positive")
+        warnings.warn(
+            f"improvement over non-positive baseline {old!r} is undefined; "
+            "reporting NaN", RuntimeWarning, stacklevel=2)
+        return float("nan")
     return 100.0 * (new / old - 1.0)

@@ -90,6 +90,7 @@ class StaticOp:
         "taken",
         "target",
         "latency",
+        "has_dest",
     )
 
     def __init__(
@@ -113,11 +114,9 @@ class StaticOp:
         self.taken = taken
         self.target = target
         self.latency = latency
-
-    @property
-    def has_dest(self) -> bool:
-        """True if the op allocates a destination rename register."""
-        return self.op_class in _DEST_CLASSES
+        # Precomputed at construction: read once per rename/issue of every
+        # dynamic instance, which makes a property too expensive here.
+        self.has_dest = op_class in _DEST_CLASSES
 
     @property
     def is_mem(self) -> bool:
@@ -150,6 +149,7 @@ class MicroOp:
 
     __slots__ = (
         "static",
+        "op_class",
         "tid",
         "seq",
         "trace_index",
@@ -182,6 +182,9 @@ class MicroOp:
         fetch_cycle: int,
     ) -> None:
         self.static = static
+        # Mirrored from the static op: the pipeline reads it on every
+        # rename/issue/squash, so a plain slot beats a delegating property.
+        self.op_class = static.op_class
         self.tid = tid
         self.seq = seq
         self.trace_index = trace_index
@@ -202,10 +205,6 @@ class MicroOp:
         self.l2_missed = False
         self.l2_detected = False
         self.tlb_missed = False
-
-    @property
-    def op_class(self) -> OpClass:
-        return self.static.op_class
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         wp = " WP" if self.wrong_path else ""

@@ -41,6 +41,11 @@ class Cache:
         self.hits = 0
         self.misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping cache contents."""
+        self.hits = 0
+        self.misses = 0
+
     def line_address(self, addr: int) -> int:
         """Line-aligned address for ``addr``."""
         return addr >> self._offset_bits << self._offset_bits

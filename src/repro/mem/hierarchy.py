@@ -124,6 +124,22 @@ class MemoryHierarchy:
             tid: ThreadMemStats() for tid in range(num_threads)
         }
 
+    def reset_stats(self) -> None:
+        """Zero every statistic accumulated so far, keeping contents.
+
+        Covers the per-thread counters *and* the structural hit/miss
+        counters of the caches, the TLB and the MSHR file, so a
+        measurement window that starts after warm-up sees only its own
+        events (in-flight fills and cached lines survive untouched).
+        """
+        for stats in self.thread_stats.values():
+            stats.__init__()
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.dtlb.reset_stats()
+        self.mshrs.reset_stats()
+
     # -- loads ---------------------------------------------------------------
 
     def access_load(self, tid: int, addr: int, cycle: int,
@@ -258,8 +274,11 @@ class MemoryHierarchy:
 
     def tick(self, cycle: int) -> None:
         """Complete fills due at ``cycle`` and sample MLP statistics."""
-        self.mshrs.sample_overlap()
-        for entry in self.mshrs.pop_ready(cycle):
+        mshrs = self.mshrs
+        if not mshrs.outstanding():
+            return  # nothing in flight: nothing to sample or fill
+        mshrs.sample_overlap()
+        for entry in mshrs.pop_ready(cycle):
             if entry.is_l2_miss:
                 victim = self.l2.fill(entry.line_addr)
                 if victim is not None and self.inclusive_l2:

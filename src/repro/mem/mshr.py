@@ -49,6 +49,16 @@ class MSHRFile:
         #: the processor, to derive average memory parallelism.
         self.l2_overlap_samples = 0
         self.l2_overlap_sum = 0
+        # Incrementally maintained count of in-flight main-memory fills;
+        # sampled every cycle, so a scan over the entries is too slow.
+        self._outstanding_l2 = 0
+
+    def reset_stats(self) -> None:
+        """Zero accumulated statistics, keeping in-flight entries."""
+        self.merges = 0
+        self.allocations = 0
+        self.l2_overlap_samples = 0
+        self.l2_overlap_sum = 0
 
     def lookup(self, line_addr: int) -> Optional[MSHREntry]:
         """Return the in-flight entry for a line, if any."""
@@ -73,6 +83,8 @@ class MSHRFile:
         entry = MSHREntry(line_addr, fill_cycle, is_l2_miss, tid, is_ifetch)
         self._entries[line_addr] = entry
         self.allocations += 1
+        if is_l2_miss:
+            self._outstanding_l2 += 1
         return entry
 
     def merge(self, entry: MSHREntry, waiter: Callable[[int], None]) -> None:
@@ -82,9 +94,13 @@ class MSHRFile:
 
     def pop_ready(self, cycle: int) -> List[MSHREntry]:
         """Remove and return entries whose fills complete at ``cycle``."""
+        if not self._entries:
+            return []
         ready = [e for e in self._entries.values() if e.fill_cycle <= cycle]
         for entry in ready:
             del self._entries[entry.line_addr]
+            if entry.is_l2_miss:
+                self._outstanding_l2 -= 1
         return ready
 
     def outstanding(self) -> int:
@@ -94,7 +110,7 @@ class MSHRFile:
     def outstanding_l2(self, tid: Optional[int] = None) -> int:
         """In-flight main-memory fills, optionally for a single thread."""
         if tid is None:
-            return sum(1 for e in self._entries.values() if e.is_l2_miss)
+            return self._outstanding_l2
         return sum(1 for e in self._entries.values()
                    if e.is_l2_miss and e.tid == tid)
 
@@ -105,7 +121,7 @@ class MSHRFile:
         resulting mean is "average overlapped L2 misses while missing",
         the memory-parallelism measure discussed in Section 5.2.
         """
-        outstanding = self.outstanding_l2()
+        outstanding = self._outstanding_l2
         if outstanding:
             self.l2_overlap_samples += 1
             self.l2_overlap_sum += outstanding

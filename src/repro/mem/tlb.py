@@ -30,6 +30,11 @@ class TranslationBuffer:
         self.hits = 0
         self.misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping cached translations."""
+        self.hits = 0
+        self.misses = 0
+
     def access(self, addr: int) -> bool:
         """Translate ``addr``; returns True on hit, filling on miss."""
         page = addr >> self._page_bits

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.metrics.stats import SimulationResult
+from repro.metrics.stats import SimulationResult, safe_hmean
 
 
 def thread_table(result: SimulationResult) -> str:
@@ -35,7 +35,12 @@ def thread_table(result: SimulationResult) -> str:
 
 def comparison_table(results: Sequence[SimulationResult],
                      single_ipcs: Optional[Sequence[float]] = None) -> str:
-    """Side-by-side policy comparison (optionally with Hmean)."""
+    """Side-by-side policy comparison (optionally with Hmean).
+
+    A zero single-thread baseline (a measurement window too short to
+    commit anything) degrades to Hmean 0.000 with a warning instead of
+    refusing to render (:func:`repro.metrics.stats.safe_hmean`).
+    """
     if not results:
         raise ValueError("no results to compare")
     benchmarks = [t.benchmark for t in results[0].threads]
@@ -50,7 +55,9 @@ def comparison_table(results: Sequence[SimulationResult],
     for result in results:
         row = f"{result.policy:10s} {result.throughput:6.2f}"
         if single_ipcs is not None:
-            row += f" {result.hmean_vs(single_ipcs):7.3f}"
+            hmean = safe_hmean(result.ipcs, single_ipcs,
+                               "+".join(benchmarks))
+            row += f" {hmean:7.3f}"
         row += "  " + " ".join(f"{t.ipc:8.2f}" for t in result.threads)
         lines.append(row)
     return "\n".join(lines)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
@@ -40,6 +41,27 @@ def hmean_speedup(smt_ipcs: Sequence[float],
         raise ValueError("single-thread IPCs must be positive")
     relative = [smt / single for smt, single in zip(smt_ipcs, single_ipcs)]
     return hmean(relative)
+
+
+def safe_hmean(smt_ipcs: Sequence[float], single_ipcs: Sequence[float],
+               context: str = "") -> float:
+    """:func:`hmean_speedup` that degrades on a zero baseline.
+
+    A single-thread baseline of zero IPC (a measurement window too
+    short to commit anything) makes the Hmean undefined; this variant
+    warns and reports 0.0 — the fully-degenerate limit — instead of
+    raising mid-sweep.  It is the one shared implementation of that
+    degrade contract for the harness, the experiment drivers and the
+    report tables.
+    """
+    if any(s <= 0 for s in single_ipcs):
+        where = f" in {context}" if context else ""
+        warnings.warn(
+            f"zero-IPC single-thread baseline{where} (measurement window "
+            "too short?); reporting Hmean 0.0", RuntimeWarning,
+            stacklevel=3)
+        return 0.0
+    return hmean_speedup(smt_ipcs, single_ipcs)
 
 
 def weighted_speedup(smt_ipcs: Sequence[float],

@@ -17,7 +17,8 @@ contexts, matching the hardware counters of the paper's Figure 3.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.branch.unit import BranchUnit
 from repro.isa.instruction import (
@@ -117,7 +118,11 @@ class SMTProcessor:
         self._seq = 0
         self._completions: Dict[int, List[MicroOp]] = {}
         self._l2_detect_events: Dict[int, List[MicroOp]] = {}
-        self._ready: Dict[str, List[MicroOp]] = {g: [] for g in _UNIT_GROUPS}
+        #: Ready instructions per unit group, as min-heaps of (seq, op) so
+        #: the issue stage pops oldest-first without re-sorting per cycle.
+        self._ready: Dict[str, List[Tuple[int, MicroOp]]] = {
+            g: [] for g in _UNIT_GROUPS
+        }
         self._unit_caps = {
             "int": config.int_units, "fp": config.fp_units, "ls": config.ls_units,
         }
@@ -126,6 +131,25 @@ class SMTProcessor:
         self.cycle_hooks: List = []
         self.policy = policy
         policy.attach(self)
+        # Per-op policy hooks are only dispatched when the policy class
+        # actually overrides them: the base no-ops would otherwise cost a
+        # bound-method call per rename/commit/load on the hot path.
+        from repro.policies.base import Policy as _Base
+
+        cls = type(policy)
+        self._policy_may_rename = (
+            policy.may_rename
+            if cls.may_rename is not _Base.may_rename else None)
+        self._policy_on_rename = (
+            policy.on_rename if cls.on_rename is not _Base.on_rename else None)
+        self._policy_on_commit = (
+            policy.on_commit if cls.on_commit is not _Base.on_commit else None)
+        self._policy_on_load_issued = (
+            policy.on_load_issued
+            if cls.on_load_issued is not _Base.on_load_issued else None)
+        self._policy_on_l1d_miss = (
+            policy.on_l1d_miss
+            if cls.on_l1d_miss is not _Base.on_l1d_miss else None)
 
     def _prewarm(self) -> None:
         """Install steady-state cache contents (see ``prewarm_caches``).
@@ -161,19 +185,28 @@ class SMTProcessor:
         raise RuntimeError(f"commit target not reached in {max_cycles} cycles")
 
     def reset_stats(self) -> None:
-        """Zero statistics after warm-up, keeping microarchitectural state."""
+        """Zero statistics after warm-up, keeping microarchitectural state.
+
+        Every counter that accumulates during warm-up is reset — the
+        per-thread :class:`ThreadStats`, the per-thread and structural
+        memory-hierarchy counters (caches, TLB, MSHR merges/overlap), the
+        branch unit's prediction counters, and policy-side statistics
+        such as DCRA's stall cycles — so measured statistics reflect only
+        the window after the reset.  Microarchitectural *state* (cache
+        contents, predictor tables, in-flight instructions and fills) is
+        deliberately untouched: a reset never changes simulated behaviour.
+        """
         from repro.pipeline.thread import ThreadStats
 
         self.stat_start_cycle = self.cycle
+        # The policy hook runs first so policies that track deltas of
+        # per-thread counters (e.g. DCRA-ADAPT's window commit rates) can
+        # rebase against the pre-reset values.
+        self.policy.reset_stats()
         for thread in self.threads:
             thread.stats = ThreadStats()
-        for stats in self.hierarchy.thread_stats.values():
-            stats.__init__()
-        self.branch_unit.cond_predictions = 0
-        self.branch_unit.cond_mispredictions = 0
-        mshrs = self.hierarchy.mshrs
-        mshrs.l2_overlap_samples = 0
-        mshrs.l2_overlap_sum = 0
+        self.hierarchy.reset_stats()
+        self.branch_unit.reset_stats()
 
     @property
     def stat_cycles(self) -> int:
@@ -185,21 +218,25 @@ class SMTProcessor:
     def step(self) -> None:
         """Simulate one cycle."""
         cycle = self.cycle
+        policy = self.policy
         self.hierarchy.tick(cycle)
         self._process_l2_detections(cycle)
         self._writeback(cycle)
         self._commit(cycle)
         self._issue(cycle)
-        self.policy.begin_cycle(cycle)
+        policy.begin_cycle(cycle)
         self._rename(cycle)
         self._fetch(cycle)
-        self.policy.end_cycle(cycle)
+        policy.end_cycle(cycle)
         for thread in self.threads:
-            if thread.is_slow():
+            if thread.pending_l1d > 0:  # inlined ThreadContext.is_slow
                 thread.stats.slow_cycles += 1
-        for hook in self.cycle_hooks:
-            hook(self)
-        if cycle % _PRUNE_INTERVAL == 0:
+        if self.cycle_hooks:
+            for hook in self.cycle_hooks:
+                hook(self)
+        # Prune only once history exists; at cycle 0 nothing has been
+        # fetched yet and the pass would only churn the trace buffers.
+        if cycle and cycle % _PRUNE_INTERVAL == 0:
             for thread in self.threads:
                 thread.prune_trace()
         self.cycle = cycle + 1
@@ -208,6 +245,8 @@ class SMTProcessor:
 
     def _process_l2_detections(self, cycle: int) -> None:
         """Mark L2 misses whose lookup has now resolved (STALL/FLUSH cue)."""
+        if not self._l2_detect_events:
+            return
         for op in self._l2_detect_events.pop(cycle, ()):
             if op.status == ST_SQUASHED or op.waiting_line < 0:
                 continue
@@ -218,7 +257,12 @@ class SMTProcessor:
 
     def _writeback(self, cycle: int) -> None:
         """Complete ops scheduled for this cycle; wake consumers."""
-        for op in self._completions.pop(cycle, ()):
+        completions = self._completions.pop(cycle, None)
+        if completions is None:
+            return
+        ready = self._ready
+        group_for_class = _GROUP_FOR_CLASS
+        for op in completions:
             if op.status == ST_SQUASHED:
                 continue
             op.status = ST_COMPLETED
@@ -226,7 +270,8 @@ class SMTProcessor:
             for consumer in op.consumers:
                 consumer.deps_left -= 1
                 if consumer.deps_left == 0 and consumer.status == ST_IN_QUEUE:
-                    self._ready[_GROUP_FOR_CLASS[consumer.op_class]].append(consumer)
+                    heappush(ready[group_for_class[consumer.op_class]],
+                             (consumer.seq, consumer))
             op.consumers.clear()
             if op.mispredicted:
                 self._resolve_mispredict(op, cycle)
@@ -306,41 +351,61 @@ class SMTProcessor:
                 budget -= 1
 
     def _commit_op(self, op: MicroOp) -> None:
-        thread = self.threads[op.tid]
+        tid = op.tid
+        thread = self.threads[tid]
         resources = self.resources
+        # Inlined release counterpart of the _do_rename fast path; the
+        # dest_allocated flag guarantees the register was acquired.
         if op.dest_allocated:
-            resources.release(reg_for_dest(op.static.dest_is_fp), op.tid)
+            reg = reg_for_dest(op.static.dest_is_fp)
+            resources.used[reg] -= 1
+            resources.per_thread[reg][tid] -= 1
             op.dest_allocated = False
-        resources.release_rob(op.tid)
+        resources.rob_used -= 1
+        resources.rob_per_thread[tid] -= 1
         op.status = ST_COMMITTED
         thread.stats.committed += 1
-        self.policy.on_commit(op.tid, op)
+        if self._policy_on_commit is not None:
+            self._policy_on_commit(tid, op)
 
     # ---------------------------------------------------------------- issue --
 
     def _issue(self, cycle: int) -> None:
-        """Select ready instructions oldest-first within unit limits."""
+        """Select ready instructions oldest-first within unit limits.
+
+        Each group's ready set is a min-heap keyed by sequence number, so
+        selection pops oldest-first without the per-cycle sort a plain
+        list would need.  Entries whose op was squashed while waiting are
+        discarded lazily as they surface.  An op that fails structurally
+        (MSHRs full) is set aside and re-queued after the scan, exactly
+        as the sorted-list implementation kept scanning younger ops.
+        """
         budget = self.config.issue_width
         for group in _UNIT_GROUPS:
-            ready = self._ready[group]
-            if not ready:
+            heap = self._ready[group]
+            if not heap:
                 continue
-            ready.sort(key=_seq_key)
             cap = self._unit_caps[group]
             issued = 0
-            kept: List[MicroOp] = []
-            for op in ready:
+            deferred = None
+            while heap and issued < cap and budget > 0:
+                entry = heap[0]
+                op = entry[1]
                 if op.status != ST_IN_QUEUE:
-                    continue  # squashed while waiting
-                if issued >= cap or budget <= 0:
-                    kept.append(op)
+                    heappop(heap)  # squashed while waiting
                     continue
                 if self._issue_op(op, cycle):
+                    heappop(heap)
                     issued += 1
                     budget -= 1
                 else:
-                    kept.append(op)
-            self._ready[group] = kept
+                    heappop(heap)
+                    if deferred is None:
+                        deferred = []
+                    deferred.append(entry)
+            if deferred:
+                for entry in deferred:
+                    heappush(heap, entry)
 
     def _issue_op(self, op: MicroOp, cycle: int) -> bool:
         """Issue one op; returns False on a structural retry (MSHRs full)."""
@@ -353,7 +418,8 @@ class SMTProcessor:
             if result.retry:
                 return False
             self._finish_issue(op, cycle)
-            self.policy.on_load_issued(op.tid, op, result)
+            if self._policy_on_load_issued is not None:
+                self._policy_on_load_issued(op.tid, op, result)
             if result.complete_cycle is not None:
                 self._completions.setdefault(result.complete_cycle, []).append(op)
                 return True
@@ -361,7 +427,8 @@ class SMTProcessor:
             op.tlb_missed = result.tlb_miss
             thread.pending_l1d += 1
             thread.stats.load_l1_misses += 1
-            self.policy.on_l1d_miss(op.tid, op)
+            if self._policy_on_l1d_miss is not None:
+                self._policy_on_l1d_miss(op.tid, op)
             if result.l2_miss:
                 op.l2_missed = True
                 thread.pending_l2 += 1
@@ -385,7 +452,11 @@ class SMTProcessor:
         op.status = ST_ISSUED
         op.issue_cycle = cycle
         if op.iq_allocated:
-            self.resources.release(iq_for_class(op.op_class), op.tid)
+            # Inlined release (see _do_rename); iq_allocated guards it.
+            resources = self.resources
+            iq = iq_for_class(op.op_class)
+            resources.used[iq] -= 1
+            resources.per_thread[iq][op.tid] -= 1
             op.iq_allocated = False
 
     def _make_waiter(self, op: MicroOp):
@@ -414,52 +485,78 @@ class SMTProcessor:
         num = self.num_threads
         start = cycle % num
         min_fetch_age = self.config.decode_delay
+        threads = self.threads
+        can_rename = self._can_rename
+        may_rename = self._policy_may_rename
+        do_rename = self._do_rename
         for offset in range(num):
             if budget <= 0:
                 break
-            thread = self.threads[(start + offset) % num]
+            thread = threads[(start + offset) % num]
             queue = thread.fetch_queue
             while budget > 0 and queue:
                 op = queue[0]
                 if op.fetch_cycle + min_fetch_age > cycle:
                     break
-                if not self._can_rename(op):
+                if not can_rename(op):
                     break
-                if not self.policy.may_rename(op.tid, op):
+                if may_rename is not None and not may_rename(op.tid, op):
                     thread.stats.policy_stall_cycles += 1
                     break
                 queue.popleft()
-                self._do_rename(op, cycle)
+                do_rename(op, cycle)
                 budget -= 1
 
     def _can_rename(self, op: MicroOp) -> bool:
+        # Structural checks, written against the raw counters: this runs
+        # for every rename attempt, so the SharedResources accessor
+        # methods are bypassed (same arithmetic, no call overhead).
         resources = self.resources
-        if resources.rob_free_for_thread(op.tid) <= 0:
+        if resources.rob_used >= resources.rob_size or \
+                resources.rob_per_thread[op.tid] >= resources.rob_cap_per_thread:
             return False
-        if resources.free(iq_for_class(op.op_class)) <= 0:
+        totals = resources.totals
+        used = resources.used
+        iq = iq_for_class(op.op_class)
+        if used[iq] >= totals[iq]:
             return False
-        if op.static.has_dest and \
-                resources.free(reg_for_dest(op.static.dest_is_fp)) <= 0:
-            return False
+        static = op.static
+        if static.has_dest:
+            reg = reg_for_dest(static.dest_is_fp)
+            if used[reg] >= totals[reg]:
+                return False
         return True
 
     def _do_rename(self, op: MicroOp, cycle: int) -> None:
-        thread = self.threads[op.tid]
+        tid = op.tid
+        thread = self.threads[tid]
         resources = self.resources
-        resources.acquire_rob(op.tid)
-        resources.acquire(iq_for_class(op.op_class), op.tid)
+        static = op.static
+        # Counter updates are inlined (instead of the checked acquire
+        # methods): _can_rename just guaranteed capacity for all three
+        # pools, and this is the hottest allocation site in the pipeline.
+        resources.rob_used += 1
+        resources.rob_per_thread[tid] += 1
+        used = resources.used
+        per_thread = resources.per_thread
+        iq = iq_for_class(op.op_class)
+        used[iq] += 1
+        per_thread[iq][tid] += 1
         op.iq_allocated = True
-        if op.static.has_dest:
-            resources.acquire(reg_for_dest(op.static.dest_is_fp), op.tid)
+        if static.has_dest:
+            reg = reg_for_dest(static.dest_is_fp)
+            used[reg] += 1
+            per_thread[reg][tid] += 1
             op.dest_allocated = True
         rob = thread.rob
         rob.append(op)
-        for dist in op.static.src_dists:
-            if dist >= len(rob):
+        rob_len = len(rob)
+        for dist in static.src_dists:
+            if dist >= rob_len:
                 continue  # producer already committed (hence completed)
-            producer = rob[len(rob) - 1 - dist]
-            if producer.status in (ST_COMPLETED, ST_COMMITTED, ST_SQUASHED):
-                continue
+            producer = rob[rob_len - 1 - dist]
+            if producer.status >= ST_COMPLETED:
+                continue  # completed, committed or squashed: value ready
             if not producer.static.has_dest:
                 continue  # stores/branches produce no register value
             producer.consumers.append(op)
@@ -467,8 +564,9 @@ class SMTProcessor:
         op.status = ST_IN_QUEUE
         op.rename_cycle = cycle
         if op.deps_left == 0:
-            self._ready[_GROUP_FOR_CLASS[op.op_class]].append(op)
-        self.policy.on_rename(op.tid, op)
+            heappush(self._ready[_GROUP_FOR_CLASS[op.op_class]], (op.seq, op))
+        if self._policy_on_rename is not None:
+            self._policy_on_rename(tid, op)
 
     # ---------------------------------------------------------------- fetch --
 
@@ -504,32 +602,35 @@ class SMTProcessor:
 
         fetched = 0
         stats = thread.stats
-        while fetched < max_slots and \
-                len(thread.fetch_queue) < thread.fetch_queue_size:
+        fetch_queue = thread.fetch_queue
+        queue_size = thread.fetch_queue_size
+        trace = thread.trace
+        tid = thread.tid
+        while fetched < max_slots and len(fetch_queue) < queue_size:
             if thread.in_wrong_path:
-                static = thread.trace.wrong_path_op(thread.wrong_path_pc)
-                op = MicroOp(static, thread.tid, self._seq, -1, True, cycle)
+                static = trace.wrong_path_op(thread.wrong_path_pc)
+                op = MicroOp(static, tid, self._seq, -1, True, cycle)
                 self._seq += 1
                 thread.wrong_path_pc += 4
-                thread.fetch_queue.append(op)
+                fetch_queue.append(op)
                 fetched += 1
                 stats.fetched += 1
                 stats.fetched_wrong_path += 1
                 continue
 
-            static = thread.trace.get(thread.fetch_index)
-            op = MicroOp(static, thread.tid, self._seq, thread.fetch_index,
+            static = trace.get(thread.fetch_index)
+            op = MicroOp(static, tid, self._seq, thread.fetch_index,
                          False, cycle)
             self._seq += 1
             thread.fetch_index += 1
-            thread.fetch_queue.append(op)
+            fetch_queue.append(op)
             fetched += 1
             stats.fetched += 1
             if static.op_class != OpClass.BRANCH:
                 continue
 
             stats.branches += 1
-            prediction = self.branch_unit.predict_and_train(thread.tid, static)
+            prediction = self.branch_unit.predict_and_train(tid, static)
             op.pred_taken = prediction.taken
             op.pred_target = prediction.target
             if prediction.mispredicted:
@@ -553,7 +654,3 @@ class SMTProcessor:
             if prediction.taken:
                 break  # cannot fetch past a taken branch in one group
         return fetched
-
-
-def _seq_key(op: MicroOp) -> int:
-    return op.seq

@@ -40,6 +40,13 @@ class ThreadStats:
 class ThreadContext:
     """All per-context state of one running program."""
 
+    __slots__ = (
+        "tid", "trace", "fetch_queue_size", "fetch_index", "pc",
+        "fetch_queue", "rob", "pending_l1d", "pending_l2", "detected_l2",
+        "in_wrong_path", "wrong_path_pc", "mispredict_op",
+        "fetch_stall_until", "stats",
+    )
+
     def __init__(self, tid: int, trace: TraceBuffer, fetch_queue_size: int) -> None:
         self.tid = tid
         self.trace = trace

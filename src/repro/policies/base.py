@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, TYPE_CHECKING
 
+from repro.pipeline.resources import Resource
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.isa.instruction import MicroOp
     from repro.mem.hierarchy import AccessResult
@@ -26,15 +28,20 @@ def icount_order(processor: "SMTProcessor") -> List[int]:
     """Thread ids sorted by ICOUNT priority (fewest pre-issue instructions).
 
     The pre-issue count is the number of instructions in the fetch queue
-    plus those waiting in the issue queues, per Tullsen's ICOUNT.
+    plus those waiting in the issue queues, per Tullsen's ICOUNT.  Ties
+    break by thread id (sorting (count, tid) pairs), matching the stable
+    sort the original key-function implementation produced.
     """
-    resources = processor.resources
-
-    def pre_issue_count(tid: int) -> int:
-        return (processor.threads[tid].fetch_queue_occupancy()
-                + resources.iq_total_for_thread(tid))
-
-    return sorted(range(processor.num_threads), key=pre_issue_count)
+    per = processor.resources.per_thread
+    int_row = per[Resource.IQ_INT]
+    fp_row = per[Resource.IQ_FP]
+    ls_row = per[Resource.IQ_LS]
+    ranked = sorted(
+        (len(thread.fetch_queue) + int_row[tid] + fp_row[tid] + ls_row[tid],
+         tid)
+        for tid, thread in enumerate(processor.threads)
+    )
+    return [tid for _, tid in ranked]
 
 
 def round_robin_order(processor: "SMTProcessor", cycle: int) -> List[int]:
@@ -64,6 +71,15 @@ class Policy:
 
     def on_attach(self) -> None:
         """Hook for subclasses needing per-thread state after binding."""
+
+    def reset_stats(self) -> None:
+        """Zero policy-side statistics after warm-up.
+
+        Called by :meth:`SMTProcessor.reset_stats`.  Subclasses that
+        accumulate counters (DCRA's stall cycles, PDG's prediction
+        counts) override this; control state must be left untouched so a
+        reset never changes simulated behaviour.
+        """
 
     # -- per-cycle control -----------------------------------------------------
 

@@ -60,6 +60,10 @@ class PredictiveDataGatingPolicy(Policy):
     def on_attach(self) -> None:
         self._gate_op = [None] * self.processor.num_threads
 
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.predicted_misses = 0
+
     def _index(self, pc: int) -> int:
         return (pc >> 2) & self._mask
 

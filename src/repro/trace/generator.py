@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.isa.instruction import BranchKind, OpClass, StaticOp
 from repro.trace.profiles import (
@@ -106,6 +106,15 @@ class SyntheticTraceGenerator:
         self._since_load = _MAX_DEP_DIST
         self._phase_left = 0
         self._in_mem_phase = True
+        # Hot-path precomputation: the dependency-law denominator and the
+        # per-phase region parameters are pure functions of the profile,
+        # so they are computed once instead of per generated op.
+        dep_p = profile.dep_geom_p
+        self._log_dep_denom = math.log(1.0 - dep_p) if dep_p < 1.0 else None
+        self._phase_params = {
+            True: self._phase_param_tuple(True),
+            False: self._phase_param_tuple(False),
+        }
         # Bresenham-style accumulator: phases follow the mem/compute ratio
         # deterministically (starting with a memory phase), so even short
         # runs see the profile's steady-state mix instead of the huge
@@ -149,17 +158,20 @@ class SyntheticTraceGenerator:
         jitter = 0.4 + 1.2 * self._rng.random()
         self._phase_left = max(200, int(p.phase_len * jitter))
 
-    def _region_weights(self) -> Tuple[float, float]:
-        """Return (cold, warm) access probabilities for the current phase.
+    def _region_weights(self, in_mem_phase: Optional[bool] = None) -> Tuple[float, float]:
+        """Return (cold, warm) access probabilities for one phase kind.
 
-        The steady-state average over phases matches the profile's
-        ``cold_frac``/``warm_frac`` so single-thread L2 miss rates land on
-        the Table 3 targets, while individual phases are visibly memory
-        bound or compute bound (Table 5 behaviour).
+        Defaults to the current phase.  The steady-state average over
+        phases matches the profile's ``cold_frac``/``warm_frac`` so
+        single-thread L2 miss rates land on the Table 3 targets, while
+        individual phases are visibly memory bound or compute bound
+        (Table 5 behaviour).
         """
         p = self.profile
         f = p.mem_phase_frac
-        if self._in_mem_phase:
+        if in_mem_phase is None:
+            in_mem_phase = self._in_mem_phase
+        if in_mem_phase:
             cold = min(0.95, p.cold_frac / max(f, 0.05))
             warm = min(0.95 - cold, p.warm_frac / max(f, 0.05))
         else:
@@ -173,24 +185,65 @@ class SyntheticTraceGenerator:
                 warm = max(0.0, (p.warm_frac - f * warm_mem) / (1.0 - f))
         return cold, warm
 
+    def _phase_param_tuple(self, in_mem_phase: bool) -> Tuple[float, float]:
+        """Precompute (burst trigger, warm threshold) for one phase kind.
+
+        Renewal argument for the trigger: a burst of length B covers B
+        accesses, a non-burst draw covers one, so triggering with
+        probability ``cold / (B - (B-1)*cold)`` makes the steady-state
+        cold fraction equal to ``cold``.  The warm threshold is the
+        conditional warm probability given the draw was not cold; a
+        negative sentinel (never matched by ``rng.random()``) encodes
+        the degenerate all-cold case.
+        """
+        cold, warm = self._region_weights(in_mem_phase)
+        burst = _COLD_BURST_LEN
+        trigger = cold / (burst - (burst - 1) * cold) if cold < 1.0 else 1.0
+        warm_threshold = warm / (1.0 - cold) if cold < 1.0 else -1.0
+        return trigger, warm_threshold
+
     # -- operand helpers ----------------------------------------------------
 
     def _dep_distance(self, rng: random.Random) -> int:
         """Draw a producer distance from a truncated geometric law."""
-        p = self.profile.dep_geom_p
+        denom = self._log_dep_denom
         u = rng.random()
-        dist = 1 + int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+        if denom is None:  # p == 1: every dependency is distance 1
+            return 1
+        dist = 1 + int(math.log(max(u, 1e-12)) / denom)
         return min(dist, _MAX_DEP_DIST)
 
     def _sources(self, rng: random.Random, n_srcs: int) -> Tuple[int, ...]:
-        """Draw source distances, possibly biased towards the last load."""
-        p = self.profile
+        """Draw source distances, possibly biased towards the last load.
+
+        The truncated-geometric draw of :meth:`_dep_distance` is inlined
+        here — this runs once per generated instruction.
+        """
+        bias = self.profile.load_dep_bias
+        since_load = self._since_load
+        biasable = since_load < _MAX_DEP_DIST
+        denom = self._log_dep_denom
+        rand = rng.random
+        log = math.log
+        if n_srcs == 1:  # the common case: avoid the list round-trip
+            if biasable and rand() < bias:
+                return (since_load + 1,)
+            u = rand()
+            if denom is None:
+                return (1,)
+            dist = 1 + int(log(u if u > 1e-12 else 1e-12) / denom)
+            return (dist if dist < _MAX_DEP_DIST else _MAX_DEP_DIST,)
         dists = []
         for _ in range(n_srcs):
-            if self._since_load < _MAX_DEP_DIST and rng.random() < p.load_dep_bias:
-                dists.append(self._since_load + 1)
-            else:
-                dists.append(self._dep_distance(rng))
+            if biasable and rand() < bias:
+                dists.append(since_load + 1)
+                continue
+            u = rand()
+            if denom is None:
+                dists.append(1)
+                continue
+            dist = 1 + int(log(u if u > 1e-12 else 1e-12) / denom)
+            dists.append(dist if dist < _MAX_DEP_DIST else _MAX_DEP_DIST)
         return tuple(dists)
 
     def _cold_address(self, rng: random.Random, wrong_path: bool) -> int:
@@ -219,22 +272,16 @@ class SyntheticTraceGenerator:
         elif self._cold_burst_left > 0:
             self._cold_burst_left -= 1
             return self._cold_address(rng, False)
-        cold, warm = self._region_weights()
-        # Renewal argument: a burst of length B covers B accesses, a
-        # non-burst draw covers one, so triggering with probability
-        # cold / (B - (B-1)*cold) makes the steady-state cold fraction
-        # equal to ``cold``.
-        burst = _COLD_BURST_LEN
-        trigger = cold / (burst - (burst - 1) * cold) if cold < 1.0 else 1.0
+        trigger, warm_threshold = self._phase_params[self._in_mem_phase]
         u = rng.random()
         if u < trigger:
             if wrong_path:
-                self._wp_burst_left = burst - 1
+                self._wp_burst_left = _COLD_BURST_LEN - 1
             else:
-                self._cold_burst_left = burst - 1
+                self._cold_burst_left = _COLD_BURST_LEN - 1
             return self._cold_address(rng, wrong_path)
         u = rng.random()
-        if cold < 1.0 and u < warm / (1.0 - cold):
+        if u < warm_threshold:
             off = rng.randrange(WARM_REGION_BYTES // 8) * 8
             return self._warm_base + off
         off = rng.randrange(HOT_REGION_BYTES // 8) * 8
@@ -302,21 +349,22 @@ class SyntheticTraceGenerator:
 
     def _make_op(self, rng: random.Random, wrong_path: bool, wp_pc: int = 0) -> StaticOp:
         p = self.profile
+        pc_class = self._pc_class
         if wrong_path:
             pc = wp_pc
             # Wrong-path fetch reads the static layout where it exists but
             # never mutates generator state (correct path stays identical
             # whatever the speculation depth).
-            op_class = self._pc_class.get(pc)
+            op_class = pc_class.get(pc)
             if op_class is None:
                 op_class = self._draw_class(rng)
         else:
             pc = self._pc
-            self._pc += 4
-            op_class = self._pc_class.get(pc)
+            self._pc = pc + 4
+            op_class = pc_class.get(pc)
             if op_class is None:
                 op_class = self._draw_class(rng)
-                self._pc_class[pc] = op_class
+                pc_class[pc] = op_class
 
         if op_class == OpClass.INT_ALU:
             srcs = self._sources(rng, 1 + (rng.random() < p.two_src_prob))
@@ -395,14 +443,19 @@ class TraceBuffer:
 
     def get(self, index: int) -> StaticOp:
         """Return the instruction at ``index``, generating it if needed."""
-        if index < self._base:
+        ops = self._ops
+        i = index - self._base
+        if 0 <= i < len(ops):  # fast path: replayed or already generated
+            return ops[i]
+        if i < 0:
             raise IndexError(
                 f"trace index {index} was pruned (base={self._base}); "
                 "release_below() was called past a live instruction"
             )
-        while index - self._base >= len(self._ops):
-            self._ops.append(self._gen.next_op())
-        return self._ops[index - self._base]
+        next_op = self._gen.next_op
+        while i >= len(ops):
+            ops.append(next_op())
+        return ops[i]
 
     def wrong_path_op(self, pc: int) -> StaticOp:
         """Delegate wrong-path generation to the underlying generator."""

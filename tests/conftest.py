@@ -5,6 +5,17 @@ import pytest
 from repro.pipeline.config import SMTConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_baseline_cache(tmp_path, monkeypatch):
+    """Redirect the disk-backed baseline cache away from ``~/.cache``.
+
+    Tests must never read stale entries from (or leak entries into) the
+    developer's real cache; the in-memory layer keeps its old cross-test
+    behaviour.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def small_config() -> SMTConfig:
     """A scaled-down machine: quick to simulate, still exercises limits."""

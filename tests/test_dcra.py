@@ -98,6 +98,68 @@ class TestCaps:
         policy.begin_cycle(0)
         assert not policy.is_fetch_stalled(0)
 
+    def test_caps_track_classification_changes(self):
+        """Caps must refresh when the slow set changes (recompute cache)."""
+        processor, policy = build()
+        policy.begin_cycle(0)
+        assert policy.current_cap(Resource.IQ_INT) == 80
+        processor.threads[0].pending_l1d = 1
+        policy.begin_cycle(1)
+        assert policy.current_cap(Resource.IQ_INT) == \
+            round(80 / 2 * (1 + 1 / 6))
+        processor.threads[0].pending_l1d = 0
+        policy.begin_cycle(2)
+        assert policy.current_cap(Resource.IQ_INT) == 80
+
+
+class TestCapBoundary:
+    """Both enforcement points share the 'at most cap entries' boundary."""
+
+    def _make_slow_with_usage(self, usage):
+        processor, policy = build()
+        processor.threads[0].pending_l1d = 1
+        for _ in range(usage):
+            processor.resources.acquire(Resource.IQ_LS, 0)
+        return processor, policy
+
+    def cap(self, policy):
+        return policy.current_cap(Resource.IQ_LS)
+
+    def test_fetch_gate_triggers_at_exact_cap(self):
+        processor, policy = self._make_slow_with_usage(0)
+        policy.begin_cycle(0)
+        for _ in range(self.cap(policy)):
+            processor.resources.acquire(Resource.IQ_LS, 0)
+        policy.begin_cycle(1)
+        assert policy.is_fetch_stalled(0)
+        assert 0 not in policy.fetch_order(1)
+
+    def test_fetch_gate_clear_below_cap(self):
+        processor, policy = self._make_slow_with_usage(0)
+        policy.begin_cycle(0)
+        for _ in range(self.cap(policy) - 1):
+            processor.resources.acquire(Resource.IQ_LS, 0)
+        policy.begin_cycle(1)
+        assert not policy.is_fetch_stalled(0)
+
+    def test_rename_gate_matches_fetch_gate_boundary(self):
+        from repro.isa.instruction import MicroOp, OpClass, StaticOp
+
+        processor, policy = self._make_slow_with_usage(0)
+        policy.begin_cycle(0)
+        cap = self.cap(policy)
+        op = MicroOp(StaticOp(OpClass.LOAD, 0x100, mem_addr=0x40),
+                     0, 0, 0, False, 0)
+        for _ in range(cap - 1):
+            processor.resources.acquire(Resource.IQ_LS, 0)
+        policy.begin_cycle(1)
+        assert policy.may_rename(0, op)  # below cap: both gates open
+        assert not policy.is_fetch_stalled(0)
+        processor.resources.acquire(Resource.IQ_LS, 0)
+        policy.begin_cycle(2)
+        assert not policy.may_rename(0, op)  # at cap: both gates closed
+        assert policy.is_fetch_stalled(0)
+
 
 class TestRenameEnforcement:
     def _renamed_load(self, processor, tid):

@@ -1,0 +1,213 @@
+"""Tests for the parallel experiment engine and the disk baseline cache."""
+
+import os
+
+import pytest
+
+from repro.harness.engine import (
+    SimJob,
+    derive_seed,
+    ensure_baselines,
+    parallel_map,
+    run_job,
+    run_jobs,
+)
+from repro.harness.runner import (
+    BaselineCache,
+    baseline_cache,
+    clear_baseline_cache,
+    single_thread_ipc,
+)
+from repro.pipeline.config import SMTConfig
+
+CYCLES = 1_200
+WARMUP = 300
+
+
+def small_jobs():
+    return [
+        SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=3),
+        SimJob(("mcf", "gzip"), "DCRA", None, CYCLES, WARMUP, seed=3),
+        SimJob(("twolf",), ("DCRA", {"activity_window": 64}), None,
+               CYCLES, WARMUP, seed=5),
+        SimJob(("gzip", "twolf"), "FLUSH++", None, CYCLES, WARMUP, seed=7),
+    ]
+
+
+class TestSimJob:
+    def test_benchmarks_coerced_to_tuple(self):
+        job = SimJob(["gzip", "twolf"])
+        assert job.benchmarks == ("gzip", "twolf")
+
+    def test_run_job_matches_direct_run(self):
+        from repro.harness.runner import run_benchmarks
+
+        job = small_jobs()[0]
+        direct = run_benchmarks(["gzip"], "ICOUNT", None, CYCLES, WARMUP, 3)
+        assert run_job(job) == direct
+
+    def test_derive_seed_is_deterministic_and_disjoint(self):
+        seeds = [derive_seed(1, i) for i in range(50)]
+        assert seeds == [derive_seed(1, i) for i in range(50)]
+        assert len(set(seeds)) == 50
+
+
+class TestRunJobs:
+    def test_serial_results_in_submission_order(self):
+        jobs = small_jobs()
+        results = run_jobs(jobs, max_workers=1)
+        assert [r.policy for r in results] == ["ICOUNT", "DCRA", "DCRA",
+                                               "FLUSH++"]
+
+    def test_parallel_identical_to_serial(self):
+        """The acceptance contract: any worker count, bitwise-equal rows."""
+        jobs = small_jobs()
+        serial = run_jobs(jobs, max_workers=1)
+        parallel = run_jobs(jobs, max_workers=2)
+        assert parallel == serial  # dataclass equality covers every field
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, max_workers=4) \
+            == [i * i for i in items]
+
+
+def _square(x):
+    return x * x
+
+
+class TestBaselineCache:
+    def test_miss_then_disk_hit_across_instances(self):
+        clear_baseline_cache()
+        config = SMTConfig()
+        ipc = single_thread_ipc("gzip", config, CYCLES, WARMUP, seed=11)
+        # A brand-new cache object (fresh memory) must hit via disk.
+        fresh = BaselineCache()
+        assert fresh.get("gzip", config, CYCLES, WARMUP, 11) == ipc
+
+    def test_entry_written_to_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        files = list((tmp_path / "baselines").glob("*.json"))
+        assert len(files) == 1
+
+    def test_key_includes_config_cycles_warmup_seed(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        single_thread_ipc("gzip", SMTConfig(int_iq_size=8), CYCLES, WARMUP,
+                          seed=12)
+        single_thread_ipc("gzip", None, CYCLES + 100, WARMUP, seed=12)
+        single_thread_ipc("gzip", None, CYCLES, WARMUP + 100, seed=12)
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=13)
+        files = list((tmp_path / "baselines").glob("*.json"))
+        assert len(files) == 5  # five distinct descriptors, five entries
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        from repro.harness import runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        monkeypatch.setattr(runner, "BASELINE_CACHE_VERSION",
+                            runner.BASELINE_CACHE_VERSION + 1)
+        fresh = BaselineCache()
+        assert fresh.get("gzip", SMTConfig(), CYCLES, WARMUP, 12) is None
+
+    def test_source_change_invalidates(self, tmp_path, monkeypatch):
+        """Entries written by a different simulator source never hit."""
+        from repro.harness import runner
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        monkeypatch.setattr(runner, "_fingerprint_cache", "0000other0000000")
+        fresh = BaselineCache()
+        assert fresh.get("gzip", SMTConfig(), CYCLES, WARMUP, 12) is None
+
+    def test_disk_hit_skips_simulation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        expected = single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        clear_baseline_cache()  # drop memory, keep disk
+
+        from repro.harness import runner
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulated despite a disk cache hit")
+
+        monkeypatch.setattr(runner, "run_benchmarks", boom)
+        assert single_thread_ipc("gzip", None, CYCLES, WARMUP,
+                                 seed=12) == expected
+
+    def test_clear_disk_removes_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        clear_baseline_cache(disk=True)
+        assert not (tmp_path / "baselines").exists()
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
+        (entry,) = (tmp_path / "baselines").glob("*.json")
+        entry.write_text("{not json")
+        fresh = BaselineCache()
+        assert fresh.get("gzip", SMTConfig(), CYCLES, WARMUP, 12) is None
+
+
+class TestCrossProcessCache:
+    def test_workers_populate_shared_disk_cache(self, tmp_path, monkeypatch):
+        """Baselines computed in pool workers must hit in the parent."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_baseline_cache()
+        singles = ensure_baselines(["gzip", "twolf"], None, CYCLES, WARMUP,
+                                   seed=21, max_workers=2)
+        assert set(singles) == {"gzip", "twolf"}
+        # The worker runs (or the write-back) left disk entries behind ...
+        files = list((tmp_path / "baselines").glob("*.json"))
+        assert len(files) == 2
+        # ... that a fresh process-side cache resolves without simulating.
+        from repro.harness import runner
+
+        clear_baseline_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulated despite warm disk cache")
+
+        monkeypatch.setattr(runner, "run_benchmarks", boom)
+        again = ensure_baselines(["gzip", "twolf"], None, CYCLES, WARMUP,
+                                 seed=21, max_workers=1)
+        assert again == singles
+
+
+class TestDriversParallelEqualSerial:
+    def test_compare_policies(self):
+        from repro.harness import experiments as exp
+
+        kwargs = dict(cells=((2, "MIX"),), cycles=CYCLES, warmup=WARMUP)
+        clear_baseline_cache()
+        serial = exp.compare_policies(["ICOUNT", "DCRA"], jobs=1, **kwargs)
+        clear_baseline_cache()
+        parallel = exp.compare_policies(["ICOUNT", "DCRA"], jobs=2, **kwargs)
+        assert parallel == serial
+
+    def test_table5(self):
+        from repro.harness import experiments as exp
+
+        serial = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                               jobs=1)
+        parallel = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                                 jobs=2)
+        assert parallel == serial
+
+    def test_figure2(self):
+        from repro.harness import experiments as exp
+
+        kwargs = dict(cycles=CYCLES, warmup=WARMUP, fractions=(0.5, 1.0),
+                      resources=("int_iq",))
+        assert exp.figure2_resource_sensitivity(jobs=2, **kwargs) \
+            == exp.figure2_resource_sensitivity(jobs=1, **kwargs)

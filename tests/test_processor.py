@@ -16,6 +16,23 @@ def build(benchmarks=("gzip",), policy=None, config=None, seed=1):
                         policy or IcountPolicy(), seed=seed)
 
 
+class TestTracePruneSchedule:
+    def test_no_prune_at_cycle_zero(self, monkeypatch):
+        """Cycle 0 has no history; the prune pass must not run."""
+        from repro.pipeline import processor as processor_module
+        from repro.pipeline.thread import ThreadContext
+
+        calls = []
+        monkeypatch.setattr(ThreadContext, "prune_trace",
+                            lambda self: calls.append(self.tid))
+        processor = build()
+        processor.step()  # cycle 0
+        assert calls == []
+        processor.cycle = processor_module._PRUNE_INTERVAL
+        processor.step()  # first interval boundary: prune runs
+        assert calls == [0]
+
+
 class TestBasicExecution:
     def test_single_thread_commits(self):
         processor = build()

@@ -44,6 +44,11 @@ class TestComparisonTable:
         with pytest.raises(ValueError):
             comparison_table([])
 
+    def test_zero_baseline_degrades_to_zero_hmean(self):
+        with pytest.warns(RuntimeWarning):
+            table = comparison_table([make_result()], single_ipcs=[0.0, 1.0])
+        assert "0.000" in table
+
     def test_rejects_mismatched_workloads(self):
         a = make_result(ipcs=(1.0,))
         b = make_result(ipcs=(1.0, 2.0))

@@ -1,0 +1,131 @@
+"""Regression tests for the warm-up statistics reset.
+
+``SMTProcessor.reset_stats`` historically reset only a handful of
+counters; everything else (BTB/gshare counters, cache/TLB hit-miss
+counters, MSHR merge/overlap statistics, policy-side counters such as
+DCRA's stall cycles) leaked warm-up events into the measurement window.
+These tests pin the audited behaviour: after a reset every statistic is
+zero, and the measured window's statistics equal the delta an
+uninterrupted run accumulates over the same cycles.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import make_policy
+from repro.trace.profiles import get_profile
+
+WARMUP = 2_000
+MEASURE = 1_500
+
+
+def build(benchmarks=("gzip", "mcf"), policy="DCRA", seed=9):
+    return SMTProcessor(SMTConfig(), [get_profile(b) for b in benchmarks],
+                        make_policy(policy), seed=seed)
+
+
+def snapshot(processor):
+    """Every statistic the harness may report, as one flat dict."""
+    stats = {}
+    for thread in processor.threads:
+        for field in dataclasses.fields(thread.stats):
+            stats[f"t{thread.tid}.{field.name}"] = \
+                getattr(thread.stats, field.name)
+    for tid, mem in processor.hierarchy.thread_stats.items():
+        for field in dataclasses.fields(mem):
+            stats[f"mem{tid}.{field.name}"] = getattr(mem, field.name)
+    hierarchy = processor.hierarchy
+    for cache in (hierarchy.l1i, hierarchy.l1d, hierarchy.l2):
+        stats[f"{cache.name}.hits"] = cache.hits
+        stats[f"{cache.name}.misses"] = cache.misses
+    stats["tlb.hits"] = hierarchy.dtlb.hits
+    stats["tlb.misses"] = hierarchy.dtlb.misses
+    mshrs = hierarchy.mshrs
+    stats["mshr.merges"] = mshrs.merges
+    stats["mshr.allocations"] = mshrs.allocations
+    stats["mshr.l2_overlap_samples"] = mshrs.l2_overlap_samples
+    stats["mshr.l2_overlap_sum"] = mshrs.l2_overlap_sum
+    unit = processor.branch_unit
+    stats["branch.cond_predictions"] = unit.cond_predictions
+    stats["branch.cond_mispredictions"] = unit.cond_mispredictions
+    stats["btb.hits"] = unit.btb.hits
+    stats["btb.misses"] = unit.btb.misses
+    return stats
+
+
+class TestResetZeroesEverything:
+    @pytest.mark.parametrize("policy", ["ICOUNT", "DCRA", "FLUSH++", "PDG"])
+    def test_all_counters_zero_after_reset(self, policy):
+        processor = build(policy=policy)
+        processor.run(WARMUP)
+        # Warm-up must actually have accumulated something to reset.
+        warm = snapshot(processor)
+        assert warm["t0.fetched"] > 0
+        assert warm["branch.cond_predictions"] > 0
+        assert warm["L1D.hits"] > 0
+
+        processor.reset_stats()
+        for name, value in snapshot(processor).items():
+            assert value == 0, f"{name} survived reset_stats ({value})"
+
+    def test_dcra_stall_cycles_reset(self):
+        processor = build(policy="DCRA")
+        processor.run(WARMUP)
+        processor.policy.stall_cycles[0] += 1  # ensure non-trivial
+        processor.reset_stats()
+        assert processor.policy.stall_cycles == [0, 0]
+
+    def test_pdg_counters_reset(self):
+        processor = build(policy="PDG")
+        processor.run(WARMUP)
+        assert processor.policy.predictions > 0
+        processor.reset_stats()
+        assert processor.policy.predictions == 0
+        assert processor.policy.predicted_misses == 0
+
+
+class TestMeasurementWindowIndependence:
+    """Measured stats must equal the uninterrupted run's window delta."""
+
+    @pytest.mark.parametrize("policy", ["ICOUNT", "DCRA"])
+    def test_stats_equal_window_delta(self, policy):
+        uninterrupted = build(policy=policy)
+        uninterrupted.run(WARMUP)
+        before = snapshot(uninterrupted)
+        uninterrupted.run(MEASURE)
+        after = snapshot(uninterrupted)
+        delta = {name: after[name] - before[name] for name in after}
+
+        reset_run = build(policy=policy)
+        reset_run.run(WARMUP)
+        reset_run.reset_stats()
+        reset_run.run(MEASURE)
+        measured = snapshot(reset_run)
+
+        assert measured == delta
+
+    def test_reset_does_not_change_behaviour(self):
+        """Committing the same instructions with or without a reset."""
+        plain = build(policy="DCRA-ADAPT")
+        plain.run(WARMUP + MEASURE)
+
+        reset_run = build(policy="DCRA-ADAPT")
+        reset_run.run(WARMUP)
+        committed_at_reset = [t.stats.committed for t in reset_run.threads]
+        reset_run.reset_stats()
+        reset_run.run(MEASURE)
+
+        for tid, thread in enumerate(reset_run.threads):
+            total = committed_at_reset[tid] + thread.stats.committed
+            assert total == plain.threads[tid].stats.committed
+
+    def test_stat_cycles_tracks_reset(self):
+        processor = build()
+        processor.run(WARMUP)
+        processor.reset_stats()
+        assert processor.stat_cycles == 0
+        processor.run(MEASURE)
+        assert processor.stat_cycles == MEASURE
