@@ -3,7 +3,18 @@
 Not a paper artefact, but the number every user of a pure-Python cycle
 simulator asks first.  Measures single-thread ILP, single-thread MEM and
 a 4-thread mixed configuration.
+
+Besides the human-readable console lines, the run writes a
+machine-readable ``BENCH_speed.json`` (override the path with
+``$BENCH_SPEED_JSON``) mapping each configuration to its simulated
+cycles/s and committed-instruction count, so the performance trajectory
+can be tracked across PRs (CI uploads it as a workflow artifact).
 """
+
+import json
+import os
+import platform
+from pathlib import Path
 
 import pytest
 
@@ -13,6 +24,25 @@ from repro.policies.registry import make_policy
 from repro.trace.profiles import get_profile
 
 CYCLES = 4_000
+
+#: Per-configuration measurements accumulated by the tests and dumped to
+#: ``BENCH_speed.json`` when the module's tests finish.
+_MEASUREMENTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_bench_json():
+    """Write the collected measurements after the module's tests ran."""
+    yield
+    if not _MEASUREMENTS:
+        return
+    path = Path(os.environ.get("BENCH_SPEED_JSON", "BENCH_speed.json"))
+    payload = {
+        "cycles_per_run": CYCLES,
+        "python": platform.python_version(),
+        "configurations": _MEASUREMENTS,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def run_config(benchmarks, policy="ICOUNT"):
@@ -33,6 +63,14 @@ def test_simulation_speed(benchmark, benchmarks, label):
                                    rounds=1, iterations=1)
     committed = sum(t.stats.committed for t in processor.threads)
     cycles_per_sec = CYCLES / benchmark.stats.stats.mean
+    _MEASUREMENTS[label] = {
+        "benchmarks": list(benchmarks),
+        "policy": "ICOUNT",
+        "cycles_per_sec": round(cycles_per_sec, 1),
+        "instructions_per_sec": round(committed / benchmark.stats.stats.mean,
+                                      1),
+        "committed": committed,
+    }
     print(f"\n{label}: {CYCLES} cycles, {committed} instructions committed, "
           f"{cycles_per_sec:,.0f} simulated cycles/s")
     assert committed > 0
@@ -47,5 +85,13 @@ def test_dcra_overhead_vs_icount(benchmark):
         return icount, dcra
 
     icount, dcra = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    _MEASUREMENTS["2-thread ICOUNT+DCRA pair"] = {
+        "benchmarks": ["gzip", "twolf"],
+        "policy": "ICOUNT+DCRA",
+        "cycles_per_sec": round(2 * CYCLES / benchmark.stats.stats.mean, 1),
+        "instructions_per_sec": None,
+        "committed": sum(t.stats.committed for t in dcra.threads)
+        + sum(t.stats.committed for t in icount.threads),
+    }
     assert sum(t.stats.committed for t in dcra.threads) > 0
     assert sum(t.stats.committed for t in icount.threads) > 0

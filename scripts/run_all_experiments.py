@@ -1,23 +1,35 @@
 #!/usr/bin/env python3
 """Regenerate every paper artefact at full budget and dump raw results.
 
-Writes the output consumed by EXPERIMENTS.md; individual artefacts are
-flushed as they finish.  Every driver runs through the parallel
-experiment engine: ``--jobs N`` simulates on N worker processes and, by
-the engine's determinism contract, produces output identical to the
-serial run (the per-job seeds are fixed here, not derived from worker
-scheduling).  Expect a ~1h run serially in pure Python.
+Writes the output consumed by EXPERIMENTS.md.  Every driver runs
+through the parallel experiment engine: ``--jobs N`` simulates on N
+workers and ``--executor`` picks the backend (local process pool by
+default, ``remote`` for socket workers); by the engine's determinism
+contract each artefact's numbers are identical for any combination.
+
+With workers available the artefacts *stream*: all drivers share one
+executor, their job subsets interleave on the worker fleet, and each
+artefact's section is emitted the moment its own jobs finish — not
+driver-by-driver — so early artefacts appear while later sweeps are
+still simulating.  Section order therefore follows completion, and
+every section is labelled.  ``--reps N`` replicates the
+policy-comparison sweeps over N derived seeds and adds ±95% CI columns.
+Expect a ~1h run serially in pure Python.
 
 Run:
     python scripts/run_all_experiments.py [output-file] [--jobs N]
+        [--executor {serial,process,remote}] [--reps N]
 """
 
 import argparse
 import sys
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 from repro.core.sharing import precomputed_table
 from repro.harness import experiments as exp
+from repro.harness.executors import make_executor
 
 CYCLES = 24_000
 WARMUP = 5_000
@@ -30,69 +42,111 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="output file (default: stdout)")
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the sweeps (default: serial); "
+        help="workers for the sweeps (default: serial); "
              "results are identical for any N")
+    parser.add_argument(
+        "--executor", choices=["serial", "process", "remote"], default=None,
+        help="execution backend (default: process pool when --jobs > 1)")
+    parser.add_argument(
+        "--reps", type=int, default=1, metavar="N",
+        help="seed replications for the policy-comparison artefacts; "
+             "N > 1 adds ±95%% CI columns")
     return parser.parse_args(argv)
 
 
-def main() -> None:
-    args = parse_args()
-    jobs = args.jobs
-    out = open(args.output, "w") if args.output else sys.stdout
+def _table1() -> str:
+    return "\n".join(
+        f"{index:3d} FA={row[0]} SA={row[1]} Eslow={row[2]}"
+        for index, row in enumerate(precomputed_table(32, 4), 1))
 
-    def emit(text=""):
-        print(text, file=out, flush=True)
 
-    def stamp(label):
-        emit(f"\n{'=' * 70}\n{label}  [t+{time.time() - t0:.0f}s]\n{'=' * 70}")
-
-    t0 = time.time()
-
-    stamp("Table 1 (exact)")
-    for index, row in enumerate(precomputed_table(32, 4), 1):
-        emit(f"{index:3d} FA={row[0]} SA={row[1]} Eslow={row[2]}")
-
-    stamp("Figure 2 — resource sensitivity (perfect L1D)")
-    emit(exp.format_figure2(exp.figure2_resource_sensitivity(
-        cycles=12_000, warmup=3_000, jobs=jobs)))
-
-    stamp("Table 3 — L2 miss rates")
-    emit(exp.format_table3(exp.table3_miss_rates(
-        cycles=15_000, warmup=4_000, jobs=jobs)))
-
-    stamp("Table 5 — phase distribution (2-thread)")
-    emit(exp.format_table5(exp.table5_phase_distribution(
-        cycles=20_000, warmup=4_000, jobs=jobs)))
-
-    stamp("Figures 4+5 — full 9-cell policy comparison")
+def _figures45(jobs, executor, reps) -> str:
     results = exp.compare_policies(
         ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
-        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP, jobs=jobs)
-    emit(exp.format_cell_results(results))
-    emit()
+        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP, jobs=jobs,
+        reps=reps, executor=executor)
+    lines = [exp.format_cell_results(results), ""]
     rows = exp.improvements_over(results)
-    emit(exp.format_improvements(rows))
+    lines.append(exp.format_improvements(rows))
     for baseline in ("SRA", "ICOUNT", "DG", "FLUSH++"):
         values = [r.hmean_improvement_pct for r in rows
                   if r.baseline == baseline]
         tp = [r.throughput_improvement_pct for r in rows
               if r.baseline == baseline]
-        emit(f"DCRA vs {baseline}: mean Hmean {sum(values) / len(values):+.1f}%"
-             f"  mean throughput {sum(tp) / len(tp):+.1f}%")
+        lines.append(
+            f"DCRA vs {baseline}: mean Hmean {sum(values) / len(values):+.1f}%"
+            f"  mean throughput {sum(tp) / len(tp):+.1f}%")
+    return "\n".join(lines)
 
-    stamp("Figure 6 — register sweep")
-    emit(exp.format_sweep(exp.figure6_register_sweep(
-        cycles=20_000, warmup=4_000, jobs=jobs), "registers"))
 
-    stamp("Figure 7 — latency sweep")
-    emit(exp.format_sweep(exp.figure7_latency_sweep(
-        cycles=20_000, warmup=4_000, jobs=jobs), "latency"))
+def build_artefacts(args, executor):
+    """(label, thunk) per artefact; thunks share the one executor."""
+    jobs, reps = args.jobs, args.reps
+    return [
+        ("Table 1 (exact)", _table1),
+        ("Figure 2 — resource sensitivity (perfect L1D)",
+         lambda: exp.format_figure2(exp.figure2_resource_sensitivity(
+             cycles=12_000, warmup=3_000, jobs=jobs, executor=executor))),
+        ("Table 3 — L2 miss rates",
+         lambda: exp.format_table3(exp.table3_miss_rates(
+             cycles=15_000, warmup=4_000, jobs=jobs, executor=executor))),
+        ("Table 5 — phase distribution (2-thread)",
+         lambda: exp.format_table5(exp.table5_phase_distribution(
+             cycles=20_000, warmup=4_000, jobs=jobs, executor=executor))),
+        ("Figures 4+5 — full 9-cell policy comparison",
+         lambda: _figures45(jobs, executor, reps)),
+        ("Figure 6 — register sweep",
+         lambda: exp.format_sweep(exp.figure6_register_sweep(
+             cycles=20_000, warmup=4_000, jobs=jobs, reps=reps,
+             executor=executor), "registers")),
+        ("Figure 7 — latency sweep",
+         lambda: exp.format_sweep(exp.figure7_latency_sweep(
+             cycles=20_000, warmup=4_000, jobs=jobs, reps=reps,
+             executor=executor), "latency")),
+        ("Section 5.2 — front-end activity / MLP",
+         lambda: exp.format_text52(exp.text52_frontend_and_mlp(
+             cycles=20_000, warmup=4_000, jobs=jobs, executor=executor))),
+    ]
 
-    stamp("Section 5.2 — front-end activity / MLP")
-    emit(exp.format_text52(exp.text52_frontend_and_mlp(
-        cycles=20_000, warmup=4_000, jobs=jobs)))
 
-    stamp("done")
+def main() -> None:
+    args = parse_args()
+    out = open(args.output, "w") if args.output else sys.stdout
+    emit_lock = threading.Lock()
+    t0 = time.time()
+
+    def emit_section(label, body):
+        with emit_lock:
+            print(f"\n{'=' * 70}\n{label}  [t+{time.time() - t0:.0f}s]\n"
+                  f"{'=' * 70}", file=out, flush=True)
+            print(body, file=out, flush=True)
+
+    parallel = args.jobs > 1 or args.executor is not None
+    executor = make_executor(args.executor, args.jobs) if parallel else None
+    artefacts = build_artefacts(args, executor)
+    try:
+        if not parallel:
+            for label, thunk in artefacts:
+                emit_section(label, thunk())
+        else:
+            # Fork/spawn every backend worker from the main thread,
+            # before the driver threads exist — forking later, from a
+            # multithreaded process, risks inheriting a lock some other
+            # thread held at fork time (deadlock).
+            executor.warm_up()
+            # One shared backend, one thread per artefact: the artefact
+            # job subsets interleave on the worker fleet and each
+            # section streams out the moment its own jobs complete.
+            with ThreadPoolExecutor(len(artefacts)) as drivers:
+                futures = {drivers.submit(thunk): label
+                           for label, thunk in artefacts}
+                for future in as_completed(futures):
+                    emit_section(futures[future], future.result())
+    finally:
+        if executor is not None:
+            executor.close()
+
+    emit_section("done", f"{len(artefacts)} artefacts")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,24 @@
-"""Legacy setup shim so editable installs work without the wheel package."""
+"""Packaging for the repro-dcra simulator.
 
-from setuptools import setup
+Installing (``pip install -e .``) exposes the ``repro`` console script —
+the same CLI as ``python -m repro`` — and makes the package importable
+without PYTHONPATH tricks.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-dcra",
+    version="1.1.0",
+    description=("Reproduction of 'Dynamically Controlled Resource "
+                 "Allocation in SMT Processors' (Cazorla et al., "
+                 "MICRO-37 2004)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.__main__:main",
+        ],
+    },
+)

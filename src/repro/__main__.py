@@ -1,48 +1,129 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``
+once the package is installed — see the console-script entry point).
 
 Commands:
 
 * ``run`` — simulate a benchmark mix under one policy and print the
-  per-thread breakdown.
+  per-thread breakdown; ``--reps N`` replicates the run over N derived
+  seeds and prints mean ±95% CI columns instead.
 * ``compare`` — run several policies on the same mix and print a
-  side-by-side table with Hmean fairness (``--jobs N`` simulates the
-  policies and baselines on N worker processes).
+  side-by-side table with Hmean fairness; ``--reps N`` adds ±95% CI
+  error columns over N seed replications.
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
+
+``--jobs N`` parallelises the simulations and baselines over N workers;
+``--executor {serial,process,remote}`` picks where they run (the remote
+backend spawns loopback socket workers — the same protocol that
+distributes sweeps across machines).  Output is identical for every
+``--jobs`` / ``--executor`` combination.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import List
+from typing import Iterator, List, Optional
 
-from repro.harness.engine import SimJob, ensure_baselines, run_jobs
-from repro.harness.runner import run_benchmarks
-from repro.metrics.report import comparison_table, thread_table
+from repro.harness.engine import (
+    ReplicatedRun,
+    SimJob,
+    derive_seeds,
+    ensure_baselines,
+    ensure_baselines_sweep,
+    run_jobs,
+    run_replicated,
+)
+from repro.harness.executors import Executor, make_executor
+from repro.metrics.report import (
+    ReplicatedComparisonRow,
+    comparison_table,
+    replicated_comparison_table,
+    thread_table,
+)
 from repro.policies.registry import POLICY_NAMES
 from repro.trace.profiles import ALL_BENCHMARKS, get_profile
 from repro.trace.workloads import all_workloads
 
 
+@contextlib.contextmanager
+def _cli_executor(args: argparse.Namespace) -> Iterator[Optional[Executor]]:
+    """One backend instance per command invocation (None = plain serial).
+
+    Building the executor once and passing the instance down means a
+    remote fleet is spawned a single time even though a command issues
+    several engine calls (baselines, policy runs, replications).
+    """
+    if args.executor is None and args.jobs <= 1:
+        yield None
+        return
+    executor = make_executor(args.executor, args.jobs)
+    try:
+        yield executor
+    finally:
+        executor.close()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_benchmarks(args.benchmarks, args.policy,
-                            cycles=args.cycles, warmup=args.warmup,
-                            seed=args.seed)
-    print(thread_table(result))
+    job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
+                 args.warmup, args.seed)
+    with _cli_executor(args) as executor:
+        if args.reps <= 1:
+            result = run_jobs([job], args.jobs, executor)[0]
+            print(thread_table(result))
+            return 0
+        replicated = run_replicated(job, args.reps, args.jobs, executor)
+    print(f"Workload: {'+'.join(args.benchmarks)}  policy {args.policy}")
+    row = ReplicatedComparisonRow(
+        policy=replicated.policy,
+        throughput=replicated.throughput_stats,
+        hmean=None,
+        per_thread=replicated.thread_ipc_stats,
+    )
+    print(replicated_comparison_table([row], args.benchmarks))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    singles_by_benchmark = ensure_baselines(
-        args.benchmarks, cycles=args.cycles, warmup=args.warmup,
-        seed=args.seed, max_workers=args.jobs)
-    jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
-                   args.warmup, args.seed)
-            for policy in args.policies]
-    results = run_jobs(jobs, args.jobs)
-    singles = [singles_by_benchmark[b] for b in args.benchmarks]
     print(f"Workload: {'+'.join(args.benchmarks)}")
-    print(comparison_table(results, single_ipcs=singles))
+    with _cli_executor(args) as executor:
+        if args.reps <= 1:
+            singles_by_benchmark = ensure_baselines(
+                args.benchmarks, cycles=args.cycles, warmup=args.warmup,
+                seed=args.seed, max_workers=args.jobs, executor=executor)
+            jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
+                           args.warmup, args.seed)
+                    for policy in args.policies]
+            results = run_jobs(jobs, args.jobs, executor)
+            singles = [singles_by_benchmark[b] for b in args.benchmarks]
+            print(comparison_table(results, single_ipcs=singles))
+            return 0
+
+        seeds = derive_seeds(args.seed, args.reps)
+        singles = ensure_baselines_sweep(
+            args.benchmarks, seeds, cycles=args.cycles, warmup=args.warmup,
+            max_workers=args.jobs, executor=executor)
+        jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
+                       args.warmup, seed)
+                for policy in args.policies
+                for seed in seeds]
+        results = run_jobs(jobs, args.jobs, executor)
+
+    singles_per_rep = [[singles[(b, seed)] for b in args.benchmarks]
+                       for seed in seeds]
+    rows: List[ReplicatedComparisonRow] = []
+    for index, policy in enumerate(args.policies):
+        replicated = ReplicatedRun(
+            SimJob(tuple(args.benchmarks), policy, None, args.cycles,
+                   args.warmup, args.seed),
+            results[index * args.reps:(index + 1) * args.reps])
+        rows.append(ReplicatedComparisonRow(
+            policy=replicated.policy,
+            throughput=replicated.throughput_stats,
+            hmean=replicated.hmean_stats(singles_per_rep),
+            per_thread=replicated.thread_ipc_stats,
+        ))
+    print(replicated_comparison_table(rows, args.benchmarks))
     return 0
 
 
@@ -109,10 +190,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--cycles", type=int, default=15_000)
         sub_parser.add_argument("--warmup", type=int, default=3_000)
         sub_parser.add_argument("--seed", type=int, default=1)
-    compare_parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the policy runs and baselines "
-             "(default: serial); results are identical for any N")
+        sub_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="workers for the simulations and baselines "
+                 "(default: serial); results are identical for any N")
+        sub_parser.add_argument(
+            "--executor", choices=["serial", "process", "remote"],
+            default=None,
+            help="execution backend (default: process pool when --jobs > 1;"
+                 " 'remote' distributes over socket workers)")
+        sub_parser.add_argument(
+            "--reps", type=int, default=1, metavar="N",
+            help="seed replications per run (derive_seed fan-out); with "
+                 "N > 1 every metric is reported as mean ±95%% CI")
     return parser
 
 

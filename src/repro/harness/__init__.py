@@ -7,22 +7,47 @@ disk-backed, process-safe cache (:class:`~repro.harness.runner.BaselineCache`,
 
 :mod:`repro.harness.engine` is the parallel experiment engine:
 declarative :class:`~repro.harness.engine.SimJob` specs executed over a
-process pool (:func:`~repro.harness.engine.run_jobs`), deterministic for
-any worker count.
+pluggable backend (:func:`~repro.harness.engine.run_jobs`, streaming via
+:func:`~repro.harness.engine.run_jobs_streaming`), deterministic for any
+worker count on any backend, with seed-replication statistics through
+:func:`~repro.harness.engine.run_replicated`.
+
+:mod:`repro.harness.executors` provides the backends: in-process
+(:class:`~repro.harness.executors.SerialExecutor`), local process pool
+(:class:`~repro.harness.executors.ProcessExecutor`), and socket-based
+remote workers (:class:`~repro.harness.executors.RemoteExecutor`, worker
+side in :mod:`repro.harness.remote_worker`).
 
 :mod:`repro.harness.experiments` regenerates every table and figure of
 the paper's evaluation section; each driver expresses its sweep as a job
-list and takes a ``jobs`` worker-count parameter (also reachable as
-``--jobs`` on ``python -m repro`` and ``scripts/run_all_experiments.py``).
+list and takes ``jobs`` / ``executor`` parameters (also reachable as
+``--jobs`` / ``--executor`` on ``python -m repro`` and
+``scripts/run_all_experiments.py``).
 """
 
 from repro.harness.engine import (
+    ReplicatedRun,
     SimJob,
     derive_seed,
+    derive_seeds,
     ensure_baselines,
+    ensure_baselines_sweep,
+    executor_scope,
     parallel_map,
+    parallel_map_streaming,
+    replicate_job,
     run_job,
     run_jobs,
+    run_jobs_streaming,
+    run_replicated,
+)
+from repro.harness.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    RemoteExecutor,
+    SerialExecutor,
+    make_executor,
 )
 from repro.harness.runner import (
     BaselineCache,
@@ -37,17 +62,31 @@ from repro.harness.runner import (
 
 __all__ = [
     "BaselineCache",
+    "EXECUTOR_NAMES",
+    "Executor",
     "PolicyEvaluation",
+    "ProcessExecutor",
+    "RemoteExecutor",
+    "ReplicatedRun",
+    "SerialExecutor",
     "SimJob",
     "baseline_cache",
     "clear_baseline_cache",
     "derive_seed",
+    "derive_seeds",
     "ensure_baselines",
+    "ensure_baselines_sweep",
     "evaluate_workload",
+    "executor_scope",
+    "make_executor",
     "parallel_map",
+    "parallel_map_streaming",
+    "replicate_job",
     "run_benchmarks",
     "run_job",
     "run_jobs",
+    "run_jobs_streaming",
+    "run_replicated",
     "run_workload",
     "single_thread_ipc",
 ]

@@ -1,4 +1,4 @@
-"""Parallel experiment engine: declarative jobs over a process pool.
+"""Parallel experiment engine: declarative jobs over pluggable backends.
 
 Reproducing the paper end-to-end means simulating dozens of
 policy x workload x configuration combinations, each an independent,
@@ -6,17 +6,27 @@ deterministic, CPU-bound cycle-simulation.  This module turns such a
 sweep into data: a driver describes every run as a :class:`SimJob`,
 submits the list to :func:`run_jobs`, and gets the corresponding
 :class:`~repro.metrics.stats.SimulationResult` list back in submission
-order — computed serially or on a process pool, with identical results
-either way.
+order — computed in-process, on a local process pool, or on remote
+worker machines (see :mod:`repro.harness.executors`), with identical
+results on every backend.
 
 Determinism
 -----------
 Each job carries its own explicit seed (see :func:`derive_seed` for
 building disjoint per-job seeds from a base seed), and every job
 constructs a fresh simulator, so results depend only on the job
-description — never on scheduling, worker count or completion order.
-``run_jobs(jobs, n)`` is therefore bitwise-identical to
-``[run_job(j) for j in jobs]`` for any ``n``.
+description — never on scheduling, backend, worker count or completion
+order.  ``run_jobs(jobs, n)`` is therefore bitwise-identical to
+``[run_job(j) for j in jobs]`` for any ``n`` and any executor, and the
+streaming view (:func:`run_jobs_streaming`) reassembles to the same
+list when sorted by index.
+
+Seed replication
+----------------
+:func:`run_replicated` fans one job out to ``reps`` independent seeds
+and wraps the runs in a :class:`ReplicatedRun`, whose metrics are
+:class:`~repro.metrics.stats.ReplicatedResult` summaries (mean, stddev,
+95% CI) — the error bars the paper's single-run point estimates lack.
 
 Baseline sharing
 ----------------
@@ -24,20 +34,28 @@ Single-thread baseline runs (the Hmean denominators) are memoised by
 the disk-backed :class:`~repro.harness.runner.BaselineCache`, which is
 process-safe: worker processes and the parent all read and write the
 same on-disk entries, so a baseline is simulated once per sweep rather
-than once per process.  :func:`ensure_baselines` precomputes missing
-baselines through the pool before a sweep starts.
-
-The pool falls back to serial execution (with a warning) when process
-pools are unavailable in the host environment.
+than once per process.  :func:`ensure_baselines` (one seed) and
+:func:`ensure_baselines_sweep` (replication sweeps) precompute missing
+baselines through the backend before a sweep starts.
 """
 
 from __future__ import annotations
 
-import warnings
-from concurrent.futures import ProcessPoolExecutor
+import contextlib
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.harness.executors import Executor, make_executor
 from repro.harness.runner import (
     DEFAULT_CYCLES,
     DEFAULT_WARMUP,
@@ -46,7 +64,7 @@ from repro.harness.runner import (
     run_benchmarks,
     single_thread_ipc,
 )
-from repro.metrics.stats import SimulationResult
+from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
 from repro.pipeline.config import SMTConfig
 
 
@@ -89,52 +107,200 @@ def derive_seed(base_seed: int, index: int) -> int:
     return base_seed * 1_000_003 + index * 7919 + 1
 
 
+def derive_seeds(base_seed: int, reps: int) -> List[int]:
+    """The one definition of the replication fan-out, used by every
+    ``reps=`` surface (engine, drivers, runner, CLI).
+
+    ``reps <= 1`` keeps the base seed (historical single-run results
+    stay bit-for-bit); ``reps > 1`` derives one independent seed per
+    replication via :func:`derive_seed`.
+    """
+    if reps <= 1:
+        return [base_seed]
+    return [derive_seed(base_seed, rep) for rep in range(reps)]
+
+
 def run_job(job: SimJob) -> SimulationResult:
     """Execute one job in the current process."""
     return run_benchmarks(list(job.benchmarks), job.policy, job.config,
                           job.cycles, job.warmup, job.seed)
 
 
-def _make_pool(max_workers: int) -> Optional[ProcessPoolExecutor]:
-    """Create a process pool, or None when the host cannot provide one."""
+def _resolve_executor(executor, max_workers: int) -> Tuple[Executor, bool]:
+    """Executor instance plus whether this call owns (must close) it."""
+    if isinstance(executor, Executor):
+        return executor, False
+    return make_executor(executor, max_workers), True
+
+
+@contextlib.contextmanager
+def executor_scope(executor, max_workers: int) -> Iterator:
+    """Resolve an executor name once for a multi-call driver.
+
+    A driver that issues several engine calls (baseline phase, job
+    phase, parameter sweep) would otherwise build — and for ``remote``,
+    spawn a whole worker fleet for — a fresh backend per call when given
+    a name.  Within this scope the name becomes one shared instance,
+    closed on exit; None and instances pass through untouched (None
+    keeps the engine's serial short-circuit, instances stay owned by
+    the caller).
+    """
+    if executor is None or isinstance(executor, Executor):
+        yield executor
+        return
+    backend = make_executor(executor, max_workers)
     try:
-        return ProcessPoolExecutor(max_workers=max_workers)
-    except (OSError, ValueError, ImportError) as error:
-        warnings.warn(
-            f"process pool unavailable ({error}); running serially",
-            RuntimeWarning, stacklevel=3)
-        return None
+        yield backend
+    finally:
+        backend.close()
 
 
-def parallel_map(func: Callable, items: Sequence,
-                 max_workers: int = 1) -> List:
+def parallel_map(func: Callable, items: Sequence, max_workers: int = 1,
+                 executor=None) -> List:
     """Map a picklable top-level function over items, order-preserving.
 
     The generic sibling of :func:`run_jobs` for drivers whose per-item
     work is not a plain :class:`SimJob` (e.g. runs that install cycle
-    hooks).  With ``max_workers <= 1`` — or when no pool can be created
-    — it degrades to a plain serial map, so results never depend on the
-    execution mode.
+    hooks).  ``executor`` selects the backend: an
+    :class:`~repro.harness.executors.Executor` instance (reused, left
+    open), a name from
+    :data:`~repro.harness.executors.EXECUTOR_NAMES`, or None — which
+    picks a process pool for ``max_workers > 1`` and a plain serial map
+    otherwise.  Results are bitwise-identical on every backend.
     """
     items = list(items)
-    if max_workers <= 1 or len(items) <= 1:
+    if executor is None and (max_workers <= 1 or len(items) <= 1):
         return [func(item) for item in items]
-    pool = _make_pool(min(max_workers, len(items)))
-    if pool is None:
-        return [func(item) for item in items]
-    with pool:
-        return list(pool.map(func, items))
+    # A per-call backend never needs more workers than items.
+    backend, owned = _resolve_executor(
+        executor, max(1, min(max_workers, len(items))))
+    try:
+        return backend.map(func, items)
+    finally:
+        if owned:
+            backend.close()
 
 
-def run_jobs(jobs: Iterable[SimJob],
-             max_workers: int = 1) -> List[SimulationResult]:
+def parallel_map_streaming(func: Callable, items: Sequence,
+                           max_workers: int = 1,
+                           executor=None) -> Iterator[Tuple[int, object]]:
+    """Like :func:`parallel_map`, yielding ``(index, result)`` pairs as
+    items complete (completion order; indices refer to submission order).
+
+    Reassembling the pairs by index gives exactly the
+    :func:`parallel_map` list, so streaming consumers trade ordering for
+    latency without giving up determinism.
+    """
+    items = list(items)
+    backend, owned = _resolve_executor(
+        executor, max(1, min(max_workers, len(items))))
+    try:
+        yield from backend.map_unordered(func, items)
+    finally:
+        if owned:
+            backend.close()
+
+
+def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
+             executor=None) -> List[SimulationResult]:
     """Execute jobs and return their results in submission order.
 
     Args:
         jobs: the job list; each job is independent and deterministic.
-        max_workers: process count; ``<= 1`` runs serially in-process.
+        max_workers: worker count; ``<= 1`` runs serially in-process
+            unless ``executor`` names another backend.
+        executor: backend selection, as in :func:`parallel_map`.
     """
-    return parallel_map(run_job, list(jobs), max_workers)
+    return parallel_map(run_job, list(jobs), max_workers, executor)
+
+
+def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
+                       executor=None) \
+        -> Iterator[Tuple[int, SimulationResult]]:
+    """Execute jobs, yielding ``(index, result)`` as each completes.
+
+    The streaming face of :func:`run_jobs`: drivers that render
+    artefacts incrementally consume results the moment a worker
+    finishes them instead of waiting for the whole sweep.  Sorting the
+    pairs by index reproduces the :func:`run_jobs` list bitwise.
+    """
+    yield from parallel_map_streaming(run_job, list(jobs), max_workers,
+                                      executor)
+
+
+# --------------------------------------------------------------------------
+# Seed replication
+# --------------------------------------------------------------------------
+
+def replicate_job(job: SimJob, reps: int) -> List[SimJob]:
+    """Fan one job out to ``reps`` statistically independent seeds.
+
+    Replica ``r`` runs with ``derive_seed(job.seed, r)``, so the set of
+    replications is a pure function of the job's own seed.  With
+    ``reps <= 1`` the job is returned unchanged (the degenerate
+    single-replication case keeps historical single-run results stable).
+    """
+    if reps <= 1:
+        return [job]
+    return [dataclasses.replace(job, seed=seed)
+            for seed in derive_seeds(job.seed, reps)]
+
+
+@dataclass
+class ReplicatedRun:
+    """One job's seed replications plus their statistical summaries."""
+
+    job: SimJob
+    results: List[SimulationResult]
+
+    @property
+    def policy(self) -> str:
+        return self.results[0].policy
+
+    @property
+    def reps(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput_stats(self) -> ReplicatedResult:
+        """Mean/stddev/CI of total IPC over the replications."""
+        return ReplicatedResult.from_values(
+            [result.throughput for result in self.results])
+
+    @property
+    def thread_ipc_stats(self) -> List[ReplicatedResult]:
+        """Per-thread IPC summaries, one per hardware context."""
+        return [
+            ReplicatedResult.from_values(
+                [result.threads[tid].ipc for result in self.results])
+            for tid in range(len(self.job.benchmarks))
+        ]
+
+    def hmean_stats(self,
+                    singles_per_rep: Sequence[Sequence[float]]) \
+            -> ReplicatedResult:
+        """Hmean summary against per-replication single-thread baselines.
+
+        Args:
+            singles_per_rep: one baseline list per replication, each
+                with one single-thread IPC per benchmark, measured with
+                the *same* derived seed as that replication.
+        """
+        if len(singles_per_rep) != len(self.results):
+            raise ValueError("need one baseline list per replication")
+        return ReplicatedResult.from_values([
+            safe_hmean(result.ipcs, singles,
+                       "+".join(self.job.benchmarks))
+            for result, singles in zip(self.results, singles_per_rep)
+        ])
+
+
+def run_replicated(job: SimJob, reps: int, max_workers: int = 1,
+                   executor=None) -> ReplicatedRun:
+    """Run a job ``reps`` times with derived seeds (see
+    :func:`replicate_job`) and collect the replications."""
+    return ReplicatedRun(
+        job, run_jobs(replicate_job(job, reps), max_workers, executor))
 
 
 def _baseline_item(item: Tuple[str, SMTConfig, int, int, int]) -> float:
@@ -156,25 +322,53 @@ def ensure_baselines(
     warmup: int = DEFAULT_WARMUP,
     seed: int = 1,
     max_workers: int = 1,
+    executor=None,
 ) -> Dict[str, float]:
     """Single-thread IPCs for benchmarks, computing misses in parallel.
 
     Cache hits (memory or disk) are returned directly; the missing
-    baselines are simulated through the pool and written back to the
+    baselines are simulated through the backend and written back to the
     shared cache, so subsequent :func:`single_thread_ipc` calls — in
     this or any worker process — hit.
     """
+    sweep = ensure_baselines_sweep(benchmarks, [seed], config, cycles,
+                                   warmup, max_workers, executor)
+    return {benchmark: ipc for (benchmark, _), ipc in sweep.items()}
+
+
+def ensure_baselines_sweep(
+    benchmarks: Sequence[str],
+    seeds: Sequence[int],
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    max_workers: int = 1,
+    executor=None,
+) -> Dict[Tuple[str, int], float]:
+    """Single-thread IPCs for every (benchmark, seed) pair.
+
+    The replication-aware sibling of :func:`ensure_baselines`: a seed
+    sweep needs the Hmean denominator of each benchmark *per derived
+    seed*, and batching every missing pair through one parallel phase
+    keeps the backend saturated.
+
+    Returns:
+        Mapping from ``(benchmark, seed)`` to that run's IPC.
+    """
     config = config or SMTConfig()
     unique = list(dict.fromkeys(benchmarks))
-    missing = [b for b in unique
-               if baseline_cache.get(b, config, cycles, warmup, seed) is None]
-    if missing and max_workers > 1:
-        items = [(b, config, cycles, warmup, seed) for b in missing]
-        for benchmark, ipc in zip(
-                missing, parallel_map(_baseline_item, items, max_workers)):
+    unique_seeds = list(dict.fromkeys(seeds))
+    pairs = [(b, s) for s in unique_seeds for b in unique]
+    missing = [(b, s) for b, s in pairs
+               if baseline_cache.get(b, config, cycles, warmup, s) is None]
+    if missing and (max_workers > 1 or executor is not None):
+        items = [(b, config, cycles, warmup, s) for b, s in missing]
+        for (benchmark, seed), ipc in zip(
+                missing,
+                parallel_map(_baseline_item, items, max_workers, executor)):
             # Mirror the worker's result into this process's cache (the
             # worker already wrote the disk entry; this fills memory and
             # covers a disk-less environment).
             baseline_cache.put(benchmark, config, cycles, warmup, seed, ipc)
-    return {b: single_thread_ipc(b, config, cycles, warmup, seed)
-            for b in unique}
+    return {(b, s): single_thread_ipc(b, config, cycles, warmup, s)
+            for b, s in pairs}

@@ -1,0 +1,458 @@
+"""Pluggable execution backends for the experiment engine.
+
+The engine (:mod:`repro.harness.engine`) describes a sweep as a list of
+independent, deterministic, picklable work items.  *Where* those items
+run is this module's job: an :class:`Executor` maps a top-level function
+over items and reports ``(index, result)`` pairs as they complete, and
+three interchangeable backends implement that contract:
+
+:class:`SerialExecutor`
+    In-process loop.  The reference semantics every other backend must
+    reproduce bitwise.
+
+:class:`ProcessExecutor`
+    A :class:`concurrent.futures.ProcessPoolExecutor` on the local
+    machine (the engine's historical behaviour).  Degrades to serial
+    execution with a warning when the host cannot fork processes.
+
+:class:`RemoteExecutor`
+    Ships pickled tasks to worker processes over a length-prefixed TCP
+    socket protocol (:mod:`repro.harness.remote_worker`).  By default it
+    spawns loopback workers on this machine; pointing external workers
+    (``python -m repro.harness.remote_worker --connect HOST:PORT``) at
+    its listening address distributes the same sweep across machines.
+
+Because every work item is pure — the result depends only on the item,
+never on scheduling — :meth:`Executor.map` is bitwise-identical across
+backends and worker counts; only completion *order* (the streaming view
+exposed by :meth:`Executor.map_unordered`) differs.  Executors are
+reusable across calls and thread-safe, so one instance can serve several
+concurrent sweeps (``scripts/run_all_experiments.py`` streams every
+artefact through a single shared backend).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import pickle
+import queue
+import socket
+import threading
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.harness.remote_worker import (
+    recv_message,
+    send_message,
+    spawn_loopback_workers,
+)
+
+#: Names accepted by :func:`make_executor` (and the ``--executor`` CLI
+#: flags).  ``auto`` picks serial for one worker, processes otherwise.
+EXECUTOR_NAMES: Tuple[str, ...] = ("auto", "serial", "process", "remote")
+
+
+class Executor(abc.ABC):
+    """Maps a picklable top-level function over items, any machine(s).
+
+    Subclasses implement :meth:`map_unordered`; ordered :meth:`map` is
+    derived from it.  Instances are context managers: leaving the
+    ``with`` block releases pools, sockets and worker processes.
+    """
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def map_unordered(self, func: Callable, items: Sequence) \
+            -> Iterator[Tuple[int, object]]:
+        """Yield ``(index, func(items[index]))`` in completion order.
+
+        Every index appears exactly once; an exception raised by
+        ``func`` propagates to the consumer.
+        """
+
+    def map(self, func: Callable, items: Sequence) -> List:
+        """``[func(item) for item in items]``, computed on the backend.
+
+        Results are reassembled in index order, so the output is
+        bitwise-identical across backends for pure functions.
+        """
+        items = list(items)
+        results: List = [None] * len(items)
+        for index, result in self.map_unordered(func, items):
+            results[index] = result
+        return results
+
+    def warm_up(self) -> None:
+        """Start any backend worker processes now, from this thread.
+
+        Call before handing the executor to multiple threads: forking
+        pool workers later, from a multithreaded process, risks the
+        classic fork-with-threads deadlock (a child inheriting a lock
+        some other thread held at fork time).  No-op for backends whose
+        workers already exist or that have none.
+        """
+
+    def close(self) -> None:
+        """Release backend resources; the executor is unusable after."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every item in the calling process, in submission order."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    def map_unordered(self, func: Callable, items: Sequence) \
+            -> Iterator[Tuple[int, object]]:
+        if self._closed:
+            raise RuntimeError("serial executor is closed")
+        for index, item in enumerate(items):
+            yield index, func(item)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class ProcessExecutor(Executor):
+    """Run items on a local process pool (one pool per executor).
+
+    The pool is created lazily on first use; when the host cannot
+    provide one (no ``fork``/``spawn``, missing semaphores) the executor
+    warns once and degrades to serial execution, preserving results.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        import os
+
+        self.max_workers = max(1, max_workers or os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._failed = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def _acquire_pool(self) -> Optional[ProcessPoolExecutor]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process executor is closed")
+            if self._failed:
+                return None
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers)
+                except (OSError, ValueError, ImportError) as error:
+                    warnings.warn(
+                        f"process pool unavailable ({error}); running "
+                        "serially", RuntimeWarning, stacklevel=4)
+                    self._failed = True
+                    return None
+            return self._pool
+
+    def warm_up(self) -> None:
+        """Fork all pool workers now (see :meth:`Executor.warm_up`).
+
+        Submits one short sleep per worker slot: the sleeps keep every
+        already-forked worker busy, so each submission forks a fresh
+        process until the pool is full — all from the calling thread.
+        """
+        pool = self._acquire_pool()
+        if pool is not None:
+            from concurrent.futures import wait
+
+            wait([pool.submit(time.sleep, 0.2)
+                  for _ in range(self.max_workers)])
+
+    def map_unordered(self, func: Callable, items: Sequence) \
+            -> Iterator[Tuple[int, object]]:
+        items = list(items)
+        pool = self._acquire_pool() if len(items) > 1 else None
+        if pool is None:
+            if self._closed:
+                raise RuntimeError("process executor is closed")
+            yield from SerialExecutor().map_unordered(func, items)
+            return
+        futures = {pool.submit(func, item): index
+                   for index, item in enumerate(items)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self._closed = True
+
+
+class _RemoteTask:
+    """One in-flight unit of work inside :class:`RemoteExecutor`."""
+
+    __slots__ = ("call_id", "index", "payload", "attempts")
+
+    def __init__(self, call_id: int, index: int, payload: bytes) -> None:
+        self.call_id = call_id
+        self.index = index
+        self.payload = payload
+        self.attempts = 0
+
+
+#: Task-queue sentinel: handlers re-post it so every worker sees it.
+_SHUTDOWN = object()
+
+
+class RemoteExecutor(Executor):
+    """Distribute tasks to worker processes over TCP sockets.
+
+    The executor listens on ``(host, port)``; each connected worker runs
+    a pull loop — receive one pickled ``(func, item)`` task, compute,
+    send back the pickled result — so fast workers naturally take more
+    tasks.  Two deployment modes share the one protocol:
+
+    * **Loopback** (default, ``spawn_workers=N``): N local worker
+      processes are spawned via the ``spawn`` start method, so they
+      re-import everything from scratch — the same cold-start a genuine
+      remote machine would have.
+    * **Remote**: pass ``spawn_workers=0`` and a fixed ``port``, then
+      start ``python -m repro.harness.remote_worker --connect HOST:PORT``
+      on any number of machines that can import :mod:`repro`.
+
+    A worker that disconnects mid-task has its task re-queued for the
+    remaining workers (up to ``max_attempts`` per task); an exception
+    *inside* a task is reported back and re-raised to the consumer as a
+    :class:`RuntimeError`.  Instances are thread-safe: concurrent
+    ``map`` calls interleave their tasks over the same worker fleet.
+    """
+
+    name = "remote"
+
+    def __init__(self, spawn_workers: int = 2, host: str = "127.0.0.1",
+                 port: int = 0, timeout: float = 600.0,
+                 max_attempts: int = 3) -> None:
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self._tasks: "queue.Queue" = queue.Queue()
+        self._results: dict = {}  # call_id -> queue.Queue
+        self._call_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers_seen = 0
+        self._active_workers = 0
+        self._last_activity = time.monotonic()
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="remote-executor-accept",
+            daemon=True)
+        self._accept_thread.start()
+
+        self._processes = spawn_loopback_workers(
+            self.address, spawn_workers) if spawn_workers else []
+
+    # -- server side ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._workers_seen += 1
+                self._active_workers += 1
+                self._last_activity = time.monotonic()
+            threading.Thread(target=self._serve_worker, args=(conn,),
+                             name="remote-executor-worker", daemon=True).start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        """Feed one connected worker from the shared task queue."""
+        try:
+            while True:
+                task = self._tasks.get()
+                if task is _SHUTDOWN:
+                    self._tasks.put(_SHUTDOWN)
+                    try:
+                        send_message(conn, pickle.dumps(("shutdown", None)))
+                    except OSError:
+                        pass
+                    return
+                with self._lock:
+                    live = task.call_id in self._results
+                if not live:
+                    # The consumer aborted this call (task failure or
+                    # timeout): drop its leftover tasks instead of
+                    # burning worker time on results nobody will read.
+                    continue
+                task.attempts += 1
+                try:
+                    send_message(conn, task.payload)
+                    # Any failure here — socket death, or a reply this
+                    # process cannot unpickle (e.g. a version-skewed
+                    # worker) — is a worker-channel failure: Exception,
+                    # not just UnpicklingError, or the handler thread
+                    # would die silently and strand the task.
+                    ok, value = pickle.loads(recv_message(conn))
+                except Exception as error:  # noqa: BLE001
+                    # The connection died mid-task: give the task to the
+                    # surviving workers unless it has already burned
+                    # through its attempts (a task that kills every
+                    # worker it lands on must not loop forever).
+                    if task.attempts >= self.max_attempts:
+                        self._route(task.call_id, task.index, False,
+                                    f"worker connection lost: {error}")
+                    else:
+                        self._tasks.put(task)
+                    return
+                self._route(task.call_id, task.index, ok, value)
+        finally:
+            conn.close()
+            with self._lock:
+                self._active_workers -= 1
+
+    def _route(self, call_id: int, index: int, ok: bool, value) -> None:
+        with self._lock:
+            result_queue = self._results.get(call_id)
+            self._last_activity = time.monotonic()
+        if result_queue is not None:  # consumer may have aborted
+            result_queue.put((index, ok, value))
+
+    # -- client side ------------------------------------------------------
+
+    def map_unordered(self, func: Callable, items: Sequence) \
+            -> Iterator[Tuple[int, object]]:
+        items = list(items)
+        if not items:
+            return
+        if self._closed:
+            raise RuntimeError("remote executor is closed")
+        with self._lock:
+            call_id = next(self._call_ids)
+            result_queue: "queue.Queue" = queue.Queue()
+            self._results[call_id] = result_queue
+        try:
+            for index, item in enumerate(items):
+                self._tasks.put(_RemoteTask(
+                    call_id, index, pickle.dumps(("task", (func, item)))))
+            pending = len(items)
+            while pending:
+                try:
+                    index, ok, value = result_queue.get(timeout=1.0)
+                except queue.Empty:
+                    if self._closed:
+                        raise RuntimeError(
+                            "remote executor closed mid-sweep")
+                    self._check_fleet_health(pending)
+                    continue
+                if not ok:
+                    raise RuntimeError(f"remote task failed: {value}")
+                yield index, value
+                pending -= 1
+        finally:
+            with self._lock:
+                self._results.pop(call_id, None)
+
+    def _check_fleet_health(self, pending: int) -> None:
+        """Fail fast on a dead or stalled fleet; otherwise keep waiting.
+
+        The idle clock is *fleet-wide* (reset by any routed result and
+        any worker connection, across all concurrent map calls), so a
+        call whose tasks are queued behind other calls' work on a busy
+        shared fleet never trips it — only a fleet that has made no
+        progress at all for ``timeout`` seconds does.
+        """
+        with self._lock:
+            active = self._active_workers
+            idle = time.monotonic() - self._last_activity
+        if (active == 0 and self._processes
+                and all(p.poll() is not None for p in self._processes)):
+            raise RuntimeError(
+                f"all {len(self._processes)} loopback workers exited "
+                f"with {pending} tasks outstanding"
+                f"{self._worker_stderr_tail()}")
+        if idle > self.timeout:
+            raise RuntimeError(
+                f"remote executor made no progress for "
+                f"{self.timeout:.0f}s with {pending} tasks outstanding "
+                f"(workers seen: {self._workers_seen}, active: {active})"
+                f"{self._worker_stderr_tail()}")
+
+    def _worker_stderr_tail(self, limit: int = 2000) -> str:
+        """Captured stderr of spawned workers, for failure diagnostics."""
+        chunks = []
+        for process in self._processes:
+            path = getattr(process, "stderr_path", None)
+            if not path:
+                continue
+            try:
+                with open(path) as handle:
+                    text = handle.read()[-limit:].strip()
+            except OSError:
+                continue
+            if text:
+                chunks.append(f"worker pid {process.pid} stderr:\n{text}")
+        return ("\n" + "\n".join(chunks)) if chunks else ""
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tasks.put(_SHUTDOWN)  # handlers drain it and notify workers
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        import os
+
+        for process in self._processes:
+            try:
+                process.wait(timeout=10.0)
+            except Exception:  # still running after the shutdown message
+                process.terminate()
+            path = getattr(process, "stderr_path", None)
+            if path:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+
+def make_executor(spec, max_workers: int = 1) -> Executor:
+    """Build an executor from a name, or pass an instance through.
+
+    Args:
+        spec: an :class:`Executor` instance (returned unchanged), a name
+            from :data:`EXECUTOR_NAMES`, or None (same as ``"auto"``).
+        max_workers: worker count for the pool/remote backends; ``auto``
+            resolves to serial when it is <= 1.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    name = spec or "auto"
+    if name == "auto":
+        name = "serial" if max_workers <= 1 else "process"
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(max_workers)
+    if name == "remote":
+        return RemoteExecutor(spawn_workers=max(2, max_workers))
+    raise ValueError(
+        f"unknown executor {spec!r} (expected one of {EXECUTOR_NAMES})")

@@ -8,12 +8,20 @@ driver accepts larger budgets for lower-variance runs.
 
 Every driver expresses its sweep as a list of declarative
 :class:`~repro.harness.engine.SimJob` specs submitted to the parallel
-experiment engine and accepts a ``jobs`` parameter (worker process
-count, default serial).  Results are identical for any ``jobs`` value:
-job seeds are fixed by the driver and each job simulates independently
-(see :mod:`repro.harness.engine` for the determinism contract).
-Single-thread Hmean baselines are shared across processes through the
-disk-backed baseline cache.
+experiment engine, and accepts a ``jobs`` parameter (worker count,
+default serial) plus an ``executor`` parameter selecting the backend —
+an :class:`~repro.harness.executors.Executor` instance or a name from
+:data:`~repro.harness.executors.EXECUTOR_NAMES` (serial, local process
+pool, or remote worker machines).  Results are identical for any
+``jobs`` value on any backend: job seeds are fixed by the driver and
+each job simulates independently (see :mod:`repro.harness.engine` for
+the determinism contract).  The policy-comparison drivers additionally
+take ``reps``: seed replications via
+:func:`~repro.harness.engine.derive_seed` that turn each reported
+metric into a mean with a 95% confidence interval
+(:class:`~repro.metrics.stats.ReplicatedResult`).  Single-thread Hmean
+baselines are shared across processes through the disk-backed baseline
+cache.
 
 Experiment-to-paper map:
 
@@ -40,12 +48,14 @@ from repro.core.dcra import DcraConfig
 from repro.core.sharing import SharingModel
 from repro.harness.engine import (
     SimJob,
-    ensure_baselines,
+    derive_seeds,
+    ensure_baselines_sweep,
+    executor_scope,
     parallel_map,
     run_jobs,
 )
 from repro.harness.runner import PolicySpec, improvement_pct
-from repro.metrics.stats import safe_hmean
+from repro.metrics.stats import ReplicatedResult, safe_hmean
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
 from repro.policies.registry import make_policy
@@ -129,6 +139,7 @@ def figure2_resource_sensitivity(
     resources: Optional[Sequence[str]] = None,
     seed: int = 7,
     jobs: int = 1,
+    executor=None,
 ) -> List[Figure2Row]:
     """Regenerate Figure 2: % of full speed vs % of one resource.
 
@@ -148,7 +159,7 @@ def figure2_resource_sensitivity(
             job_list.extend(
                 SimJob((b,), "ICOUNT", config, cycles, warmup, seed)
                 for b in benchmarks)
-    results = iter(run_jobs(job_list, jobs))
+    results = iter(run_jobs(job_list, jobs, executor))
 
     rows: List[Figure2Row] = []
     for resource in resource_names:
@@ -206,13 +217,14 @@ def table3_miss_rates(
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 3,
     jobs: int = 1,
+    executor=None,
 ) -> List[Table3Row]:
     """Regenerate Table 3: single-thread L2 miss rate per benchmark."""
     names = list(benchmarks or sorted(ALL_BENCHMARKS))
     job_list = [SimJob((name,), "ICOUNT", None, cycles, warmup, seed)
                 for name in names]
     rows = []
-    for name, result in zip(names, run_jobs(job_list, jobs)):
+    for name, result in zip(names, run_jobs(job_list, jobs, executor)):
         profile = get_profile(name)
         rows.append(Table3Row(
             benchmark=name,
@@ -282,6 +294,7 @@ def table5_phase_distribution(
     warmup: int = 4_000,
     seed: int = 5,
     jobs: int = 1,
+    executor=None,
 ) -> List[Table5Row]:
     """Regenerate Table 5: % of cycles 2-thread workloads spend with both
     threads slow, one slow one fast, or both fast (under DCRA)."""
@@ -289,7 +302,7 @@ def table5_phase_distribution(
     items = [(workload, cycles, warmup, seed)
              for wtype in wtypes
              for workload in workload_groups(2, wtype)]
-    per_workload = iter(parallel_map(_table5_counts, items, jobs))
+    per_workload = iter(parallel_map(_table5_counts, items, jobs, executor))
     rows = []
     for wtype in wtypes:
         counts = [0, 0, 0]
@@ -321,13 +334,21 @@ def format_table5(rows: Sequence[Table5Row]) -> str:
 
 @dataclass
 class CellResult:
-    """Group-averaged metrics of one policy on one workload cell."""
+    """Group-averaged metrics of one policy on one workload cell.
+
+    With seed replication (``reps > 1``) ``throughput`` and ``hmean``
+    are means over the replications and the ``*_stats`` fields carry
+    the spread (:class:`~repro.metrics.stats.ReplicatedResult`);
+    single-seed runs leave them None.
+    """
 
     num_threads: int
     wtype: str
     policy: str
     throughput: float
     hmean: float
+    throughput_stats: Optional[ReplicatedResult] = None
+    hmean_stats: Optional[ReplicatedResult] = None
 
 
 def compare_policies(
@@ -338,15 +359,22 @@ def compare_policies(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> List[CellResult]:
     """Evaluate policies over workload cells, averaging the four groups.
 
     This is the driver behind Figures 4, 5, 6 and 7.  The sweep runs as
     two engine phases: the single-thread Hmean baselines of every
-    benchmark involved, then one job per (workload, policy); all jobs
-    share ``seed`` so every policy sees identical instruction streams.
+    benchmark involved, then one job per (replication, workload,
+    policy).  Within a replication all jobs share one seed so every
+    policy sees identical instruction streams; with ``reps > 1`` the
+    whole comparison is repeated per derived seed (:func:`derive_seed`)
+    and each cell reports the mean plus a
+    :class:`~repro.metrics.stats.ReplicatedResult` spread.
     """
     config = config or SMTConfig()
+    seeds = derive_seeds(seed, reps)
     cell_workloads = [(num_threads, wtype,
                        list(workload_groups(num_threads, wtype)))
                       for num_threads, wtype in cells]
@@ -354,33 +382,58 @@ def compare_policies(
                       for _, _, workloads in cell_workloads
                       for workload in workloads
                       for b in workload.benchmarks]
-    singles = ensure_baselines(all_benchmarks, config, cycles, warmup,
-                               seed, max_workers=jobs)
-
     job_list: List[SimJob] = []
-    for _, _, workloads in cell_workloads:
-        for workload in workloads:
-            job_list.extend(
-                SimJob(tuple(workload.benchmarks), policy, config, cycles,
-                       warmup, seed)
-                for policy in policies)
-    job_results = iter(run_jobs(job_list, jobs))
+    for rep_seed in seeds:
+        for _, _, workloads in cell_workloads:
+            for workload in workloads:
+                job_list.extend(
+                    SimJob(tuple(workload.benchmarks), policy, config,
+                           cycles, warmup, rep_seed)
+                    for policy in policies)
+    # One backend for both engine phases (a named 'remote' executor
+    # spawns its worker fleet once, not once per phase).
+    with executor_scope(executor, jobs) as backend:
+        singles = ensure_baselines_sweep(all_benchmarks, seeds, config,
+                                         cycles, warmup, max_workers=jobs,
+                                         executor=backend)
+        job_results = iter(run_jobs(job_list, jobs, backend))
+
+    # Per replication, the historical per-cell aggregation; keys appear
+    # in (cell order, policy completion order), preserved below.
+    per_rep: List[Dict[Tuple[int, str, str], Tuple[float, float]]] = []
+    for rep_seed in seeds:
+        cell_metrics: Dict[Tuple[int, str, str], Tuple[float, float]] = {}
+        for num_threads, wtype, workloads in cell_workloads:
+            sums: Dict[str, List[float]] = {}
+            for workload in workloads:
+                workload_singles = [singles[(b, rep_seed)]
+                                    for b in workload.benchmarks]
+                for _ in policies:
+                    result = next(job_results)
+                    entry = sums.setdefault(result.policy, [0.0, 0.0])
+                    entry[0] += result.throughput / 4.0
+                    hmean = safe_hmean(result.ipcs, workload_singles,
+                                       workload.name)
+                    entry[1] += hmean / 4.0
+            for name, (throughput, hmean) in sums.items():
+                cell_metrics[(num_threads, wtype, name)] = (throughput,
+                                                            hmean)
+        per_rep.append(cell_metrics)
 
     results: List[CellResult] = []
-    for num_threads, wtype, workloads in cell_workloads:
-        sums: Dict[str, List[float]] = {}
-        for workload in workloads:
-            workload_singles = [singles[b] for b in workload.benchmarks]
-            for _ in policies:
-                result = next(job_results)
-                entry = sums.setdefault(result.policy, [0.0, 0.0])
-                entry[0] += result.throughput / 4.0
-                hmean = safe_hmean(result.ipcs, workload_singles,
-                                   workload.name)
-                entry[1] += hmean / 4.0
-        for name, (throughput, hmean) in sums.items():
-            results.append(CellResult(num_threads, wtype, name,
-                                      throughput, hmean))
+    for num_threads, wtype, name in per_rep[0]:
+        throughputs = [rep[(num_threads, wtype, name)][0] for rep in per_rep]
+        hmeans = [rep[(num_threads, wtype, name)][1] for rep in per_rep]
+        if reps > 1:
+            throughput_stats = ReplicatedResult.from_values(throughputs)
+            hmean_stats = ReplicatedResult.from_values(hmeans)
+        else:
+            throughput_stats = hmean_stats = None
+        results.append(CellResult(
+            num_threads, wtype, name,
+            sum(throughputs) / len(throughputs),
+            sum(hmeans) / len(hmeans),
+            throughput_stats, hmean_stats))
     return results
 
 
@@ -428,10 +481,12 @@ def figure4_dcra_vs_static(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> List[ImprovementRow]:
     """Regenerate Figure 4: DCRA improvement over SRA per workload cell."""
     results = compare_policies(["SRA", "DCRA"], cells, None, cycles,
-                               warmup, seed, jobs)
+                               warmup, seed, jobs, reps, executor)
     return improvements_over(results)
 
 
@@ -441,10 +496,12 @@ def figure5_policy_comparison(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> List[CellResult]:
     """Regenerate Figure 5: throughput and Hmean for the fetch policies."""
     return compare_policies(["ICOUNT", "DG", "FLUSH++", "DCRA"], cells,
-                            None, cycles, warmup, seed, jobs)
+                            None, cycles, warmup, seed, jobs, reps, executor)
 
 
 def format_improvements(rows: Sequence[ImprovementRow]) -> str:
@@ -460,12 +517,28 @@ def format_improvements(rows: Sequence[ImprovementRow]) -> str:
 
 
 def format_cell_results(results: Sequence[CellResult]) -> str:
-    lines = [f"{'cell':8s} {'policy':10s} {'IPC':>6s} {'Hmean':>7s}"]
+    """Render cell results; seed-replicated runs gain ±95% CI columns."""
+    with_stats = any(r.hmean_stats is not None for r in results)
+    header = f"{'cell':8s} {'policy':10s} {'IPC':>6s}"
+    if with_stats:
+        header += f" {'±95%':>6s}"
+    header += f" {'Hmean':>7s}"
+    if with_stats:
+        header += f" {'±95%':>7s}"
+    lines = [header]
     for result in sorted(results,
                          key=lambda r: (r.num_threads, r.wtype, r.policy)):
-        lines.append(f"{result.wtype}{result.num_threads:<6d} "
-                     f"{result.policy:10s} {result.throughput:6.2f} "
-                     f"{result.hmean:7.3f}")
+        line = (f"{result.wtype}{result.num_threads:<6d} "
+                f"{result.policy:10s} {result.throughput:6.2f}")
+        if with_stats:
+            ci = (result.throughput_stats.ci95
+                  if result.throughput_stats else 0.0)
+            line += f" ±{ci:5.2f}"
+        line += f" {result.hmean:7.3f}"
+        if with_stats:
+            ci = result.hmean_stats.ci95 if result.hmean_stats else 0.0
+            line += f" ±{ci:6.3f}"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -500,10 +573,12 @@ def _averaged_improvements(
     seed: int,
     subject: str = "DCRA",
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> Dict[str, float]:
     """Mean Hmean-improvement of the subject over each baseline."""
     results = compare_policies(policies, cells, config, cycles, warmup,
-                               seed, jobs)
+                               seed, jobs, reps, executor)
     rows = improvements_over(results, subject)
     sums: Dict[str, List[float]] = {}
     for row in rows:
@@ -518,16 +593,20 @@ def figure6_register_sweep(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> List[SweepRow]:
     """Regenerate Figure 6: Hmean improvement vs register file size."""
     rows = []
-    for size in register_sizes:
-        config = SMTConfig().with_registers(size)
-        improvements = _averaged_improvements(
-            ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], config, cells,
-            cycles, warmup, seed, jobs=jobs)
-        for baseline, value in sorted(improvements.items()):
-            rows.append(SweepRow(size, baseline, value))
+    with executor_scope(executor, jobs) as backend:
+        for size in register_sizes:
+            config = SMTConfig().with_registers(size)
+            improvements = _averaged_improvements(
+                ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], config, cells,
+                cycles, warmup, seed, jobs=jobs, reps=reps,
+                executor=backend)
+            for baseline, value in sorted(improvements.items()):
+                rows.append(SweepRow(size, baseline, value))
     return rows
 
 
@@ -556,16 +635,21 @@ def figure7_latency_sweep(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    reps: int = 1,
+    executor=None,
 ) -> List[SweepRow]:
     """Regenerate Figure 7: Hmean improvement vs memory latency."""
     rows = []
-    for memory_latency, l2_latency in latencies:
-        config = SMTConfig().with_latencies(memory_latency, l2_latency)
-        improvements = _averaged_improvements(
-            ["ICOUNT", "FLUSH++", "DG", "SRA", dcra_for_latency(memory_latency)],
-            config, cells, cycles, warmup, seed, jobs=jobs)
-        for baseline, value in sorted(improvements.items()):
-            rows.append(SweepRow(memory_latency, baseline, value))
+    with executor_scope(executor, jobs) as backend:
+        for memory_latency, l2_latency in latencies:
+            config = SMTConfig().with_latencies(memory_latency, l2_latency)
+            improvements = _averaged_improvements(
+                ["ICOUNT", "FLUSH++", "DG", "SRA",
+                 dcra_for_latency(memory_latency)],
+                config, cells, cycles, warmup, seed, jobs=jobs, reps=reps,
+                executor=backend)
+            for baseline, value in sorted(improvements.items()):
+                rows.append(SweepRow(memory_latency, baseline, value))
     return rows
 
 
@@ -598,6 +682,7 @@ def text52_frontend_and_mlp(
     warmup: int = 5_000,
     seed: int = 1,
     jobs: int = 1,
+    executor=None,
 ) -> List[Text52Row]:
     """Measure the Section 5.2 claims: FLUSH++ fetches ~2x more than DCRA
     while DCRA overlaps more L2 misses (memory parallelism)."""
@@ -608,7 +693,7 @@ def text52_frontend_and_mlp(
         for policy in policies
         for workload in workload_groups(num_threads, wtype)
     ]
-    job_results = iter(run_jobs(job_list, jobs))
+    job_results = iter(run_jobs(job_list, jobs, executor))
 
     rows = []
     for num_threads, wtype in cells:

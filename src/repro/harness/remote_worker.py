@@ -1,0 +1,161 @@
+"""Worker side of the remote execution protocol.
+
+A worker is a process — on this machine or any other that can import
+:mod:`repro` — that connects to a
+:class:`~repro.harness.executors.RemoteExecutor`'s listening socket and
+serves a pull loop: receive one task, compute it, send the result back.
+Run one per core on each machine you want in the fleet::
+
+    python -m repro.harness.remote_worker --connect HOST:PORT
+
+Wire protocol (deliberately minimal):
+
+* Every message is a 4-byte big-endian length prefix followed by a
+  pickle payload.
+* Server -> worker: ``("task", (func, item))`` — ``func`` must be a
+  picklable top-level callable — or ``("shutdown", None)``.
+* Worker -> server: ``(True, result)`` on success, or ``(False,
+  traceback_text)`` when the task raised; the worker survives task
+  exceptions and keeps serving.
+
+Determinism of the overall sweep does not depend on this module: tasks
+are pure functions of their item, so the executor reassembles identical
+results whatever worker ran them, in whatever order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import struct
+import sys
+import traceback
+from typing import List, Sequence, Tuple
+
+_LENGTH_PREFIX = struct.Struct(">I")
+
+
+def send_message(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed message."""
+    sock.sendall(_LENGTH_PREFIX.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    while size:
+        chunk = sock.recv(size)
+        if not chunk:
+            raise EOFError("connection closed mid-message")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> bytes:
+    """Read one length-prefixed message."""
+    (length,) = _LENGTH_PREFIX.unpack(_recv_exact(sock, _LENGTH_PREFIX.size))
+    return _recv_exact(sock, length)
+
+
+def worker_loop(host: str, port: int) -> int:
+    """Serve tasks from one executor until it sends ``shutdown``.
+
+    Returns the number of tasks completed (exceptions included); used
+    as the loopback-spawn target and by the CLI below.
+    """
+    completed = 0
+    with socket.create_connection((host, port)) as sock:
+        while True:
+            frame = recv_message(sock)
+            try:
+                kind, payload = pickle.loads(frame)
+            except Exception:  # noqa: BLE001 - a task this worker cannot
+                # decode (e.g. a function whose module is not importable
+                # here) must not kill the worker: report it and keep
+                # serving, so one bad task cannot starve the fleet.
+                send_message(sock, pickle.dumps(
+                    (False, traceback.format_exc())))
+                completed += 1
+                continue
+            if kind == "shutdown":
+                return completed
+            func, item = payload
+            try:
+                reply = (True, func(item))
+            except Exception:  # noqa: BLE001 - reported to the server
+                reply = (False, traceback.format_exc())
+            send_message(sock, pickle.dumps(reply))
+            completed += 1
+
+
+def spawn_loopback_workers(address: Tuple[str, int], count: int) -> List:
+    """Start ``count`` local worker processes against ``address``.
+
+    Each worker is a fresh interpreter running this module's CLI — the
+    *same* command a worker on another machine would run — so loopback
+    mode exercises the full remote path: cold import of :mod:`repro`,
+    socket connection, pickled tasks.  Returns the
+    :class:`subprocess.Popen` handles; each carries a ``stderr_path``
+    attribute naming the file its stderr is captured to, so a worker
+    that dies can be diagnosed instead of vanishing silently.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    # Loopback workers mirror process-pool semantics: the child sees
+    # the parent's full import path (so it can unpickle functions from
+    # any module the parent could), not just the installed package.  A
+    # worker on a genuinely remote machine instead needs repro — and
+    # any module whose functions the sweep pickles — importable there.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+
+    host, port = address
+    command = [sys.executable, "-m", "repro.harness.remote_worker",
+               "--connect", f"{host}:{port}"]
+    processes = []
+    for _ in range(count):
+        stderr_file = tempfile.NamedTemporaryFile(
+            mode="w", prefix="repro-worker-", suffix=".stderr",
+            delete=False)
+        with stderr_file:
+            process = subprocess.Popen(command, env=env,
+                                       stdout=subprocess.DEVNULL,
+                                       stderr=stderr_file)
+        process.stderr_path = stderr_file.name
+        processes.append(process)
+    return processes
+
+
+def _parse_address(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.remote_worker",
+        description="Serve simulation tasks for a RemoteExecutor.")
+    parser.add_argument("--connect", type=_parse_address, required=True,
+                        metavar="HOST:PORT",
+                        help="address the RemoteExecutor is listening on")
+    args = parser.parse_args(argv)
+    host, port = args.connect
+    try:
+        completed = worker_loop(host, port)
+    except (ConnectionError, EOFError, OSError) as error:
+        print(f"remote worker: connection to {host}:{port} failed: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"remote worker: shut down after {completed} tasks",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

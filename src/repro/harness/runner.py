@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.metrics.stats import SimulationResult, collect_result, safe_hmean
+from repro.metrics.stats import (
+    ReplicatedResult,
+    SimulationResult,
+    collect_result,
+    safe_hmean,
+)
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
 from repro.policies.registry import make_policy
@@ -249,12 +254,22 @@ def single_thread_ipc(
 
 @dataclass
 class PolicyEvaluation:
-    """Throughput and fairness of one policy on one workload."""
+    """Throughput and fairness of one policy on one workload.
+
+    With seed replication (``reps > 1`` in :func:`evaluate_workload`)
+    ``throughput`` and ``hmean`` are means over the replications,
+    ``result`` is the first replication's detail record, and the
+    ``*_stats`` fields carry the spread
+    (:class:`~repro.metrics.stats.ReplicatedResult`); single runs leave
+    them None.
+    """
 
     policy: str
     throughput: float
     hmean: float
     result: SimulationResult
+    throughput_stats: Optional["ReplicatedResult"] = None
+    hmean_stats: Optional["ReplicatedResult"] = None
 
 
 def evaluate_workload(
@@ -264,23 +279,51 @@ def evaluate_workload(
     cycles: int = DEFAULT_CYCLES,
     warmup: int = DEFAULT_WARMUP,
     seed: int = 1,
+    reps: int = 1,
 ) -> Dict[str, PolicyEvaluation]:
     """Evaluate several policies on one workload with shared baselines.
+
+    Args:
+        reps: seed replications per policy.  With ``reps > 1`` each
+            policy runs once per derived seed
+            (:func:`repro.harness.engine.derive_seed`), with matching
+            per-seed single-thread baselines, and the evaluation
+            reports means plus :class:`~repro.metrics.stats.ReplicatedResult`
+            spreads.  The default single run keeps historical results
+            bit-for-bit.
 
     Returns:
         Mapping from policy label to its :class:`PolicyEvaluation`.
     """
+    # Imported here: engine builds on this module, not the reverse.
+    from repro.harness.engine import derive_seeds
+
     config = config or SMTConfig()
-    singles = [single_thread_ipc(b, config, cycles, warmup, seed)
-               for b in workload.benchmarks]
+    seeds = derive_seeds(seed, reps)
+    singles_per_rep = [
+        [single_thread_ipc(b, config, cycles, warmup, s)
+         for b in workload.benchmarks]
+        for s in seeds
+    ]
     evaluations: Dict[str, PolicyEvaluation] = {}
     for policy in policies:
-        result = run_workload(workload, policy, config, cycles, warmup, seed)
-        evaluations[result.policy] = PolicyEvaluation(
-            policy=result.policy,
-            throughput=result.throughput,
-            hmean=safe_hmean(result.ipcs, singles, workload.name),
-            result=result,
+        results = [run_workload(workload, policy, config, cycles, warmup, s)
+                   for s in seeds]
+        hmeans = [safe_hmean(result.ipcs, singles, workload.name)
+                  for result, singles in zip(results, singles_per_rep)]
+        throughputs = [result.throughput for result in results]
+        if reps > 1:
+            throughput_stats = ReplicatedResult.from_values(throughputs)
+            hmean_stats = ReplicatedResult.from_values(hmeans)
+        else:
+            throughput_stats = hmean_stats = None
+        evaluations[results[0].policy] = PolicyEvaluation(
+            policy=results[0].policy,
+            throughput=sum(throughputs) / len(throughputs),
+            hmean=sum(hmeans) / len(hmeans),
+            result=results[0],
+            throughput_stats=throughput_stats,
+            hmean_stats=hmean_stats,
         )
     return evaluations
 

@@ -7,18 +7,28 @@ measure.  Weighted speedup (Tullsen & Brown) is included for completeness.
 """
 
 from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
-from repro.metrics.report import comparison_table, paper_scorecard, thread_table
+from repro.metrics.report import (
+    ReplicatedComparisonRow,
+    comparison_table,
+    paper_scorecard,
+    replicated_comparison_table,
+    thread_table,
+)
 from repro.metrics.stats import (
+    ReplicatedResult,
     SimulationResult,
     ThreadResult,
     collect_result,
     hmean,
     hmean_speedup,
+    t_quantile_95,
     throughput,
     weighted_speedup,
 )
 
 __all__ = [
+    "ReplicatedComparisonRow",
+    "ReplicatedResult",
     "SimulationResult",
     "ThreadResult",
     "bar_chart",
@@ -28,6 +38,8 @@ __all__ = [
     "hmean",
     "hmean_speedup",
     "paper_scorecard",
+    "replicated_comparison_table",
+    "t_quantile_95",
     "thread_table",
     "throughput",
     "weighted_speedup",

@@ -7,9 +7,10 @@ improvement summaries.  This module renders them consistently.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.metrics.stats import SimulationResult, safe_hmean
+from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
 
 
 def thread_table(result: SimulationResult) -> str:
@@ -60,6 +61,49 @@ def comparison_table(results: Sequence[SimulationResult],
             row += f" {hmean:7.3f}"
         row += "  " + " ".join(f"{t.ipc:8.2f}" for t in result.threads)
         lines.append(row)
+    return "\n".join(lines)
+
+
+@dataclass
+class ReplicatedComparisonRow:
+    """One policy's seed-replicated metrics for the ± tables.
+
+    ``hmean`` is optional so the same renderer serves both
+    ``repro compare --reps`` (which has single-thread baselines) and
+    ``repro run --reps`` (which does not).
+    """
+
+    policy: str
+    throughput: ReplicatedResult
+    hmean: Optional[ReplicatedResult]
+    per_thread: Sequence[ReplicatedResult]
+
+
+def replicated_comparison_table(rows: Sequence[ReplicatedComparisonRow],
+                                benchmarks: Sequence[str]) -> str:
+    """Side-by-side policy comparison with ±95% CI error columns.
+
+    Every metric cell prints ``mean ±ci95`` over the seed replications
+    (:class:`~repro.metrics.stats.ReplicatedResult`); a single
+    replication degenerates to ``±0.00`` rather than hiding the column.
+    """
+    if not rows:
+        raise ValueError("no replicated results to compare")
+    reps = rows[0].throughput.n
+    header = f"{'policy':10s} {'IPC ±95%CI':>13s}"
+    if rows[0].hmean is not None:
+        header += f" {'Hmean ±95%CI':>14s}"
+    header += "  " + " ".join(f"{name:>12s}" for name in benchmarks)
+    lines = [f"{reps} seed replication(s), mean ±95% CI", header]
+    for row in rows:
+        if row.throughput.n != reps:
+            raise ValueError("rows mix different replication counts")
+        line = f"{row.policy:10s} {row.throughput.format(2):>13s}"
+        if row.hmean is not None:
+            line += f" {row.hmean.format(3):>14s}"
+        line += "  " + " ".join(f"{stats.format(2):>12s}"
+                                for stats in row.per_thread)
+        lines.append(line)
     return "\n".join(lines)
 
 

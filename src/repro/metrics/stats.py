@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.processor import SMTProcessor
@@ -73,6 +74,83 @@ def weighted_speedup(smt_ipcs: Sequence[float],
         raise ValueError("single-thread IPCs must be positive")
     relative = [smt / single for smt, single in zip(smt_ipcs, single_ipcs)]
     return sum(relative) / len(relative)
+
+
+#: Two-sided 97.5% Student-t quantiles for 1..30 degrees of freedom,
+#: inlined so the repro needs no scipy dependency.
+_T_TABLE_95: Tuple[float, ...] = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+#: Past the table, each df band maps to the quantile at its *lower*
+#: boundary — t(30)=2.042 for 31..40, t(40)=2.021 for 41..60,
+#: t(60)=2.000 for 61..120, t(120)=1.980 beyond.  Since t decreases in
+#: df, the step value is always >= the true quantile: intervals err on
+#: the conservative (wider) side, by at most ~1%.
+_T_TABLE_95_STEPS: Tuple[Tuple[int, float], ...] = (
+    (40, 2.042), (60, 2.021), (120, 2.000),
+)
+
+
+def t_quantile_95(degrees_of_freedom: int) -> float:
+    """Two-sided 95% Student-t critical value for a given df."""
+    if degrees_of_freedom < 1:
+        raise ValueError("t quantile needs at least one degree of freedom")
+    if degrees_of_freedom <= len(_T_TABLE_95):
+        return _T_TABLE_95[degrees_of_freedom - 1]
+    for upper_df, quantile in _T_TABLE_95_STEPS:
+        if degrees_of_freedom <= upper_df:
+            return quantile
+    return 1.980
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Mean, spread and confidence of one metric over seed replications.
+
+    The paper reports point estimates from single runs; replicating each
+    run with independent seeds (see
+    :func:`repro.harness.engine.derive_seed`) turns every metric into a
+    distribution.  This container summarises it the way the report
+    tables print it: ``mean ±ci95``.
+
+    Attributes:
+        n: number of replications.
+        mean: sample mean.
+        stddev: sample standard deviation (``ddof=1``); 0.0 when n == 1,
+            the degenerate single-replication case.
+        ci95: half-width of the two-sided 95% confidence interval of the
+            mean (Student-t); 0.0 when n == 1, where no spread estimate
+            exists.
+        values: the individual per-replication values, in seed order.
+    """
+
+    n: int
+    mean: float
+    stddev: float
+    ci95: float
+    values: Tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ReplicatedResult":
+        """Summarise per-replication values of one metric."""
+        values = tuple(float(v) for v in values)
+        if not values:
+            raise ValueError("ReplicatedResult of an empty sequence")
+        n = len(values)
+        mean = sum(values) / n
+        if n == 1:
+            return cls(1, mean, 0.0, 0.0, values)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stddev = math.sqrt(variance)
+        ci95 = t_quantile_95(n - 1) * stddev / math.sqrt(n)
+        return cls(n, mean, stddev, ci95, values)
+
+    def format(self, precision: int = 3) -> str:
+        """Render as ``mean ±ci95`` with the given decimal precision."""
+        return f"{self.mean:.{precision}f} ±{self.ci95:.{precision}f}"
 
 
 @dataclass

@@ -1,0 +1,205 @@
+"""Tests for the pluggable executor backends and streaming sweeps.
+
+The acceptance contract: every backend — serial, local process pool,
+remote socket workers — produces bitwise-identical
+:class:`SimulationResult` lists for the same job list, and the
+streaming APIs reassemble to exactly the blocking output.
+"""
+
+import pytest
+
+from repro.harness.engine import (
+    SimJob,
+    parallel_map,
+    parallel_map_streaming,
+    run_jobs,
+    run_jobs_streaming,
+)
+from repro.harness.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    RemoteExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+CYCLES = 1_000
+WARMUP = 250
+
+
+def small_jobs():
+    return [
+        SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=3),
+        SimJob(("mcf", "gzip"), "DCRA", None, CYCLES, WARMUP, seed=3),
+        SimJob(("twolf",), ("DCRA", {"activity_window": 64}), None,
+               CYCLES, WARMUP, seed=5),
+        SimJob(("gzip", "twolf"), "FLUSH++", None, CYCLES, WARMUP, seed=7),
+    ]
+
+
+@pytest.fixture(scope="module")
+def remote_executor():
+    """One loopback worker fleet shared by the module's remote tests."""
+    with RemoteExecutor(spawn_workers=2, timeout=120.0) as executor:
+        yield executor
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    return [r for r in run_jobs(small_jobs(), max_workers=1)]
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"task {x} exploded")
+
+
+class TestBackendDeterminism:
+    """Serial, process and remote runs must be bitwise-identical."""
+
+    def test_serial_executor_matches_plain_run(self, reference_results):
+        with SerialExecutor() as executor:
+            assert run_jobs(small_jobs(), 1, executor) == reference_results
+
+    def test_process_executor_matches_serial(self, reference_results):
+        with ProcessExecutor(2) as executor:
+            assert run_jobs(small_jobs(), 2, executor) == reference_results
+
+    def test_remote_executor_matches_serial(self, remote_executor,
+                                            reference_results):
+        assert run_jobs(small_jobs(), 2, remote_executor) \
+            == reference_results
+
+    def test_executor_names_accepted_by_run_jobs(self, reference_results):
+        # Name-based selection builds (and closes) a backend per call.
+        assert run_jobs(small_jobs(), 2, "serial") == reference_results
+        assert run_jobs(small_jobs(), 2, "process") == reference_results
+
+
+class TestStreaming:
+    """Streamed (index, result) pairs reassemble to the blocking output."""
+
+    @staticmethod
+    def _assert_stream_matches(executor, reference):
+        pairs = list(run_jobs_streaming(small_jobs(), 2, executor))
+        assert sorted(index for index, _ in pairs) == list(range(len(pairs)))
+        reassembled = [result for _, result in sorted(pairs)]
+        assert reassembled == reference
+
+    def test_serial_stream(self, reference_results):
+        with SerialExecutor() as executor:
+            self._assert_stream_matches(executor, reference_results)
+
+    def test_process_stream(self, reference_results):
+        with ProcessExecutor(2) as executor:
+            self._assert_stream_matches(executor, reference_results)
+
+    def test_remote_stream(self, remote_executor, reference_results):
+        self._assert_stream_matches(remote_executor, reference_results)
+
+    def test_serial_stream_is_in_submission_order(self):
+        pairs = list(parallel_map_streaming(_square, range(10)))
+        assert pairs == [(i, i * i) for i in range(10)]
+
+    def test_parallel_map_streaming_with_pool(self):
+        pairs = list(parallel_map_streaming(_square, range(10),
+                                            max_workers=3))
+        assert sorted(pairs) == [(i, i * i) for i in range(10)]
+
+
+class TestExecutorBehaviour:
+    def test_executor_is_reusable_across_calls(self, remote_executor):
+        first = remote_executor.map(_square, range(8))
+        second = remote_executor.map(_square, range(8))
+        assert first == second == [i * i for i in range(8)]
+
+    def test_remote_task_exception_propagates(self, remote_executor):
+        with pytest.raises(RuntimeError, match="exploded"):
+            remote_executor.map(_boom, [1])
+
+    def test_remote_worker_survives_task_exception(self, remote_executor):
+        with pytest.raises(RuntimeError):
+            remote_executor.map(_boom, [1])
+        assert remote_executor.map(_square, [3]) == [9]
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="exploded"):
+            SerialExecutor().map(_boom, [1])
+
+    def test_empty_item_list(self, remote_executor):
+        for executor in (SerialExecutor(), remote_executor):
+            assert executor.map(_square, []) == []
+
+    def test_closed_remote_executor_rejects_work(self):
+        executor = RemoteExecutor(spawn_workers=1, timeout=60.0)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            list(executor.map_unordered(_square, [1]))
+
+    def test_closed_process_executor_rejects_work(self):
+        """Use-after-close raises rather than silently running serially."""
+        executor = ProcessExecutor(2)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_square, [1, 2])
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_square, [1])
+
+    def test_closed_serial_executor_rejects_work(self):
+        executor = SerialExecutor()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_square, [1])
+
+    def test_warm_up_then_map(self):
+        """warm_up pre-forks pool workers; mapping afterwards still works."""
+        with ProcessExecutor(2) as executor:
+            executor.warm_up()
+            assert executor.map(_square, range(6)) \
+                == [i * i for i in range(6)]
+        SerialExecutor().warm_up()  # no-op on workerless backends
+
+
+class TestMakeExecutor:
+    def test_auto_is_serial_for_one_worker(self):
+        assert isinstance(make_executor(None, 1), SerialExecutor)
+        assert isinstance(make_executor("auto", 1), SerialExecutor)
+
+    def test_auto_is_process_for_many_workers(self):
+        executor = make_executor(None, 4)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 4
+        executor.close()
+
+    def test_instance_passes_through(self):
+        executor = SerialExecutor()
+        assert make_executor(executor, 8) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("carrier-pigeon", 2)
+
+    def test_names_cover_cli_choices(self):
+        assert set(EXECUTOR_NAMES) == {"auto", "serial", "process", "remote"}
+
+    def test_every_backend_is_an_executor(self):
+        for cls in (SerialExecutor, ProcessExecutor, RemoteExecutor):
+            assert issubclass(cls, Executor)
+
+
+class TestParallelMapCompatibility:
+    """The PR-1 entry points keep their exact semantics."""
+
+    def test_default_serial_path_unchanged(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, max_workers=1) \
+            == [i * i for i in items]
+
+    def test_pool_path_unchanged(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, max_workers=4) \
+            == [i * i for i in items]

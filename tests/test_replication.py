@@ -1,0 +1,268 @@
+"""Tests for seed-replication sweeps and their statistics.
+
+Covers the :class:`ReplicatedResult` CI math (including the single-rep
+degenerate case), the engine's seed fan-out, the driver/CLI surfaces
+that render ±95% CI columns, and the runner-level ``reps`` support.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.engine import (
+    ReplicatedRun,
+    SimJob,
+    derive_seed,
+    replicate_job,
+    run_jobs,
+    run_replicated,
+)
+from repro.metrics.report import (
+    ReplicatedComparisonRow,
+    replicated_comparison_table,
+)
+from repro.metrics.stats import ReplicatedResult, t_quantile_95
+
+CYCLES = 1_000
+WARMUP = 250
+
+
+class TestReplicatedResultMath:
+    def test_known_values(self):
+        stats = ReplicatedResult.from_values([1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.stddev == pytest.approx(1.0)
+        # t(df=2, 95% two-sided) = 4.303; CI = t * s / sqrt(n)
+        assert stats.ci95 == pytest.approx(4.303 / math.sqrt(3), rel=1e-6)
+        assert stats.values == (1.0, 2.0, 3.0)
+
+    def test_single_rep_degenerates_to_zero_spread(self):
+        stats = ReplicatedResult.from_values([1.7])
+        assert stats.n == 1
+        assert stats.mean == 1.7
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_identical_values_have_zero_spread(self):
+        stats = ReplicatedResult.from_values([2.5] * 5)
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedResult.from_values([])
+
+    def test_two_values(self):
+        stats = ReplicatedResult.from_values([0.0, 2.0])
+        assert stats.mean == 1.0
+        assert stats.stddev == pytest.approx(math.sqrt(2.0))
+        assert stats.ci95 == pytest.approx(
+            12.706 * math.sqrt(2.0) / math.sqrt(2.0), rel=1e-6)
+
+    def test_format(self):
+        stats = ReplicatedResult.from_values([1.0, 2.0, 3.0])
+        assert stats.format(2) == "2.00 ±2.48"
+
+    def test_t_quantiles(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(30) == pytest.approx(2.042)
+        # Past the table, bands are conservative: each uses its
+        # lower-boundary quantile, so values never undershoot the truth.
+        assert t_quantile_95(31) == pytest.approx(2.042)
+        assert t_quantile_95(41) == pytest.approx(2.021)
+        assert t_quantile_95(120) == pytest.approx(2.000)
+        assert t_quantile_95(1000) == pytest.approx(1.980)
+        with pytest.raises(ValueError):
+            t_quantile_95(0)
+
+    def test_t_quantiles_monotone_non_increasing(self):
+        values = [t_quantile_95(df) for df in range(1, 200)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestReplicateJob:
+    def test_single_rep_keeps_job_unchanged(self):
+        job = SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=9)
+        assert replicate_job(job, 1) == [job]
+
+    def test_fan_out_uses_derived_seeds(self):
+        job = SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=9)
+        replicas = replicate_job(job, 4)
+        assert [replica.seed for replica in replicas] \
+            == [derive_seed(9, rep) for rep in range(4)]
+        # Everything except the seed is preserved.
+        assert all(replica.benchmarks == job.benchmarks
+                   and replica.policy == job.policy
+                   and replica.cycles == job.cycles
+                   for replica in replicas)
+        assert len({replica.seed for replica in replicas}) == 4
+
+
+class TestRunReplicated:
+    def test_replications_match_individual_runs(self):
+        job = SimJob(("gzip", "twolf"), "DCRA", None, CYCLES, WARMUP, seed=2)
+        replicated = run_replicated(job, 3)
+        assert replicated.reps == 3
+        assert replicated.policy == "DCRA"
+        direct = run_jobs(replicate_job(job, 3), max_workers=1)
+        assert replicated.results == direct
+
+    def test_statistics_summarise_the_replications(self):
+        job = SimJob(("gzip", "twolf"), "ICOUNT", None, CYCLES, WARMUP,
+                     seed=2)
+        replicated = run_replicated(job, 3)
+        throughputs = [result.throughput for result in replicated.results]
+        assert replicated.throughput_stats == \
+            ReplicatedResult.from_values(throughputs)
+        per_thread = replicated.thread_ipc_stats
+        assert len(per_thread) == 2
+        assert per_thread[0].values == tuple(
+            result.threads[0].ipc for result in replicated.results)
+
+    def test_hmean_stats_needs_one_baseline_list_per_rep(self):
+        job = SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=2)
+        replicated = run_replicated(job, 2)
+        with pytest.raises(ValueError):
+            replicated.hmean_stats([[1.0]])
+        stats = replicated.hmean_stats([[1.0], [1.0]])
+        assert stats.n == 2
+
+
+class TestComparePoliciesReps:
+    def test_reps_add_stats_fields(self):
+        from repro.harness import experiments as exp
+
+        results = exp.compare_policies(
+            ["ICOUNT", "DCRA"], cells=((2, "MIX"),), cycles=CYCLES,
+            warmup=WARMUP, reps=2)
+        assert len(results) == 2
+        for cell in results:
+            assert cell.throughput_stats is not None
+            assert cell.throughput_stats.n == 2
+            assert cell.throughput == pytest.approx(
+                cell.throughput_stats.mean)
+            assert cell.hmean_stats is not None
+
+    def test_single_seed_leaves_stats_none(self):
+        from repro.harness import experiments as exp
+
+        results = exp.compare_policies(
+            ["ICOUNT"], cells=((2, "MIX"),), cycles=CYCLES, warmup=WARMUP)
+        assert all(cell.throughput_stats is None
+                   and cell.hmean_stats is None for cell in results)
+
+    def test_format_cell_results_renders_ci_columns(self):
+        from repro.harness import experiments as exp
+
+        results = exp.compare_policies(
+            ["ICOUNT"], cells=((2, "MIX"),), cycles=CYCLES, warmup=WARMUP,
+            reps=2)
+        rendered = exp.format_cell_results(results)
+        assert "±" in rendered
+
+
+class TestEvaluateWorkloadReps:
+    def test_reps_populate_stats(self):
+        from repro.harness.runner import evaluate_workload
+        from repro.trace.workloads import make_workload
+
+        workload = make_workload(2, "MIX", group=1)
+        evaluations = evaluate_workload(workload, ["ICOUNT"],
+                                        cycles=CYCLES, warmup=WARMUP,
+                                        reps=2)
+        evaluation = evaluations["ICOUNT"]
+        assert evaluation.throughput_stats is not None
+        assert evaluation.throughput_stats.n == 2
+        assert evaluation.throughput == pytest.approx(
+            evaluation.throughput_stats.mean)
+
+    def test_single_run_unchanged(self):
+        from repro.harness.runner import evaluate_workload
+        from repro.trace.workloads import make_workload
+
+        workload = make_workload(2, "MIX", group=1)
+        evaluations = evaluate_workload(workload, ["ICOUNT"],
+                                        cycles=CYCLES, warmup=WARMUP)
+        assert evaluations["ICOUNT"].throughput_stats is None
+
+
+class TestReplicatedTable:
+    @staticmethod
+    def _row(policy="ICOUNT", hmean=True):
+        stats = ReplicatedResult.from_values([1.0, 1.2, 1.1])
+        return ReplicatedComparisonRow(
+            policy=policy,
+            throughput=stats,
+            hmean=stats if hmean else None,
+            per_thread=[stats, stats],
+        )
+
+    def test_table_prints_ci_columns(self):
+        table = replicated_comparison_table(
+            [self._row()], ["gzip", "twolf"])
+        assert "±" in table and "Hmean" in table
+        assert "3 seed replication(s)" in table
+
+    def test_hmean_column_optional(self):
+        table = replicated_comparison_table(
+            [self._row(hmean=False)], ["gzip", "twolf"])
+        assert "Hmean" not in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            replicated_comparison_table([], ["gzip"])
+
+    def test_mixed_rep_counts_rejected(self):
+        other = ReplicatedComparisonRow(
+            policy="DCRA",
+            throughput=ReplicatedResult.from_values([1.0]),
+            hmean=ReplicatedResult.from_values([1.0]),
+            per_thread=[ReplicatedResult.from_values([1.0])] * 2,
+        )
+        with pytest.raises(ValueError):
+            replicated_comparison_table([self._row(), other],
+                                        ["gzip", "twolf"])
+
+
+class TestCliReps:
+    def test_compare_reps_prints_hmean_with_ci(self, capsys):
+        """Acceptance: compare --reps 3 prints Hmean columns with ± CIs."""
+        from repro.__main__ import main
+
+        assert main(["compare", "gzip+twolf", "--policies", "ICOUNT", "SRA",
+                     "--cycles", "1000", "--warmup", "250",
+                     "--reps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Hmean" in out and "±" in out
+        assert "ICOUNT" in out and "SRA" in out
+
+    def test_run_reps_prints_ci(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "gzip", "--cycles", "1000", "--warmup", "250",
+                     "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "±" in out and "2 seed replication(s)" in out
+
+    def test_run_without_reps_unchanged(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "gzip", "--cycles", "1000",
+                     "--warmup", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "±" not in out
+
+    def test_compare_reps_matches_engine_math(self, capsys):
+        """The CLI's ± numbers are ReplicatedResult over derived seeds."""
+        from repro.__main__ import main
+
+        assert main(["compare", "gzip", "--policies", "ICOUNT",
+                     "--cycles", "1000", "--warmup", "250",
+                     "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        jobs = [SimJob(("gzip",), "ICOUNT", None, 1000, 250,
+                       derive_seed(1, rep)) for rep in range(2)]
+        stats = ReplicatedResult.from_values(
+            [result.throughput for result in run_jobs(jobs)])
+        assert stats.format(2) in out
