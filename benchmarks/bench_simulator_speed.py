@@ -76,6 +76,65 @@ def test_simulation_speed(benchmark, benchmarks, label):
     assert committed > 0
 
 
+def test_interval_mode_overhead(benchmark):
+    """Chunked runs must cost <5% over monolithic at 5000-cycle intervals.
+
+    Measures the same 4-thread MIX configuration both ways (min of three
+    timings each, interleaved to share cache/frequency state) and records
+    the overhead percentage in BENCH_speed.json — the acceptance number
+    for the interval refactor.
+    """
+    import time
+
+    interval_cycles = 5_000
+    total_cycles = 20_000
+    benchmarks_mix = ("gzip", "twolf", "bzip2", "mcf")
+
+    def build():
+        return SMTProcessor(SMTConfig(),
+                            [get_profile(b) for b in benchmarks_mix],
+                            make_policy("ICOUNT"), seed=1)
+
+    def measure():
+        mono_times, interval_times = [], []
+        for _ in range(3):
+            processor = build()
+            start = time.perf_counter()
+            processor.run(total_cycles)
+            mono_times.append(time.perf_counter() - start)
+            mono = processor
+
+            processor = build()
+            start = time.perf_counter()
+            snapshots = list(processor.run_intervals(
+                interval_cycles, total_cycles=total_cycles))
+            interval_times.append(time.perf_counter() - start)
+            chunked = processor
+        return mono, chunked, snapshots, min(mono_times), min(interval_times)
+
+    mono, chunked, snapshots, mono_time, interval_time = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    overhead_pct = 100.0 * (interval_time / mono_time - 1.0)
+    _MEASUREMENTS["interval-mode overhead"] = {
+        "benchmarks": list(benchmarks_mix),
+        "policy": "ICOUNT",
+        "interval_cycles": interval_cycles,
+        "total_cycles": total_cycles,
+        "monolithic_s": round(mono_time, 4),
+        "interval_s": round(interval_time, 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+    print(f"\ninterval mode ({interval_cycles}-cycle chunks over "
+          f"{total_cycles} cycles): {overhead_pct:+.2f}% vs monolithic")
+    # Chunking must not change what was simulated...
+    assert [t.stats.committed for t in mono.threads] \
+        == [t.stats.committed for t in chunked.threads]
+    assert len(snapshots) == total_cycles // interval_cycles
+    # ...and the acceptance ceiling is 5%; allow measurement noise on
+    # shared CI hardware while still catching a real regression.
+    assert overhead_pct < 5.0 or interval_time - mono_time < 0.05
+
+
 def test_dcra_overhead_vs_icount(benchmark):
     """DCRA's per-cycle classification must not dominate simulation time."""
 

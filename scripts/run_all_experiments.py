@@ -51,6 +51,10 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--reps", type=int, default=1, metavar="N",
         help="seed replications for the policy-comparison artefacts; "
              "N > 1 adds ±95%% CI columns")
+    parser.add_argument(
+        "--interval-cycles", type=int, default=None, metavar="N",
+        help="run the Figure 4/5 policy sweep in N-cycle chunks "
+             "(identical numbers; enables per-interval progress)")
     return parser.parse_args(argv)
 
 
@@ -60,11 +64,11 @@ def _table1() -> str:
         for index, row in enumerate(precomputed_table(32, 4), 1))
 
 
-def _figures45(jobs, executor, reps) -> str:
+def _figures45(jobs, executor, reps, interval_cycles=None) -> str:
     results = exp.compare_policies(
         ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
         cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP, jobs=jobs,
-        reps=reps, executor=executor)
+        reps=reps, executor=executor, interval_cycles=interval_cycles)
     lines = [exp.format_cell_results(results), ""]
     rows = exp.improvements_over(results)
     lines.append(exp.format_improvements(rows))
@@ -94,7 +98,7 @@ def build_artefacts(args, executor):
          lambda: exp.format_table5(exp.table5_phase_distribution(
              cycles=20_000, warmup=4_000, jobs=jobs, executor=executor))),
         ("Figures 4+5 — full 9-cell policy comparison",
-         lambda: _figures45(jobs, executor, reps)),
+         lambda: _figures45(jobs, executor, reps, args.interval_cycles)),
         ("Figure 6 — register sweep",
          lambda: exp.format_sweep(exp.figure6_register_sweep(
              cycles=20_000, warmup=4_000, jobs=jobs, reps=reps,

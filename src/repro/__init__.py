@@ -20,11 +20,19 @@ Quickstart::
 from repro.core.dcra import DcraConfig, DcraPolicy
 from repro.core.sharing import SharingModel, precomputed_table, slow_share
 from repro.harness.runner import (
+    IntervalRun,
     PolicyEvaluation,
     evaluate_workload,
     run_benchmarks,
+    run_benchmarks_intervals,
     run_workload,
+    run_workload_intervals,
     single_thread_ipc,
+)
+from repro.metrics.intervals import (
+    IntervalRecorder,
+    IntervalSnapshot,
+    PhaseTimeline,
 )
 from repro.metrics.stats import (
     SimulationResult,
@@ -45,9 +53,11 @@ from repro.trace.profiles import (
     get_profile,
 )
 from repro.trace.workloads import (
+    EXTRA_WORKLOAD_TABLE,
     WORKLOAD_TABLE,
     Workload,
     all_workloads,
+    find_workload,
     make_workload,
     workload_groups,
 )
@@ -59,9 +69,14 @@ __all__ = [
     "BenchmarkProfile",
     "DcraConfig",
     "DcraPolicy",
+    "EXTRA_WORKLOAD_TABLE",
     "ILP_BENCHMARKS",
+    "IntervalRecorder",
+    "IntervalRun",
+    "IntervalSnapshot",
     "MEM_BENCHMARKS",
     "POLICY_NAMES",
+    "PhaseTimeline",
     "Policy",
     "PolicyEvaluation",
     "Resource",
@@ -75,13 +90,16 @@ __all__ = [
     "all_workloads",
     "collect_result",
     "evaluate_workload",
+    "find_workload",
     "get_profile",
     "hmean_speedup",
     "make_policy",
     "make_workload",
     "precomputed_table",
     "run_benchmarks",
+    "run_benchmarks_intervals",
     "run_workload",
+    "run_workload_intervals",
     "single_thread_ipc",
     "slow_share",
     "weighted_speedup",

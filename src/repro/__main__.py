@@ -6,9 +6,10 @@ Commands:
 * ``run`` — simulate a benchmark mix under one policy and print the
   per-thread breakdown; ``--reps N`` replicates the run over N derived
   seeds and prints mean ±95% CI columns instead.
-* ``compare`` — run several policies on the same mix and print a
-  side-by-side table with Hmean fairness; ``--reps N`` adds ±95% CI
-  error columns over N seed replications.
+* ``compare`` — run several policies on the same mix (or a named
+  workload via ``--workload MIX6.g1``) and print a side-by-side table
+  with Hmean fairness; ``--reps N`` adds ±95% CI error columns over N
+  seed replications.
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
 
 ``--jobs N`` parallelises the simulations and baselines over N workers;
@@ -16,13 +17,21 @@ Commands:
 backend spawns loopback socket workers — the same protocol that
 distributes sweeps across machines).  Output is identical for every
 ``--jobs`` / ``--executor`` combination.
+
+``--interval-cycles N`` switches the simulations to chunked interval
+mode: statistics flush every N cycles (identical final tables — the
+interval refactor's invariant), ``--progress`` streams one line per
+completed interval to stderr, and ``run --timeline`` renders ASCII
+IPC/phase timelines (``--timeline-json`` dumps the raw series).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
+import threading
 from typing import Iterator, List, Optional
 
 from repro.harness.engine import (
@@ -34,7 +43,10 @@ from repro.harness.engine import (
     run_jobs,
     run_replicated,
 )
+from repro.harness.progress import guard_progress
 from repro.harness.executors import Executor, make_executor
+from repro.harness.runner import run_benchmarks_intervals
+from repro.metrics.ascii_chart import timeline_chart
 from repro.metrics.report import (
     ReplicatedComparisonRow,
     comparison_table,
@@ -43,7 +55,7 @@ from repro.metrics.report import (
 )
 from repro.policies.registry import POLICY_NAMES
 from repro.trace.profiles import ALL_BENCHMARKS, get_profile
-from repro.trace.workloads import all_workloads
+from repro.trace.workloads import all_workloads, find_workload
 
 
 @contextlib.contextmanager
@@ -64,15 +76,101 @@ def _cli_executor(args: argparse.Namespace) -> Iterator[Optional[Executor]]:
         executor.close()
 
 
+def _progress_printer(total_jobs: int):
+    """(index, event) callback streaming interval progress to stderr.
+
+    Thread-safe: events arrive from executor backend threads.
+    """
+    lock = threading.Lock()
+
+    def callback(index, event) -> None:
+        with lock:
+            print(
+                f"[job {index + 1}/{total_jobs}] "
+                f"interval {event.interval + 1}/{event.n_intervals} "
+                f"cycle {event.cycles_done}/{event.total_cycles} "
+                f"IPC {event.throughput:.2f}",
+                file=sys.stderr, flush=True)
+
+    return callback
+
+
+def _print_timeline(run, benchmarks: List[str]) -> None:
+    """Render the ASCII IPC and phase timelines of an interval run."""
+    recorder = run.recorder
+    rows = [("total IPC", recorder.throughput_series())]
+    rows.extend((name, recorder.ipc_series(tid))
+                for tid, name in enumerate(benchmarks))
+    print(f"\nIPC per interval ({run.interval_cycles} cycles each):")
+    print(timeline_chart(rows))
+    timeline = recorder.phase_timeline()
+    print("\nSlow-thread phases (fraction of cycles with >= k slow threads):")
+    phase_rows = [(f">={k} slow", timeline.slow_fraction_series(k))
+                  for k in range(1, timeline.num_threads + 1)]
+    print(timeline_chart(phase_rows, shared_scale=True))
+
+
+def _dump_timeline_json(run, benchmarks: List[str], policy: str,
+                        path: str) -> None:
+    """Write the interval series as a machine-readable artefact."""
+    recorder = run.recorder
+    payload = {
+        "benchmarks": benchmarks,
+        "policy": policy,
+        "interval_cycles": run.interval_cycles,
+        "intervals": [
+            {
+                "index": snapshot.index,
+                "start_cycle": snapshot.start_cycle,
+                "cycles": snapshot.cycles,
+                "throughput": snapshot.throughput,
+                "per_thread_ipc": snapshot.ipcs,
+                "phase_counts": list(snapshot.phase_counts or ()),
+            }
+            for snapshot in recorder.snapshots
+        ],
+        "phase_distribution_pct":
+            list(recorder.phase_timeline().distribution_pct()),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    interval = args.interval_cycles
+    if (args.timeline or args.timeline_json) and \
+            not (interval and args.reps <= 1):
+        raise SystemExit(
+            "--timeline/--timeline-json need --interval-cycles and a "
+            "single replication (--reps 1)")
+    if args.reps <= 1 and interval:
+        # In-process interval run: keeps the recorder, so the timeline
+        # views are available (a single job gains nothing from workers).
+        wrapped = None
+        if args.progress:
+            progress = guard_progress(_progress_printer(1))
+            wrapped = lambda event: progress(0, event)  # noqa: E731
+        run = run_benchmarks_intervals(
+            args.benchmarks, args.policy, None, args.cycles, args.warmup,
+            args.seed, interval_cycles=interval, progress=wrapped)
+        print(thread_table(run.result))
+        if args.timeline:
+            _print_timeline(run, args.benchmarks)
+        if args.timeline_json:
+            _dump_timeline_json(run, args.benchmarks, args.policy,
+                                args.timeline_json)
+        return 0
     job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
-                 args.warmup, args.seed)
+                 args.warmup, args.seed, interval_cycles=interval)
+    progress = _progress_printer(max(1, args.reps)) if args.progress else None
     with _cli_executor(args) as executor:
         if args.reps <= 1:
-            result = run_jobs([job], args.jobs, executor)[0]
+            result = run_jobs([job], args.jobs, executor, progress)[0]
             print(thread_table(result))
             return 0
-        replicated = run_replicated(job, args.reps, args.jobs, executor)
+        replicated = run_replicated(job, args.reps, args.jobs, executor,
+                                    progress)
     print(f"Workload: {'+'.join(args.benchmarks)}  policy {args.policy}")
     row = ReplicatedComparisonRow(
         policy=replicated.policy,
@@ -84,37 +182,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_compare_benchmarks(args: argparse.Namespace) -> List[str]:
+    """The compared mix: an explicit ``a+b`` list or a named workload."""
+    if args.workload and args.benchmarks:
+        raise SystemExit(
+            "pass either a benchmark mix or --workload, not both")
+    if args.workload:
+        try:
+            return list(find_workload(args.workload).benchmarks)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    if not args.benchmarks:
+        raise SystemExit(
+            "pass a benchmark mix (e.g. gzip+twolf) or --workload NAME")
+    return args.benchmarks
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    print(f"Workload: {'+'.join(args.benchmarks)}")
+    benchmarks = _resolve_compare_benchmarks(args)
+    interval = args.interval_cycles
+    print(f"Workload: {'+'.join(benchmarks)}")
+    n_jobs = len(args.policies) * max(1, args.reps)
+    progress = _progress_printer(n_jobs) if args.progress else None
     with _cli_executor(args) as executor:
         if args.reps <= 1:
             singles_by_benchmark = ensure_baselines(
-                args.benchmarks, cycles=args.cycles, warmup=args.warmup,
+                benchmarks, cycles=args.cycles, warmup=args.warmup,
                 seed=args.seed, max_workers=args.jobs, executor=executor)
-            jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
-                           args.warmup, args.seed)
+            jobs = [SimJob(tuple(benchmarks), policy, None, args.cycles,
+                           args.warmup, args.seed, interval_cycles=interval)
                     for policy in args.policies]
-            results = run_jobs(jobs, args.jobs, executor)
-            singles = [singles_by_benchmark[b] for b in args.benchmarks]
+            results = run_jobs(jobs, args.jobs, executor, progress)
+            singles = [singles_by_benchmark[b] for b in benchmarks]
             print(comparison_table(results, single_ipcs=singles))
             return 0
 
         seeds = derive_seeds(args.seed, args.reps)
         singles = ensure_baselines_sweep(
-            args.benchmarks, seeds, cycles=args.cycles, warmup=args.warmup,
+            benchmarks, seeds, cycles=args.cycles, warmup=args.warmup,
             max_workers=args.jobs, executor=executor)
-        jobs = [SimJob(tuple(args.benchmarks), policy, None, args.cycles,
-                       args.warmup, seed)
+        jobs = [SimJob(tuple(benchmarks), policy, None, args.cycles,
+                       args.warmup, seed, interval_cycles=interval)
                 for policy in args.policies
                 for seed in seeds]
-        results = run_jobs(jobs, args.jobs, executor)
+        results = run_jobs(jobs, args.jobs, executor, progress)
 
-    singles_per_rep = [[singles[(b, seed)] for b in args.benchmarks]
+    singles_per_rep = [[singles[(b, seed)] for b in benchmarks]
                        for seed in seeds]
     rows: List[ReplicatedComparisonRow] = []
     for index, policy in enumerate(args.policies):
         replicated = ReplicatedRun(
-            SimJob(tuple(args.benchmarks), policy, None, args.cycles,
+            SimJob(tuple(benchmarks), policy, None, args.cycles,
                    args.warmup, args.seed),
             results[index * args.reps:(index + 1) * args.reps])
         rows.append(ReplicatedComparisonRow(
@@ -123,7 +241,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             hmean=replicated.hmean_stats(singles_per_rep),
             per_thread=replicated.thread_ipc_stats,
         ))
-    print(replicated_comparison_table(rows, args.benchmarks))
+    print(replicated_comparison_table(rows, benchmarks))
     return 0
 
 
@@ -143,9 +261,20 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
-    for workload in all_workloads():
+    for workload in all_workloads(extended=True):
         print(workload.name)
     return 0
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
 
 
 def _benchmark_list(value: str) -> List[str]:
@@ -170,10 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="benchmark mix, e.g. gzip+twolf")
     run_parser.add_argument("--policy", default="DCRA",
                             choices=list(POLICY_NAMES))
+    run_parser.add_argument(
+        "--timeline", action="store_true",
+        help="after the result table, print ASCII IPC and phase "
+             "timelines (requires --interval-cycles, single rep)")
+    run_parser.add_argument(
+        "--timeline-json", metavar="PATH", default=None,
+        help="write the per-interval series (IPC, phase counts) as JSON "
+             "(requires --interval-cycles, single rep)")
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare policies")
-    compare_parser.add_argument("benchmarks", type=_benchmark_list)
+    compare_parser.add_argument("benchmarks", nargs="?", default=None,
+                                type=_benchmark_list)
+    compare_parser.add_argument(
+        "--workload", metavar="NAME", default=None,
+        help="compare on a named workload instead of an explicit mix, "
+             "e.g. MEM2.g1 or the extended MIX6.g1 / MEM6.g1 cells")
     compare_parser.add_argument("--policies", nargs="+",
                                 default=["ICOUNT", "FLUSH++", "SRA", "DCRA"],
                                 choices=list(POLICY_NAMES))
@@ -183,8 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_policies)
     sub.add_parser("benchmarks", help="list benchmarks").set_defaults(
         func=_cmd_benchmarks)
-    sub.add_parser("workloads", help="list Table 4 workloads").set_defaults(
-        func=_cmd_workloads)
+    sub.add_parser(
+        "workloads",
+        help="list workloads (Table 4 plus extended cells)",
+    ).set_defaults(func=_cmd_workloads)
 
     for sub_parser in (run_parser, compare_parser):
         sub_parser.add_argument("--cycles", type=int, default=15_000)
@@ -203,6 +347,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--reps", type=int, default=1, metavar="N",
             help="seed replications per run (derive_seed fan-out); with "
                  "N > 1 every metric is reported as mean ±95%% CI")
+        sub_parser.add_argument(
+            "--interval-cycles", type=_positive_int, default=None,
+            metavar="N",
+            help="simulate in N-cycle chunks with per-interval stat "
+                 "snapshots; the final tables are identical to a "
+                 "monolithic run")
+        sub_parser.add_argument(
+            "--progress", action="store_true",
+            help="stream one line per completed interval to stderr "
+                 "(with --interval-cycles)")
     return parser
 
 

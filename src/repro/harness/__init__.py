@@ -41,6 +41,12 @@ from repro.harness.engine import (
     run_jobs_streaming,
     run_replicated,
 )
+from repro.harness.progress import (
+    IntervalProgress,
+    emit_progress,
+    progress_sink,
+    set_progress_sink,
+)
 from repro.harness.executors import (
     EXECUTOR_NAMES,
     Executor,
@@ -51,19 +57,26 @@ from repro.harness.executors import (
 )
 from repro.harness.runner import (
     BaselineCache,
+    DEFAULT_INTERVAL_CYCLES,
+    IntervalRun,
     PolicyEvaluation,
     baseline_cache,
     clear_baseline_cache,
     evaluate_workload,
     run_benchmarks,
+    run_benchmarks_intervals,
     run_workload,
+    run_workload_intervals,
     single_thread_ipc,
 )
 
 __all__ = [
     "BaselineCache",
+    "DEFAULT_INTERVAL_CYCLES",
     "EXECUTOR_NAMES",
     "Executor",
+    "IntervalProgress",
+    "IntervalRun",
     "PolicyEvaluation",
     "ProcessExecutor",
     "RemoteExecutor",
@@ -74,6 +87,7 @@ __all__ = [
     "clear_baseline_cache",
     "derive_seed",
     "derive_seeds",
+    "emit_progress",
     "ensure_baselines",
     "ensure_baselines_sweep",
     "evaluate_workload",
@@ -81,12 +95,16 @@ __all__ = [
     "make_executor",
     "parallel_map",
     "parallel_map_streaming",
+    "progress_sink",
     "replicate_job",
     "run_benchmarks",
+    "run_benchmarks_intervals",
     "run_job",
     "run_jobs",
     "run_jobs_streaming",
     "run_replicated",
     "run_workload",
+    "run_workload_intervals",
+    "set_progress_sink",
     "single_thread_ipc",
 ]

@@ -62,6 +62,7 @@ from repro.harness.runner import (
     PolicySpec,
     baseline_cache,
     run_benchmarks,
+    run_benchmarks_intervals,
     single_thread_ipc,
 )
 from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
@@ -82,7 +83,14 @@ class SimJob:
         warmup: cycles simulated before statistics are reset.
         seed: workload seed for this job.
         tag: optional caller-side correlation label; ignored by the
-            engine, carried for bookkeeping in driver code.
+            engine, carried for bookkeeping in driver code (and stamped
+            on interval progress events).
+        interval_cycles: when set, the job simulates its measured window
+            in chunks of this many cycles, emitting one
+            :class:`~repro.harness.progress.IntervalProgress` event per
+            chunk through the executor's progress channel.  The result
+            is **bitwise identical** to the monolithic run — interval
+            mode only changes when statistics become observable.
     """
 
     benchmarks: Tuple[str, ...]
@@ -92,6 +100,7 @@ class SimJob:
     warmup: int = DEFAULT_WARMUP
     seed: int = 1
     tag: Optional[str] = None
+    interval_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
@@ -121,7 +130,18 @@ def derive_seeds(base_seed: int, reps: int) -> List[int]:
 
 
 def run_job(job: SimJob) -> SimulationResult:
-    """Execute one job in the current process."""
+    """Execute one job in the current process.
+
+    Jobs with ``interval_cycles`` run through the chunked simulation
+    API, emitting per-interval progress to the process-local sink (wired
+    by the executors); the returned result is bitwise identical either
+    way.
+    """
+    if job.interval_cycles:
+        return run_benchmarks_intervals(
+            list(job.benchmarks), job.policy, job.config, job.cycles,
+            job.warmup, job.seed, interval_cycles=job.interval_cycles,
+            progress_tag=job.tag).result
     return run_benchmarks(list(job.benchmarks), job.policy, job.config,
                           job.cycles, job.warmup, job.seed)
 
@@ -156,7 +176,7 @@ def executor_scope(executor, max_workers: int) -> Iterator:
 
 
 def parallel_map(func: Callable, items: Sequence, max_workers: int = 1,
-                 executor=None) -> List:
+                 executor=None, progress=None) -> List:
     """Map a picklable top-level function over items, order-preserving.
 
     The generic sibling of :func:`run_jobs` for drivers whose per-item
@@ -167,15 +187,23 @@ def parallel_map(func: Callable, items: Sequence, max_workers: int = 1,
     :data:`~repro.harness.executors.EXECUTOR_NAMES`, or None — which
     picks a process pool for ``max_workers > 1`` and a plain serial map
     otherwise.  Results are bitwise-identical on every backend.
+
+    ``progress`` is an optional ``(index, event)`` callback receiving
+    every progress event the item's work emits (interval-mode jobs emit
+    one :class:`~repro.harness.progress.IntervalProgress` per interval);
+    each backend routes worker-side events back to it — in-process
+    directly, process pools over a manager queue, remote workers over
+    the task socket.  Events may arrive from backend threads.
     """
     items = list(items)
-    if executor is None and (max_workers <= 1 or len(items) <= 1):
+    if executor is None and progress is None and \
+            (max_workers <= 1 or len(items) <= 1):
         return [func(item) for item in items]
     # A per-call backend never needs more workers than items.
     backend, owned = _resolve_executor(
         executor, max(1, min(max_workers, len(items))))
     try:
-        return backend.map(func, items)
+        return backend.map(func, items, progress=progress)
     finally:
         if owned:
             backend.close()
@@ -183,7 +211,8 @@ def parallel_map(func: Callable, items: Sequence, max_workers: int = 1,
 
 def parallel_map_streaming(func: Callable, items: Sequence,
                            max_workers: int = 1,
-                           executor=None) -> Iterator[Tuple[int, object]]:
+                           executor=None, progress=None) \
+        -> Iterator[Tuple[int, object]]:
     """Like :func:`parallel_map`, yielding ``(index, result)`` pairs as
     items complete (completion order; indices refer to submission order).
 
@@ -195,14 +224,14 @@ def parallel_map_streaming(func: Callable, items: Sequence,
     backend, owned = _resolve_executor(
         executor, max(1, min(max_workers, len(items))))
     try:
-        yield from backend.map_unordered(func, items)
+        yield from backend.map_unordered(func, items, progress=progress)
     finally:
         if owned:
             backend.close()
 
 
 def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
-             executor=None) -> List[SimulationResult]:
+             executor=None, progress=None) -> List[SimulationResult]:
     """Execute jobs and return their results in submission order.
 
     Args:
@@ -210,12 +239,15 @@ def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
         max_workers: worker count; ``<= 1`` runs serially in-process
             unless ``executor`` names another backend.
         executor: backend selection, as in :func:`parallel_map`.
+        progress: ``(job_index, event)`` callback for the per-interval
+            progress of interval-mode jobs (see :func:`parallel_map`).
     """
-    return parallel_map(run_job, list(jobs), max_workers, executor)
+    return parallel_map(run_job, list(jobs), max_workers, executor,
+                        progress)
 
 
 def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
-                       executor=None) \
+                       executor=None, progress=None) \
         -> Iterator[Tuple[int, SimulationResult]]:
     """Execute jobs, yielding ``(index, result)`` as each completes.
 
@@ -225,7 +257,7 @@ def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
     pairs by index reproduces the :func:`run_jobs` list bitwise.
     """
     yield from parallel_map_streaming(run_job, list(jobs), max_workers,
-                                      executor)
+                                      executor, progress)
 
 
 # --------------------------------------------------------------------------
@@ -296,11 +328,14 @@ class ReplicatedRun:
 
 
 def run_replicated(job: SimJob, reps: int, max_workers: int = 1,
-                   executor=None) -> ReplicatedRun:
+                   executor=None, progress=None) -> ReplicatedRun:
     """Run a job ``reps`` times with derived seeds (see
-    :func:`replicate_job`) and collect the replications."""
+    :func:`replicate_job`) and collect the replications.  ``progress``
+    receives ``(replica_index, event)`` for interval-mode jobs, as in
+    :func:`run_jobs`."""
     return ReplicatedRun(
-        job, run_jobs(replicate_job(job, reps), max_workers, executor))
+        job, run_jobs(replicate_job(job, reps), max_workers, executor,
+                      progress))
 
 
 def _baseline_item(item: Tuple[str, SMTConfig, int, int, int]) -> float:

@@ -44,6 +44,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.harness.progress import guard_progress, set_progress_sink
 from repro.harness.remote_worker import (
     recv_message,
     send_message,
@@ -54,6 +55,11 @@ from repro.harness.remote_worker import (
 #: flags).  ``auto`` picks serial for one worker, processes otherwise.
 EXECUTOR_NAMES: Tuple[str, ...] = ("auto", "serial", "process", "remote")
 
+#: Cap on the adaptive remote batch size: large enough to amortise a
+#: round-trip over many small tasks, small enough that one slow worker
+#: cannot hoard a meaningful share of a sweep.
+DEFAULT_MAX_BATCH = 8
+
 
 class Executor(abc.ABC):
     """Maps a picklable top-level function over items, any machine(s).
@@ -61,20 +67,29 @@ class Executor(abc.ABC):
     Subclasses implement :meth:`map_unordered`; ordered :meth:`map` is
     derived from it.  Instances are context managers: leaving the
     ``with`` block releases pools, sockets and worker processes.
+
+    Every backend also carries a *progress channel*: events published to
+    the worker-side progress sink (:mod:`repro.harness.progress`) while
+    an item computes are routed back to the caller's ``progress``
+    callback as ``(index, event)`` — directly in-process, over a manager
+    queue for process pools, interleaved on the task socket for remote
+    workers.  Progress is best-effort telemetry: it never influences
+    results, and events may arrive from backend threads.
     """
 
     name: str = "executor"
 
     @abc.abstractmethod
-    def map_unordered(self, func: Callable, items: Sequence) \
-            -> Iterator[Tuple[int, object]]:
+    def map_unordered(self, func: Callable, items: Sequence,
+                      progress=None) -> Iterator[Tuple[int, object]]:
         """Yield ``(index, func(items[index]))`` in completion order.
 
         Every index appears exactly once; an exception raised by
-        ``func`` propagates to the consumer.
+        ``func`` propagates to the consumer.  ``progress`` receives
+        ``(index, event)`` for every worker-side progress event.
         """
 
-    def map(self, func: Callable, items: Sequence) -> List:
+    def map(self, func: Callable, items: Sequence, progress=None) -> List:
         """``[func(item) for item in items]``, computed on the backend.
 
         Results are reassembled in index order, so the output is
@@ -82,7 +97,8 @@ class Executor(abc.ABC):
         """
         items = list(items)
         results: List = [None] * len(items)
-        for index, result in self.map_unordered(func, items):
+        for index, result in self.map_unordered(func, items,
+                                                progress=progress):
             results[index] = result
         return results
 
@@ -114,15 +130,51 @@ class SerialExecutor(Executor):
     def __init__(self) -> None:
         self._closed = False
 
-    def map_unordered(self, func: Callable, items: Sequence) \
-            -> Iterator[Tuple[int, object]]:
+    def map_unordered(self, func: Callable, items: Sequence,
+                      progress=None) -> Iterator[Tuple[int, object]]:
         if self._closed:
             raise RuntimeError("serial executor is closed")
+        if progress is not None:
+            progress = guard_progress(progress)
         for index, item in enumerate(items):
-            yield index, func(item)
+            if progress is None:
+                yield index, func(item)
+                continue
+            previous = set_progress_sink(
+                lambda event, _i=index: progress(_i, event))
+            try:
+                result = func(item)
+            finally:
+                set_progress_sink(previous)
+            yield index, result
 
     def close(self) -> None:
         self._closed = True
+
+
+class _QueueProgressTask:
+    """Picklable wrapper shipping progress over a manager queue.
+
+    Process-pool workers cannot call the parent's callback; instead the
+    wrapper installs a sink that puts ``(index, event)`` on a shared
+    :class:`multiprocessing.managers` queue the parent drains.
+    """
+
+    def __init__(self, func: Callable, sink_queue) -> None:
+        self.func = func
+        self.sink_queue = sink_queue
+
+    def __call__(self, indexed_item):
+        from repro.harness.progress import set_progress_sink
+
+        index, item = indexed_item
+        queue_ = self.sink_queue
+        previous = set_progress_sink(
+            lambda event: queue_.put((index, event)))
+        try:
+            return self.func(item)
+        finally:
+            set_progress_sink(previous)
 
 
 class ProcessExecutor(Executor):
@@ -176,19 +228,66 @@ class ProcessExecutor(Executor):
             wait([pool.submit(time.sleep, 0.2)
                   for _ in range(self.max_workers)])
 
-    def map_unordered(self, func: Callable, items: Sequence) \
-            -> Iterator[Tuple[int, object]]:
+    def map_unordered(self, func: Callable, items: Sequence,
+                      progress=None) -> Iterator[Tuple[int, object]]:
         items = list(items)
         pool = self._acquire_pool() if len(items) > 1 else None
         if pool is None:
             if self._closed:
                 raise RuntimeError("process executor is closed")
-            yield from SerialExecutor().map_unordered(func, items)
+            yield from SerialExecutor().map_unordered(func, items,
+                                                      progress=progress)
             return
-        futures = {pool.submit(func, item): index
-                   for index, item in enumerate(items)}
-        for future in as_completed(futures):
-            yield futures[future], future.result()
+        if progress is None:
+            futures = {pool.submit(func, item): index
+                       for index, item in enumerate(items)}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+            return
+        yield from self._map_with_progress(pool, func, items, progress)
+
+    def _map_with_progress(self, pool, func: Callable, items: Sequence,
+                           progress) -> Iterator[Tuple[int, object]]:
+        """Pool mapping with a manager-queue progress channel.
+
+        The manager (and its queue) exist only for this call: progress
+        is opt-in precisely because the proxy round-trips cost more
+        than plain pool dispatch.
+        """
+        import multiprocessing
+
+        deliver = guard_progress(progress)
+        manager = multiprocessing.Manager()
+        try:
+            sink_queue = manager.Queue()
+            stop = threading.Event()
+
+            def drain() -> None:
+                while True:
+                    try:
+                        index, event = sink_queue.get(timeout=0.1)
+                    except queue.Empty:
+                        if stop.is_set():
+                            return
+                        continue
+                    except (EOFError, OSError):
+                        return  # manager torn down
+                    deliver(index, event)
+
+            drainer = threading.Thread(target=drain, name="progress-drain",
+                                       daemon=True)
+            drainer.start()
+            task = _QueueProgressTask(func, sink_queue)
+            try:
+                futures = {pool.submit(task, (index, item)): index
+                           for index, item in enumerate(items)}
+                for future in as_completed(futures):
+                    yield futures[future], future.result()
+            finally:
+                stop.set()
+                drainer.join()
+        finally:
+            manager.shutdown()
 
     def close(self) -> None:
         with self._lock:
@@ -230,22 +329,40 @@ class RemoteExecutor(Executor):
       start ``python -m repro.harness.remote_worker --connect HOST:PORT``
       on any number of machines that can import :mod:`repro`.
 
-    A worker that disconnects mid-task has its task re-queued for the
-    remaining workers (up to ``max_attempts`` per task); an exception
-    *inside* a task is reported back and re-raised to the consumer as a
-    :class:`RuntimeError`.  Instances are thread-safe: concurrent
-    ``map`` calls interleave their tasks over the same worker fleet.
+    Tasks are shipped in *batches*: each round-trip carries up to
+    ``batch_size`` tasks (and one reply message carries their results),
+    amortising the TCP and pickling overhead of sweeps with many small
+    jobs — e.g. the 36-cell policy comparisons.  ``batch_size=None``
+    (the default) sizes batches adaptively: roughly the queued-task
+    backlog split across the connected workers, capped at
+    :data:`DEFAULT_MAX_BATCH`, so deep queues batch aggressively while a
+    nearly-drained sweep degrades to single-task dispatch that keeps
+    every worker busy.  Batching never affects results — only how tasks
+    are framed on the wire.
+
+    A worker that disconnects mid-batch has the batch's unfinished tasks
+    re-queued for the remaining workers (up to ``max_attempts`` per
+    task); an exception *inside* a task is reported back and re-raised
+    to the consumer as a :class:`RuntimeError`.  Instances are
+    thread-safe: concurrent ``map`` calls interleave their tasks over
+    the same worker fleet.
     """
 
     name = "remote"
 
     def __init__(self, spawn_workers: int = 2, host: str = "127.0.0.1",
                  port: int = 0, timeout: float = 600.0,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 batch_size: Optional[int] = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for the "
+                             "adaptive heuristic)")
         self.timeout = timeout
         self.max_attempts = max_attempts
+        self.batch_size = batch_size
         self._tasks: "queue.Queue" = queue.Queue()
         self._results: dict = {}  # call_id -> queue.Queue
+        self._progress: dict = {}  # call_id -> (index, event) callback
         self._call_ids = itertools.count()
         self._lock = threading.Lock()
         self._closed = False
@@ -282,46 +399,98 @@ class RemoteExecutor(Executor):
             threading.Thread(target=self._serve_worker, args=(conn,),
                              name="remote-executor-worker", daemon=True).start()
 
+    def _batch_limit(self) -> int:
+        """Tasks to ship in the next round-trip (see the class docstring)."""
+        if self.batch_size is not None:
+            return self.batch_size
+        with self._lock:
+            active = max(1, self._active_workers)
+        backlog = self._tasks.qsize() + 1
+        return max(1, min(DEFAULT_MAX_BATCH, backlog // active))
+
+    def _gather_batch(self) -> Optional[List[_RemoteTask]]:
+        """Pop the next batch of live tasks; None signals shutdown.
+
+        Blocks for the first task, then opportunistically drains up to
+        the batch limit without blocking, skipping tasks whose consumer
+        has already aborted (their results would never be read).
+        """
+        batch: List[_RemoteTask] = []
+        limit = None
+        while True:
+            if not batch:
+                task = self._tasks.get()
+            else:
+                if limit is None:
+                    limit = self._batch_limit()
+                if len(batch) >= limit:
+                    return batch
+                try:
+                    task = self._tasks.get_nowait()
+                except queue.Empty:
+                    return batch
+            if task is _SHUTDOWN:
+                self._tasks.put(_SHUTDOWN)
+                return batch or None
+            with self._lock:
+                live = task.call_id in self._results
+            if live:
+                batch.append(task)
+
     def _serve_worker(self, conn: socket.socket) -> None:
-        """Feed one connected worker from the shared task queue."""
+        """Feed one connected worker batches from the shared task queue."""
         try:
             while True:
-                task = self._tasks.get()
-                if task is _SHUTDOWN:
-                    self._tasks.put(_SHUTDOWN)
+                batch = self._gather_batch()
+                if batch is None:
                     try:
                         send_message(conn, pickle.dumps(("shutdown", None)))
                     except OSError:
                         pass
                     return
-                with self._lock:
-                    live = task.call_id in self._results
-                if not live:
-                    # The consumer aborted this call (task failure or
-                    # timeout): drop its leftover tasks instead of
-                    # burning worker time on results nobody will read.
-                    continue
-                task.attempts += 1
+                for task in batch:
+                    task.attempts += 1
                 try:
-                    send_message(conn, task.payload)
-                    # Any failure here — socket death, or a reply this
+                    send_message(conn, pickle.dumps(
+                        ("tasks", [task.payload for task in batch])))
+                    # Any failure below — socket death, a reply this
                     # process cannot unpickle (e.g. a version-skewed
-                    # worker) — is a worker-channel failure: Exception,
-                    # not just UnpicklingError, or the handler thread
-                    # would die silently and strand the task.
-                    ok, value = pickle.loads(recv_message(conn))
+                    # worker), or a malformed reply — is a
+                    # worker-channel failure: Exception, not just
+                    # UnpicklingError, or the handler thread would die
+                    # silently and strand the batch.
+                    while True:
+                        reply = pickle.loads(recv_message(conn))
+                        kind = reply[0]
+                        if kind == "progress":
+                            _, position, event = reply
+                            task = batch[position]
+                            self._route_progress(task.call_id, task.index,
+                                                 event)
+                            continue
+                        if kind != "results":
+                            raise RuntimeError(
+                                f"unexpected worker reply {kind!r}")
+                        outcomes = reply[1]
+                        if len(outcomes) != len(batch):
+                            raise RuntimeError(
+                                f"worker replied {len(outcomes)} results "
+                                f"for a {len(batch)}-task batch")
+                        break
                 except Exception as error:  # noqa: BLE001
-                    # The connection died mid-task: give the task to the
-                    # surviving workers unless it has already burned
-                    # through its attempts (a task that kills every
-                    # worker it lands on must not loop forever).
-                    if task.attempts >= self.max_attempts:
-                        self._route(task.call_id, task.index, False,
-                                    f"worker connection lost: {error}")
-                    else:
-                        self._tasks.put(task)
+                    # The connection died mid-batch: give the tasks to
+                    # the surviving workers unless they have already
+                    # burned through their attempts (a task that kills
+                    # every worker it lands on must not loop forever).
+                    for task in batch:
+                        if task.attempts >= self.max_attempts:
+                            self._route(task.call_id, task.index, False,
+                                        f"worker connection lost: {error}")
+                        else:
+                            self._tasks.put(task)
                     return
-                self._route(task.call_id, task.index, ok, value)
+                for task, (ok, value) in zip(batch, outcomes):
+                    self._route(task.call_id, task.index, ok, value)
         finally:
             conn.close()
             with self._lock:
@@ -334,10 +503,22 @@ class RemoteExecutor(Executor):
         if result_queue is not None:  # consumer may have aborted
             result_queue.put((index, ok, value))
 
+    def _route_progress(self, call_id: int, index: int, event) -> None:
+        """Deliver one worker progress event to its call's callback.
+
+        Callbacks are pre-wrapped by :func:`guard_progress` at
+        registration, so delivery can never kill the serving thread.
+        """
+        with self._lock:
+            callback = self._progress.get(call_id)
+            self._last_activity = time.monotonic()  # progress is progress
+        if callback is not None:
+            callback(index, event)
+
     # -- client side ------------------------------------------------------
 
-    def map_unordered(self, func: Callable, items: Sequence) \
-            -> Iterator[Tuple[int, object]]:
+    def map_unordered(self, func: Callable, items: Sequence,
+                      progress=None) -> Iterator[Tuple[int, object]]:
         items = list(items)
         if not items:
             return
@@ -347,10 +528,14 @@ class RemoteExecutor(Executor):
             call_id = next(self._call_ids)
             result_queue: "queue.Queue" = queue.Queue()
             self._results[call_id] = result_queue
+            if progress is not None:
+                self._progress[call_id] = guard_progress(progress)
         try:
             for index, item in enumerate(items):
+                # The payload is the inner (func, item) blob; the serving
+                # thread frames one or more of them as a "tasks" batch.
                 self._tasks.put(_RemoteTask(
-                    call_id, index, pickle.dumps(("task", (func, item)))))
+                    call_id, index, pickle.dumps((func, item))))
             pending = len(items)
             while pending:
                 try:
@@ -368,6 +553,7 @@ class RemoteExecutor(Executor):
         finally:
             with self._lock:
                 self._results.pop(call_id, None)
+                self._progress.pop(call_id, None)
 
     def _check_fleet_health(self, pending: int) -> None:
         """Fail fast on a dead or stalled fleet; otherwise keep waiting.

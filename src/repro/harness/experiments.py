@@ -54,11 +54,14 @@ from repro.harness.engine import (
     parallel_map,
     run_jobs,
 )
-from repro.harness.runner import PolicySpec, improvement_pct
+from repro.harness.runner import (
+    PolicySpec,
+    improvement_pct,
+    run_workload_intervals,
+)
+from repro.metrics.intervals import PhaseTimeline
 from repro.metrics.stats import ReplicatedResult, safe_hmean
 from repro.pipeline.config import SMTConfig
-from repro.pipeline.processor import SMTProcessor
-from repro.policies.registry import make_policy
 from repro.trace.profiles import ALL_BENCHMARKS, ILP_BENCHMARKS, MEM_BENCHMARKS, get_profile
 from repro.trace.workloads import Workload, workload_groups
 
@@ -263,30 +266,23 @@ class Table5Row:
     fast_fast_pct: float
 
 
-def _table5_counts(item: Tuple[Workload, int, int, int]) -> Tuple[int, int, int]:
-    """Phase-combination cycle counts of one 2-thread workload under DCRA.
+#: Phase-timeline resolution of the Table 5 driver, in cycles.
+TABLE5_INTERVAL_CYCLES = 2_000
+
+
+def _table5_timeline(item: Tuple[Workload, int, int, int, int]) \
+        -> PhaseTimeline:
+    """Recorded phase timeline of one 2-thread workload under DCRA.
 
     Module-level (not a closure) so :func:`parallel_map` can ship it to
-    worker processes; returns (slow-slow, mixed, fast-fast) counts.
+    worker processes.  The phase data is the per-cycle fast/slow
+    histogram the interval recorder tracks natively — no driver-side
+    cycle hooks or ad-hoc counters.
     """
-    workload, cycles, warmup, seed = item
-    processor = SMTProcessor(SMTConfig(), workload.profiles(),
-                             make_policy("DCRA"), seed=seed)
-    processor.run(warmup)
-    counts = [0, 0, 0]  # slow-slow, mixed, fast-fast
-
-    def sample(proc, counts=counts):
-        slow = sum(1 for t in proc.threads if t.is_slow())
-        if slow == 2:
-            counts[0] += 1
-        elif slow == 1:
-            counts[1] += 1
-        else:
-            counts[2] += 1
-
-    processor.cycle_hooks.append(sample)
-    processor.run(cycles)
-    return tuple(counts)
+    workload, cycles, warmup, seed, interval_cycles = item
+    run = run_workload_intervals(workload, "DCRA", None, cycles, warmup,
+                                 seed, interval_cycles=interval_cycles)
+    return run.recorder.phase_timeline()
 
 
 def table5_phase_distribution(
@@ -295,28 +291,50 @@ def table5_phase_distribution(
     seed: int = 5,
     jobs: int = 1,
     executor=None,
+    interval_cycles: int = TABLE5_INTERVAL_CYCLES,
 ) -> List[Table5Row]:
     """Regenerate Table 5: % of cycles 2-thread workloads spend with both
-    threads slow, one slow one fast, or both fast (under DCRA)."""
-    wtypes = ("ILP", "MIX", "MEM")
-    items = [(workload, cycles, warmup, seed)
-             for wtype in wtypes
-             for workload in workload_groups(2, wtype)]
-    per_workload = iter(parallel_map(_table5_counts, items, jobs, executor))
+    threads slow, one slow one fast, or both fast (under DCRA).
+
+    Built on the interval recorder's :class:`PhaseTimeline`: each
+    workload's run yields its phase history, the four groups of a cell
+    merge cycle-for-cycle, and the row is that merged timeline's
+    two-thread split.  ``table5_timelines`` exposes the merged timelines
+    themselves for time-resolved views (e.g. the CLI's ASCII charts).
+    """
     rows = []
-    for wtype in wtypes:
-        counts = [0, 0, 0]
-        for _ in workload_groups(2, wtype):
-            for i, count in enumerate(next(per_workload)):
-                counts[i] += count
-        total = sum(counts)
+    for wtype, timeline in table5_timelines(cycles, warmup, seed, jobs,
+                                            executor, interval_cycles):
+        slow_slow, mixed, fast_fast = timeline.two_thread_split()
         rows.append(Table5Row(
             wtype=wtype,
-            slow_slow_pct=100.0 * counts[0] / total,
-            mixed_pct=100.0 * counts[1] / total,
-            fast_fast_pct=100.0 * counts[2] / total,
+            slow_slow_pct=slow_slow,
+            mixed_pct=mixed,
+            fast_fast_pct=fast_fast,
         ))
     return rows
+
+
+def table5_timelines(
+    cycles: int = 20_000,
+    warmup: int = 4_000,
+    seed: int = 5,
+    jobs: int = 1,
+    executor=None,
+    interval_cycles: int = TABLE5_INTERVAL_CYCLES,
+) -> List[Tuple[str, PhaseTimeline]]:
+    """Merged per-cell phase timelines behind Table 5, one per type."""
+    wtypes = ("ILP", "MIX", "MEM")
+    items = [(workload, cycles, warmup, seed, interval_cycles)
+             for wtype in wtypes
+             for workload in workload_groups(2, wtype)]
+    per_workload = iter(parallel_map(_table5_timeline, items, jobs,
+                                     executor))
+    return [
+        (wtype, PhaseTimeline.merge(
+            [next(per_workload) for _ in workload_groups(2, wtype)]))
+        for wtype in wtypes
+    ]
 
 
 def format_table5(rows: Sequence[Table5Row]) -> str:
@@ -361,6 +379,8 @@ def compare_policies(
     jobs: int = 1,
     reps: int = 1,
     executor=None,
+    interval_cycles: Optional[int] = None,
+    progress=None,
 ) -> List[CellResult]:
     """Evaluate policies over workload cells, averaging the four groups.
 
@@ -372,6 +392,11 @@ def compare_policies(
     whole comparison is repeated per derived seed (:func:`derive_seed`)
     and each cell reports the mean plus a
     :class:`~repro.metrics.stats.ReplicatedResult` spread.
+
+    ``interval_cycles`` switches the policy jobs to chunked simulation
+    (identical results; per-interval progress streams to the optional
+    ``(job_index, event)`` ``progress`` callback through whichever
+    backend runs the sweep).
     """
     config = config or SMTConfig()
     seeds = derive_seeds(seed, reps)
@@ -388,7 +413,9 @@ def compare_policies(
             for workload in workloads:
                 job_list.extend(
                     SimJob(tuple(workload.benchmarks), policy, config,
-                           cycles, warmup, rep_seed)
+                           cycles, warmup, rep_seed,
+                           tag=workload.name,
+                           interval_cycles=interval_cycles)
                     for policy in policies)
     # One backend for both engine phases (a named 'remote' executor
     # spawns its worker fleet once, not once per phase).
@@ -396,7 +423,7 @@ def compare_policies(
         singles = ensure_baselines_sweep(all_benchmarks, seeds, config,
                                          cycles, warmup, max_workers=jobs,
                                          executor=backend)
-        job_results = iter(run_jobs(job_list, jobs, backend))
+        job_results = iter(run_jobs(job_list, jobs, backend, progress))
 
     # Per replication, the historical per-cell aggregation; keys appear
     # in (cell order, policy completion order), preserved below.

@@ -1,0 +1,102 @@
+"""Per-interval progress events and the sink they flow through.
+
+An interval-mode simulation (:func:`repro.harness.runner.run_benchmarks_intervals`)
+emits one :class:`IntervalProgress` event per completed interval.  Where
+that event goes depends on where the simulation runs, and the *emitting*
+code must not care — so events are published to a process-local sink:
+
+* in-process runs: the engine points the sink at the caller's callback;
+* process-pool workers: the executor points it at a queue drained by
+  the parent;
+* remote workers: the worker loop points it at the task socket, and the
+  executor routes the resulting messages to the caller's callback.
+
+The sink is deliberately process-global (one simulation runs at a time
+per worker process) and defaults to "discard", so emitting progress is
+free when nobody listens.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+ProgressSink = Callable[["IntervalProgress"], None]
+
+
+@dataclass(frozen=True)
+class IntervalProgress:
+    """One completed interval of one simulation run.
+
+    Attributes:
+        interval: 0-based index of the completed measured interval.
+        n_intervals: total measured intervals the run will produce.
+        cycles_done: measured cycles completed so far (warm-up excluded).
+        total_cycles: measured cycles the run will simulate.
+        committed: instructions committed so far (all threads, measured
+            window).
+        throughput: total IPC over the measured window so far.
+        tag: the job's correlation tag (see
+            :class:`~repro.harness.engine.SimJob.tag`), when it ran as
+            an engine job.
+    """
+
+    interval: int
+    n_intervals: int
+    cycles_done: int
+    total_cycles: int
+    committed: int
+    throughput: float
+    tag: Optional[str] = None
+
+
+_sink: Optional[ProgressSink] = None
+
+
+def set_progress_sink(sink: Optional[ProgressSink]) -> Optional[ProgressSink]:
+    """Install a sink (None = discard); returns the previous one."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+@contextlib.contextmanager
+def progress_sink(sink: Optional[ProgressSink]) -> Iterator[None]:
+    """Install a sink for the duration of a ``with`` block."""
+    previous = set_progress_sink(sink)
+    try:
+        yield
+    finally:
+        set_progress_sink(previous)
+
+
+def emit_progress(event: IntervalProgress) -> None:
+    """Publish one event to the current sink (no-op when none is set)."""
+    if _sink is not None:
+        _sink(event)
+
+
+def guard_progress(callback: Callable) -> Callable:
+    """Wrap a progress callback so an exception cannot abort the work.
+
+    Progress is best-effort telemetry: a callback that raises — e.g. a
+    closed pipe behind a progress printer — warns once and silences
+    further events instead of propagating into the simulation.  Every
+    delivery point (executors, the CLI) routes callbacks through this.
+    """
+    state = {"alive": True}
+
+    def deliver(*args) -> None:
+        if not state["alive"]:
+            return
+        try:
+            callback(*args)
+        except Exception:  # noqa: BLE001 - telemetry must not kill work
+            state["alive"] = False
+            warnings.warn("progress callback raised; dropping further "
+                          "events", RuntimeWarning, stacklevel=2)
+
+    return deliver

@@ -12,15 +12,24 @@ Wire protocol (deliberately minimal):
 
 * Every message is a 4-byte big-endian length prefix followed by a
   pickle payload.
-* Server -> worker: ``("task", (func, item))`` — ``func`` must be a
-  picklable top-level callable — or ``("shutdown", None)``.
-* Worker -> server: ``(True, result)`` on success, or ``(False,
-  traceback_text)`` when the task raised; the worker survives task
+* Server -> worker: ``("tasks", [blob, ...])`` — each blob a pickled
+  ``(func, item)`` pair with ``func`` a picklable top-level callable —
+  or ``("shutdown", None)``.  Batching several tasks per message
+  amortises the round-trip for sweeps of many small jobs.
+* Worker -> server: zero or more ``("progress", position, event)``
+  messages while a batch computes (``position`` indexes into the batch;
+  events come from the worker's progress sink, see
+  :mod:`repro.harness.progress`), then exactly one
+  ``("results", [(ok, value), ...])`` with one ``(True, result)`` /
+  ``(False, traceback_text)`` pair per task.  The worker survives task
   exceptions and keeps serving.
+* The legacy single-task form ``("task", (func, item))`` (answered by a
+  bare ``(ok, value)`` pair) is still accepted, so an old executor can
+  drive a new worker.
 
 Determinism of the overall sweep does not depend on this module: tasks
 are pure functions of their item, so the executor reassembles identical
-results whatever worker ran them, in whatever order.
+results whatever worker ran them, in whatever order or batching.
 """
 
 from __future__ import annotations
@@ -58,8 +67,37 @@ def recv_message(sock: socket.socket) -> bytes:
     return _recv_exact(sock, length)
 
 
+def _run_task(blob: bytes, sock: socket.socket,
+              position: int) -> Tuple[bool, object]:
+    """Unpickle and execute one task blob, progress wired to the socket.
+
+    A blob this worker cannot decode (e.g. a function whose module is
+    not importable here), or a task that raises, is reported as a
+    ``(False, traceback)`` outcome — the worker itself survives, so one
+    bad task cannot starve the fleet.  Progress events are best-effort:
+    a send failure is swallowed here and surfaces when the results
+    message fails.
+    """
+    from repro.harness.progress import set_progress_sink
+
+    def sink(event) -> None:
+        try:
+            send_message(sock, pickle.dumps(("progress", position, event)))
+        except Exception:  # noqa: BLE001 - telemetry only
+            pass
+
+    previous = set_progress_sink(sink)
+    try:
+        func, item = pickle.loads(blob)
+        return True, func(item)
+    except Exception:  # noqa: BLE001 - reported to the server
+        return False, traceback.format_exc()
+    finally:
+        set_progress_sink(previous)
+
+
 def worker_loop(host: str, port: int) -> int:
-    """Serve tasks from one executor until it sends ``shutdown``.
+    """Serve task batches from one executor until it sends ``shutdown``.
 
     Returns the number of tasks completed (exceptions included); used
     as the loopback-spawn target and by the CLI below.
@@ -70,23 +108,29 @@ def worker_loop(host: str, port: int) -> int:
             frame = recv_message(sock)
             try:
                 kind, payload = pickle.loads(frame)
-            except Exception:  # noqa: BLE001 - a task this worker cannot
-                # decode (e.g. a function whose module is not importable
-                # here) must not kill the worker: report it and keep
-                # serving, so one bad task cannot starve the fleet.
+            except Exception:  # noqa: BLE001 - a frame this worker cannot
+                # decode must not kill it: report one failed outcome and
+                # keep serving (the server treats a length mismatch as a
+                # channel failure and requeues the batch elsewhere).
                 send_message(sock, pickle.dumps(
-                    (False, traceback.format_exc())))
+                    ("results", [(False, traceback.format_exc())])))
                 completed += 1
                 continue
             if kind == "shutdown":
                 return completed
-            func, item = payload
-            try:
-                reply = (True, func(item))
-            except Exception:  # noqa: BLE001 - reported to the server
-                reply = (False, traceback.format_exc())
-            send_message(sock, pickle.dumps(reply))
-            completed += 1
+            if kind == "task":  # legacy single-task framing
+                try:
+                    func, item = payload
+                    reply = (True, func(item))
+                except Exception:  # noqa: BLE001 - reported to the server
+                    reply = (False, traceback.format_exc())
+                send_message(sock, pickle.dumps(reply))
+                completed += 1
+                continue
+            outcomes = [_run_task(blob, sock, position)
+                        for position, blob in enumerate(payload)]
+            send_message(sock, pickle.dumps(("results", outcomes)))
+            completed += len(outcomes)
 
 
 def spawn_loopback_workers(address: Tuple[str, int], count: int) -> List:

@@ -22,6 +22,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.harness.progress import IntervalProgress, emit_progress
+from repro.metrics.intervals import (
+    IntervalRecorder,
+    capture_counter_state,
+    snapshot_between,
+    snapshots_to_result,
+)
 from repro.metrics.stats import (
     ReplicatedResult,
     SimulationResult,
@@ -34,11 +41,20 @@ from repro.policies.registry import make_policy
 from repro.trace.profiles import get_profile
 from repro.trace.workloads import Workload
 
-#: Default measured window and cache warm-up, in cycles.  Chosen so the
-#: full 36-workload evaluation stays tractable in pure Python; experiment
-#: drivers accept overrides for longer, lower-variance runs.
+#: Default measured window and cache warm-up, in cycles.  These are
+#: conservative single-run defaults; with the parallel engine (PR 1) and
+#: executor backends (PR 2) much longer windows are tractable — for
+#: low-variance runs prefer ``cycles=100_000``-plus together with
+#: ``interval_cycles=5_000`` (chunked runs flush per-interval statistics
+#: as they go, see :func:`run_benchmarks_intervals`) and ``reps >= 3``
+#: for ±95% CI error bars.
 DEFAULT_CYCLES = 20_000
 DEFAULT_WARMUP = 3_000
+
+#: Default chunk size for interval-mode runs: long enough that the
+#: per-interval counter capture is noise (<5% overhead), short enough
+#: that phase/IPC timelines resolve the paper's program phases.
+DEFAULT_INTERVAL_CYCLES = 5_000
 
 PolicySpec = Union[str, Tuple[str, dict]]
 
@@ -185,6 +201,18 @@ def _build_policy(policy: PolicySpec):
     return make_policy(policy)
 
 
+def _build_processor(
+    benchmarks: Sequence[str],
+    policy: PolicySpec,
+    config: Optional[SMTConfig],
+    seed: int,
+) -> SMTProcessor:
+    """One place constructing the simulator every runner shares."""
+    config = config or SMTConfig()
+    profiles = [get_profile(b) for b in benchmarks]
+    return SMTProcessor(config, profiles, _build_policy(policy), seed=seed)
+
+
 def run_benchmarks(
     benchmarks: Sequence[str],
     policy: PolicySpec = "ICOUNT",
@@ -205,14 +233,130 @@ def run_benchmarks(
         seed: workload seed; keep it fixed when comparing policies so
             every policy sees the identical instruction streams.
     """
-    config = config or SMTConfig()
-    profiles = [get_profile(b) for b in benchmarks]
-    processor = SMTProcessor(config, profiles, _build_policy(policy), seed=seed)
+    processor = _build_processor(benchmarks, policy, config, seed)
     if warmup:
         processor.run(warmup)
         processor.reset_stats()
     processor.run(cycles)
     return collect_result(processor, benchmarks=list(benchmarks))
+
+
+@dataclass
+class IntervalRun:
+    """Outcome of an interval-mode run: the aggregate plus the series.
+
+    Attributes:
+        result: the monolithic-equivalent aggregate — bitwise identical
+            to what :func:`run_benchmarks` returns for the same inputs.
+        recorder: every recorded :class:`IntervalSnapshot` (warm-up
+            intervals included, marked discarded) and the time-series
+            views derived from them.
+        interval_cycles: the chunk size the run used.
+    """
+
+    result: SimulationResult
+    recorder: IntervalRecorder
+    interval_cycles: int
+
+
+def run_benchmarks_intervals(
+    benchmarks: Sequence[str],
+    policy: PolicySpec = "ICOUNT",
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+    interval_cycles: int = DEFAULT_INTERVAL_CYCLES,
+    warmup_as_intervals: bool = False,
+    progress=None,
+    progress_tag: Optional[str] = None,
+) -> IntervalRun:
+    """Interval-mode :func:`run_benchmarks`: same result, plus a timeline.
+
+    The measured window is simulated in ``interval_cycles`` chunks via
+    :meth:`~repro.pipeline.processor.SMTProcessor.run_intervals`; after
+    each chunk an :class:`~repro.metrics.intervals.IntervalSnapshot` is
+    recorded and an :class:`~repro.harness.progress.IntervalProgress`
+    event is emitted.  The returned aggregate is **bitwise identical**
+    to the monolithic run (same counters, same arithmetic — the
+    interval refactor's hard invariant).
+
+    Args:
+        interval_cycles: chunk size; the final interval is short when it
+            does not divide ``cycles``.
+        warmup_as_intervals: warm up by *discarding* leading intervals
+            instead of calling ``reset_stats()``.  Both paths produce
+            the identical result (a reset never changes behaviour, and
+            deltas need no reset); the interval path additionally keeps
+            the warm-up snapshots for inspection.
+        progress: per-interval callback receiving the
+            :class:`IntervalProgress`; defaults to the process-local
+            progress sink (:func:`~repro.harness.progress.emit_progress`),
+            which the executor backends wire up for remote workers.
+        progress_tag: correlation tag stamped on the progress events.
+    """
+    processor = _build_processor(benchmarks, policy, config, seed)
+    recorder = IntervalRecorder()
+    notify = progress if progress is not None else emit_progress
+    if warmup:
+        if warmup_as_intervals:
+            # Warm-up snapshots count down to -1 so measured intervals
+            # are 0-based in both warm-up modes and indices never
+            # collide between the discarded and kept series.
+            n_warmup = -(-warmup // interval_cycles)
+            for snapshot in processor.run_intervals(
+                    interval_cycles, total_cycles=warmup,
+                    start_index=-n_warmup):
+                recorder.record(snapshot, discard=True)
+        else:
+            processor.run(warmup)
+            processor.reset_stats()
+    n_intervals = -(-cycles // interval_cycles) if cycles else 0
+    cycles_done = committed = 0
+    for snapshot in processor.run_intervals(
+            interval_cycles, total_cycles=cycles):
+        recorder.record(snapshot)
+        cycles_done += snapshot.cycles
+        committed += snapshot.committed
+        notify(IntervalProgress(
+            interval=snapshot.index,
+            n_intervals=n_intervals,
+            cycles_done=cycles_done,
+            total_cycles=cycles,
+            committed=committed,
+            throughput=committed / cycles_done if cycles_done else 0.0,
+            tag=progress_tag,
+        ))
+    if recorder.snapshots:
+        result = recorder.to_result(list(benchmarks), processor.policy.name)
+    else:
+        # Zero measured cycles: synthesise one empty snapshot so the
+        # result degrades exactly like the monolithic path (all-zero
+        # counters, 0.0 ratios) instead of refusing to aggregate.
+        capture = capture_counter_state(processor)
+        result = snapshots_to_result(
+            [snapshot_between(capture, capture, 0)],
+            list(benchmarks), processor.policy.name)
+    return IntervalRun(result=result, recorder=recorder,
+                       interval_cycles=interval_cycles)
+
+
+def run_workload_intervals(
+    workload: Workload,
+    policy: PolicySpec = "ICOUNT",
+    config: Optional[SMTConfig] = None,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 1,
+    interval_cycles: int = DEFAULT_INTERVAL_CYCLES,
+    warmup_as_intervals: bool = False,
+    progress=None,
+    progress_tag: Optional[str] = None,
+) -> IntervalRun:
+    """Like :func:`run_benchmarks_intervals` for a :class:`Workload`."""
+    return run_benchmarks_intervals(
+        workload.benchmarks, policy, config, cycles, warmup, seed,
+        interval_cycles, warmup_as_intervals, progress, progress_tag)
 
 
 def run_workload(

@@ -6,7 +6,22 @@ that buy throughput by starving slow threads, and is the paper's fairness
 measure.  Weighted speedup (Tullsen & Brown) is included for completeness.
 """
 
-from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
+from repro.metrics.ascii_chart import (
+    bar_chart,
+    grouped_bar_chart,
+    sparkline,
+    timeline_chart,
+)
+from repro.metrics.intervals import (
+    IntervalRecorder,
+    IntervalSnapshot,
+    PhaseTimeline,
+    ThreadIntervalDelta,
+    detect_steady_state,
+    snapshots_to_result,
+    sum_snapshots,
+    variance_over_time,
+)
 from repro.metrics.report import (
     ReplicatedComparisonRow,
     comparison_table,
@@ -27,20 +42,30 @@ from repro.metrics.stats import (
 )
 
 __all__ = [
+    "IntervalRecorder",
+    "IntervalSnapshot",
+    "PhaseTimeline",
     "ReplicatedComparisonRow",
     "ReplicatedResult",
     "SimulationResult",
+    "ThreadIntervalDelta",
     "ThreadResult",
     "bar_chart",
     "collect_result",
     "comparison_table",
+    "detect_steady_state",
     "grouped_bar_chart",
     "hmean",
     "hmean_speedup",
     "paper_scorecard",
     "replicated_comparison_table",
+    "snapshots_to_result",
+    "sparkline",
+    "sum_snapshots",
     "t_quantile_95",
     "thread_table",
     "throughput",
+    "timeline_chart",
+    "variance_over_time",
     "weighted_speedup",
 ]

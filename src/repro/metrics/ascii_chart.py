@@ -1,13 +1,19 @@
-"""Terminal bar charts for experiment output.
+"""Terminal bar charts and timelines for experiment output.
 
 The paper's figures are bar charts; these helpers render the regenerated
 series legibly in a terminal (no plotting dependencies), used by the
-examples and handy in interactive sessions.
+examples and handy in interactive sessions.  The timeline helpers chart
+interval-mode series (IPC over time, phase fractions — see
+:mod:`repro.metrics.intervals`) as one-line ASCII strips.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Density ramp for :func:`sparkline`, lowest to highest (pure ASCII so
+#: timelines survive any terminal or CI log).
+SPARK_LEVELS = " .:-=+*#%@"
 
 
 def bar_chart(
@@ -46,6 +52,67 @@ def bar_chart(
             bar = " " * position + "<" * (zero_pos - position)
         lines.append(f"{label:>{label_width}s} |{bar:<{width}s}| "
                      f"{value:8.2f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """Render a series as one character per value (ASCII density ramp).
+
+    Args:
+        values: the series, drawn left to right.
+        low / high: scale bounds; default to the series min/max.  Pass
+            shared bounds to draw several comparable sparklines.
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    low = min(values) if low is None else low
+    high = max(values) if high is None else high
+    span = high - low
+    top = len(SPARK_LEVELS) - 1
+    chars = []
+    for value in values:
+        if span <= 0:
+            level = 0 if value <= low else top
+        else:
+            level = int(round(top * (value - low) / span))
+        chars.append(SPARK_LEVELS[max(0, min(top, level))])
+    return "".join(chars)
+
+
+def timeline_chart(rows: Sequence[Tuple[str, Sequence[float]]],
+                   unit: str = "", shared_scale: bool = False) -> str:
+    """Render labelled interval series as aligned sparkline strips.
+
+    Each row prints ``label |sparkline| min..max (last)``.  Used by the
+    CLI's ``--timeline`` view for per-thread IPC and phase fractions
+    over an interval run.
+
+    Args:
+        rows: (label, series) pairs; series may differ in length.
+        unit: suffix for the printed min/max/last values.
+        shared_scale: scale every sparkline to the global min/max so
+            rows are visually comparable.
+    """
+    if not rows:
+        raise ValueError("nothing to chart")
+    label_width = max(len(label) for label, _ in rows)
+    low = high = None
+    if shared_scale:
+        everything = [v for _, series in rows for v in series]
+        if everything:
+            low, high = min(everything), max(everything)
+    lines = []
+    for label, series in rows:
+        series = list(series)
+        if not series:
+            lines.append(f"{label:>{label_width}s} |" + "|")
+            continue
+        strip = sparkline(series, low, high)
+        lines.append(
+            f"{label:>{label_width}s} |{strip}| "
+            f"{min(series):.2f}..{max(series):.2f}{unit} "
+            f"(last {series[-1]:.2f}{unit})")
     return "\n".join(lines)
 
 

@@ -1,0 +1,454 @@
+"""Interval statistics: per-chunk counter snapshots and phase timelines.
+
+The paper's behaviour is interval-driven — DCRA reclassifies threads as
+fast/slow every cycle and Table 5 reports the *distribution* of phase
+combinations over time — but a monolithic ``run(cycles)`` only exposes
+end-of-run totals.  This module is the data model of the chunked
+simulation API (:meth:`repro.pipeline.processor.SMTProcessor.run_intervals`):
+
+* :class:`IntervalSnapshot` — the immutable delta of every statistic the
+  simulator accumulates, over one interval.  Snapshots are computed by
+  *counter-delta capture* (read the counters before and after the chunk
+  and subtract), never by ``reset_stats()`` teardown, so interval runs
+  are behaviourally identical to monolithic ones.
+* :func:`snapshots_to_result` — summing snapshots reproduces the
+  monolithic :class:`~repro.metrics.stats.SimulationResult` *bitwise*:
+  the integer counters sum exactly, and every derived ratio is computed
+  with the same arithmetic :func:`~repro.metrics.stats.collect_result`
+  uses.
+* :class:`IntervalRecorder` / :class:`PhaseTimeline` — collection and
+  time-series views: IPC over time, the paper's fast/slow phase
+  distribution, variance-over-time and steady-state detection for
+  choosing measurement windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import SimulationResult, ThreadResult
+
+
+@dataclass(frozen=True)
+class ThreadIntervalDelta:
+    """One thread's statistic deltas over one interval.
+
+    The first eleven fields mirror
+    :class:`~repro.pipeline.thread.ThreadStats`, the rest
+    :class:`~repro.mem.hierarchy.ThreadMemStats`; all are plain counter
+    differences, so deltas of consecutive intervals sum to the deltas of
+    the combined window.
+    """
+
+    committed: int
+    fetched: int
+    fetched_wrong_path: int
+    squashed: int
+    branches: int
+    mispredicts: int
+    load_l1_misses: int
+    load_l2_misses: int
+    fetch_stall_cycles: int
+    policy_stall_cycles: int
+    slow_cycles: int
+    l1d_accesses: int
+    l1d_misses: int
+    l2_data_accesses: int
+    l2_data_misses: int
+    l1i_accesses: int
+    l1i_misses: int
+    tlb_misses: int
+    store_accesses: int
+    store_l2_misses: int
+
+    def ipc(self, cycles: int) -> float:
+        """Committed instructions per cycle over ``cycles``."""
+        return self.committed / cycles if cycles else 0.0
+
+
+#: Field order of :class:`ThreadIntervalDelta`; the capture and delta
+#: helpers below build positional tuples in exactly this order.
+_THREAD_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(ThreadIntervalDelta))
+
+#: ThreadStats attributes, in :data:`_THREAD_FIELDS` order.
+_PIPE_FIELDS = _THREAD_FIELDS[:11]
+#: ThreadMemStats attributes, in :data:`_THREAD_FIELDS` order.
+_MEM_FIELDS = _THREAD_FIELDS[11:]
+
+
+@dataclass(frozen=True)
+class CounterState:
+    """A point-in-time capture of every counter a snapshot derives from.
+
+    Captures are cheap (flat tuples of ints, no structural state) and
+    side-effect free: taking one never changes simulated behaviour.
+    """
+
+    cycle: int
+    threads: Tuple[Tuple[int, ...], ...]
+    l2_overlap_sum: int
+    l2_overlap_samples: int
+    phase_counts: Optional[Tuple[int, ...]]
+
+
+def capture_counter_state(processor) -> CounterState:
+    """Read the current statistic counters of a processor.
+
+    Args:
+        processor: an :class:`~repro.pipeline.processor.SMTProcessor`
+            (duck-typed; anything exposing the same counters works).
+    """
+    mem_stats = processor.hierarchy.thread_stats
+    threads = []
+    for thread in processor.threads:
+        stats = thread.stats
+        mem = mem_stats[thread.tid]
+        threads.append(
+            tuple(getattr(stats, name) for name in _PIPE_FIELDS)
+            + tuple(getattr(mem, name) for name in _MEM_FIELDS))
+    mshrs = processor.hierarchy.mshrs
+    phase = processor.phase_counts
+    return CounterState(
+        cycle=processor.cycle,
+        threads=tuple(threads),
+        l2_overlap_sum=mshrs.l2_overlap_sum,
+        l2_overlap_samples=mshrs.l2_overlap_samples,
+        phase_counts=tuple(phase) if phase is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class IntervalSnapshot:
+    """Immutable statistics delta of one simulated interval.
+
+    Attributes:
+        index: interval number within its run — 0-based for measured
+            intervals; warm-up-as-intervals snapshots count up to -1.
+        start_cycle: absolute simulator cycle at interval start.
+        cycles: interval length in cycles.
+        threads: per-thread counter deltas.
+        l2_overlap_sum / l2_overlap_samples: MSHR memory-parallelism
+            sample deltas (see :meth:`~repro.mem.mshr.MSHRFile.sample_overlap`).
+        phase_counts: ``phase_counts[k]`` is the number of interval
+            cycles during which exactly ``k`` threads were *slow*
+            (pending L1D miss — the paper's Section 3.1.1 fast/slow
+            classification, sampled at the end of each cycle); None when
+            phase tracking was off.
+    """
+
+    index: int
+    start_cycle: int
+    cycles: int
+    threads: Tuple[ThreadIntervalDelta, ...]
+    l2_overlap_sum: int
+    l2_overlap_samples: int
+    phase_counts: Optional[Tuple[int, ...]]
+
+    @property
+    def ipcs(self) -> List[float]:
+        """Per-thread IPC over this interval."""
+        return [t.ipc(self.cycles) for t in self.threads]
+
+    @property
+    def throughput(self) -> float:
+        """Total IPC over this interval."""
+        return sum(self.ipcs)
+
+    @property
+    def committed(self) -> int:
+        """Instructions committed by all threads in this interval."""
+        return sum(t.committed for t in self.threads)
+
+
+def snapshot_between(before: CounterState, after: CounterState,
+                     index: int) -> IntervalSnapshot:
+    """Build the snapshot of the interval between two captures."""
+    threads = tuple(
+        ThreadIntervalDelta(*[a - b for a, b in zip(after_t, before_t)])
+        for before_t, after_t in zip(before.threads, after.threads))
+    if after.phase_counts is None:
+        phase: Optional[Tuple[int, ...]] = None
+    elif before.phase_counts is None:
+        # Tracking was enabled at (or after) the 'before' capture, so
+        # the full current histogram belongs to this interval.
+        phase = after.phase_counts
+    else:
+        phase = tuple(a - b for b, a in zip(before.phase_counts,
+                                            after.phase_counts))
+    return IntervalSnapshot(
+        index=index,
+        start_cycle=before.cycle,
+        cycles=after.cycle - before.cycle,
+        threads=threads,
+        l2_overlap_sum=after.l2_overlap_sum - before.l2_overlap_sum,
+        l2_overlap_samples=(after.l2_overlap_samples
+                            - before.l2_overlap_samples),
+        phase_counts=phase,
+    )
+
+
+def sum_snapshots(snapshots: Sequence[IntervalSnapshot]) -> IntervalSnapshot:
+    """Combine consecutive snapshots into one covering the whole window.
+
+    Pure counter addition: the result is exactly the snapshot a single
+    interval spanning the same cycles would have produced.
+    """
+    if not snapshots:
+        raise ValueError("cannot sum zero snapshots")
+    num_threads = len(snapshots[0].threads)
+    totals = [[0] * len(_THREAD_FIELDS) for _ in range(num_threads)]
+    overlap_sum = overlap_samples = 0
+    phase: Optional[List[int]] = None
+    for snapshot in snapshots:
+        if len(snapshot.threads) != num_threads:
+            raise ValueError("snapshots cover different thread counts")
+        for tid, delta in enumerate(snapshot.threads):
+            row = totals[tid]
+            for pos, name in enumerate(_THREAD_FIELDS):
+                row[pos] += getattr(delta, name)
+        overlap_sum += snapshot.l2_overlap_sum
+        overlap_samples += snapshot.l2_overlap_samples
+        if snapshot.phase_counts is not None:
+            if phase is None:
+                phase = [0] * len(snapshot.phase_counts)
+            for k, count in enumerate(snapshot.phase_counts):
+                phase[k] += count
+    return IntervalSnapshot(
+        index=snapshots[0].index,
+        start_cycle=snapshots[0].start_cycle,
+        cycles=sum(s.cycles for s in snapshots),
+        threads=tuple(ThreadIntervalDelta(*row) for row in totals),
+        l2_overlap_sum=overlap_sum,
+        l2_overlap_samples=overlap_samples,
+        phase_counts=tuple(phase) if phase is not None else None,
+    )
+
+
+def snapshots_to_result(snapshots: Sequence[IntervalSnapshot],
+                        benchmarks: Sequence[str],
+                        policy_name: str) -> SimulationResult:
+    """Derive the aggregate :class:`SimulationResult` of a window.
+
+    The hard invariant of the interval refactor: for the same processor,
+    seed and total cycle count, this is **bitwise-identical** to the
+    :func:`~repro.metrics.stats.collect_result` of a monolithic run —
+    the integer counters sum exactly, and every ratio below repeats the
+    arithmetic of ``collect_result`` / ``ThreadStats.ipc`` /
+    ``ThreadMemStats.l2_missrate_pct`` / ``MSHRFile.average_l2_overlap``
+    operand-for-operand.
+    """
+    total = sum_snapshots(snapshots)
+    cycles = total.cycles
+    threads = []
+    for tid, delta in enumerate(total.threads):
+        mispredict_rate = (delta.mispredicts / delta.branches
+                           if delta.branches else 0.0)
+        l1d_missrate = (delta.l1d_misses / delta.l1d_accesses
+                        if delta.l1d_accesses else 0.0)
+        l2_missrate_pct = (100.0 * delta.l2_data_misses / delta.l1d_accesses
+                           if delta.l1d_accesses else 0.0)
+        threads.append(ThreadResult(
+            benchmark=benchmarks[tid],
+            committed=delta.committed,
+            ipc=delta.committed / cycles if cycles else 0.0,
+            fetched=delta.fetched,
+            fetched_wrong_path=delta.fetched_wrong_path,
+            squashed=delta.squashed,
+            mispredict_rate=mispredict_rate,
+            l1d_missrate=l1d_missrate,
+            l2_missrate_pct=l2_missrate_pct,
+            slow_cycle_frac=delta.slow_cycles / cycles if cycles else 0.0,
+        ))
+    avg_l2_overlap = (total.l2_overlap_sum / total.l2_overlap_samples
+                      if total.l2_overlap_samples else 0.0)
+    return SimulationResult(
+        policy=policy_name,
+        cycles=cycles,
+        threads=threads,
+        avg_l2_overlap=avg_l2_overlap,
+    )
+
+
+# --------------------------------------------------------------------------
+# Phase timelines (paper Table 5)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PhaseTimeline:
+    """The fast/slow phase history of a run, one entry per interval.
+
+    Each entry is ``(cycles, phase_counts)`` where ``phase_counts[k]``
+    counts the cycles of that interval during which exactly ``k``
+    threads were slow.  This is the data behind the paper's Table 5
+    (phase *combinations* of 2-thread workloads) generalised to any
+    thread count, kept per interval so phase behaviour can be charted
+    over time.
+    """
+
+    num_threads: int
+    entries: Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+    @classmethod
+    def from_snapshots(cls, snapshots: Sequence[IntervalSnapshot]) \
+            -> "PhaseTimeline":
+        """Extract the phase history of recorded snapshots."""
+        entries = []
+        num_threads = 0
+        for snapshot in snapshots:
+            if snapshot.phase_counts is None:
+                raise ValueError(
+                    "snapshot has no phase counts (phase tracking was off)")
+            num_threads = len(snapshot.threads)
+            entries.append((snapshot.cycles, snapshot.phase_counts))
+        return cls(num_threads=num_threads, entries=tuple(entries))
+
+    @classmethod
+    def merge(cls, timelines: Sequence["PhaseTimeline"]) -> "PhaseTimeline":
+        """Concatenate timelines (e.g. the four groups of a Table 5 cell).
+
+        The merged distribution weights every cycle equally, exactly as
+        summing the raw per-cycle counts would.
+        """
+        if not timelines:
+            raise ValueError("cannot merge zero timelines")
+        num_threads = timelines[0].num_threads
+        if any(t.num_threads != num_threads for t in timelines):
+            raise ValueError("timelines cover different thread counts")
+        entries = tuple(entry for timeline in timelines
+                        for entry in timeline.entries)
+        return cls(num_threads=num_threads, entries=entries)
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles covered by the timeline."""
+        return sum(cycles for cycles, _ in self.entries)
+
+    def total_counts(self) -> Tuple[int, ...]:
+        """Cycles with exactly ``k`` slow threads, summed over intervals."""
+        totals = [0] * (self.num_threads + 1)
+        for _, counts in self.entries:
+            for k, count in enumerate(counts):
+                totals[k] += count
+        return tuple(totals)
+
+    def distribution_pct(self) -> Tuple[float, ...]:
+        """Percentage of cycles spent with exactly ``k`` slow threads."""
+        totals = self.total_counts()
+        cycles = sum(totals)
+        if not cycles:
+            return tuple(0.0 for _ in totals)
+        return tuple(100.0 * count / cycles for count in totals)
+
+    def two_thread_split(self) -> Tuple[float, float, float]:
+        """Table 5's (slow-slow %, mixed %, fast-fast %) for 2 threads."""
+        if self.num_threads != 2:
+            raise ValueError("two_thread_split needs a 2-thread timeline")
+        pct = self.distribution_pct()
+        return pct[2], pct[1], pct[0]
+
+    def slow_fraction_series(self, min_slow: int = 1) -> List[float]:
+        """Per-interval fraction of cycles with >= ``min_slow`` slow threads."""
+        series = []
+        for cycles, counts in self.entries:
+            slow = sum(counts[min_slow:])
+            series.append(slow / cycles if cycles else 0.0)
+        return series
+
+
+# --------------------------------------------------------------------------
+# Recording and time-series analysis
+# --------------------------------------------------------------------------
+
+class IntervalRecorder:
+    """Collects the snapshots of one run and derives its views.
+
+    Warm-up is modelled as *discarded intervals*: snapshots recorded
+    with ``discard=True`` are kept for inspection but excluded from
+    every aggregate, so a run that warms up through the recorder yields
+    the same totals as one that warmed up through ``reset_stats()``.
+    """
+
+    def __init__(self) -> None:
+        self._kept: List[IntervalSnapshot] = []
+        self._discarded: List[IntervalSnapshot] = []
+
+    def record(self, snapshot: IntervalSnapshot,
+               discard: bool = False) -> None:
+        """Append one snapshot; ``discard=True`` marks it warm-up."""
+        (self._discarded if discard else self._kept).append(snapshot)
+
+    @property
+    def snapshots(self) -> List[IntervalSnapshot]:
+        """Measured (non-discarded) snapshots, in time order."""
+        return list(self._kept)
+
+    @property
+    def discarded(self) -> List[IntervalSnapshot]:
+        """Warm-up snapshots that were recorded but excluded."""
+        return list(self._discarded)
+
+    def __len__(self) -> int:
+        return len(self._kept)
+
+    def total(self) -> IntervalSnapshot:
+        """One snapshot covering the whole measured window."""
+        return sum_snapshots(self._kept)
+
+    def to_result(self, benchmarks: Sequence[str],
+                  policy_name: str) -> SimulationResult:
+        """The monolithic-equivalent result of the measured window."""
+        return snapshots_to_result(self._kept, benchmarks, policy_name)
+
+    def phase_timeline(self) -> PhaseTimeline:
+        """Phase history of the measured window."""
+        return PhaseTimeline.from_snapshots(self._kept)
+
+    def throughput_series(self) -> List[float]:
+        """Total IPC per interval, in time order."""
+        return [s.throughput for s in self._kept]
+
+    def ipc_series(self, tid: int) -> List[float]:
+        """One thread's IPC per interval, in time order."""
+        return [s.threads[tid].ipc(s.cycles) for s in self._kept]
+
+
+def variance_over_time(values: Sequence[float]) -> List[float]:
+    """Running sample variance of each prefix of a metric series.
+
+    ``result[i]`` is the variance (``ddof=1``) of ``values[:i+1]``; the
+    single-value prefix reports 0.0.  Watching this converge tells you
+    when a measurement window has stopped buying precision.
+    """
+    result: List[float] = []
+    count = 0
+    mean = 0.0
+    m2 = 0.0
+    for value in values:
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+        result.append(m2 / (count - 1) if count > 1 else 0.0)
+    return result
+
+
+def detect_steady_state(values: Sequence[float], window: int = 4,
+                        rel_tol: float = 0.05) -> Optional[int]:
+    """First index at which a metric series has settled, or None.
+
+    The series is *steady* at index ``i`` when every value of
+    ``values[i:i+window]`` lies within ``rel_tol`` (relative) of that
+    window's mean.  Used to pick how many leading intervals to discard
+    as warm-up instead of guessing a cycle count.
+    """
+    if window < 2:
+        raise ValueError("steady-state window must be >= 2")
+    for start in range(0, len(values) - window + 1):
+        chunk = values[start:start + window]
+        mean = sum(chunk) / window
+        scale = max(abs(mean), 1e-12)
+        if all(abs(value - mean) <= rel_tol * scale for value in chunk):
+            return start
+    return None

@@ -129,6 +129,11 @@ class SMTProcessor:
         #: Optional per-cycle probes (e.g. phase sampling for Table 5);
         #: each is called with the processor at the end of every cycle.
         self.cycle_hooks: List = []
+        #: Per-cycle phase histogram: ``phase_counts[k]`` counts cycles
+        #: during which exactly k threads were slow (pending L1D miss).
+        #: None until :meth:`enable_phase_tracking` switches it on, so
+        #: monolithic runs pay only a None check per cycle.
+        self.phase_counts: Optional[List[int]] = None
         self.policy = policy
         policy.attach(self)
         # Per-op policy hooks are only dispatched when the policy class
@@ -169,9 +174,87 @@ class SMTProcessor:
     # ------------------------------------------------------------------ run --
 
     def run(self, cycles: int) -> None:
-        """Advance the simulation by ``cycles`` cycles."""
+        """Advance the simulation by ``cycles`` cycles.
+
+        A thin wrapper over :meth:`run_intervals`: the monolithic run is
+        one interval whose snapshot is discarded (two counter captures —
+        no per-cycle cost, and phase tracking stays off).
+        """
+        if cycles > 0:
+            for _ in self.run_intervals(cycles, n_intervals=1,
+                                        track_phases=False):
+                pass
+
+    def _run_cycles(self, cycles: int) -> None:
+        """The raw simulation loop shared by the run APIs."""
+        step = self.step
         for _ in range(cycles):
-            self.step()
+            step()
+
+    def enable_phase_tracking(self) -> List[int]:
+        """Start (or continue) counting the per-cycle phase histogram.
+
+        Returns the live ``phase_counts`` list; see the attribute
+        docstring.  Tracking costs one extra list increment per cycle
+        and never changes simulated behaviour.
+        """
+        if self.phase_counts is None:
+            self.phase_counts = [0] * (self.num_threads + 1)
+        return self.phase_counts
+
+    def run_intervals(self, interval_cycles: int,
+                      n_intervals: Optional[int] = None,
+                      total_cycles: Optional[int] = None,
+                      track_phases: bool = True,
+                      start_index: int = 0):
+        """Advance the simulation in chunks, yielding a snapshot per chunk.
+
+        The chunked face of :meth:`run`: after each interval an immutable
+        :class:`~repro.metrics.intervals.IntervalSnapshot` is yielded,
+        carrying the per-thread pipeline/cache/MSHR counter *deltas* and
+        (with ``track_phases``) the fast/slow phase histogram of that
+        interval.  Deltas are computed by capturing counters before and
+        after the chunk — never by resetting them — so an interval run
+        simulates the exact same cycles as a monolithic one, and summing
+        the snapshots reproduces the monolithic statistics bitwise
+        (:func:`~repro.metrics.intervals.snapshots_to_result`).
+
+        Args:
+            interval_cycles: cycles per interval (> 0).
+            n_intervals: number of full intervals to run; exactly one of
+                this and ``total_cycles`` must be given.
+            total_cycles: total cycles to run; the final interval is
+                short when ``interval_cycles`` does not divide it.
+            track_phases: maintain the per-cycle phase histogram (see
+                :meth:`enable_phase_tracking`).
+            start_index: index assigned to the first snapshot.
+
+        Yields:
+            One :class:`IntervalSnapshot` per completed interval.
+        """
+        from repro.metrics.intervals import (
+            capture_counter_state,
+            snapshot_between,
+        )
+
+        if interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        if (n_intervals is None) == (total_cycles is None):
+            raise ValueError("pass exactly one of n_intervals/total_cycles")
+        if n_intervals is not None:
+            lengths = [interval_cycles] * n_intervals
+        else:
+            full, remainder = divmod(total_cycles, interval_cycles)
+            lengths = [interval_cycles] * full
+            if remainder:
+                lengths.append(remainder)
+        if track_phases:
+            self.enable_phase_tracking()
+        for offset, length in enumerate(lengths):
+            before = capture_counter_state(self)
+            self._run_cycles(length)
+            yield snapshot_between(before, capture_counter_state(self),
+                                   start_index + offset)
 
     def run_until_commits(self, commits: int, max_cycles: int = 10_000_000) -> None:
         """Run until every thread commits ``commits`` instructions."""
@@ -207,6 +290,10 @@ class SMTProcessor:
             thread.stats = ThreadStats()
         self.hierarchy.reset_stats()
         self.branch_unit.reset_stats()
+        if self.phase_counts is not None:
+            # Zero in place: captures hold copies, callers the live list.
+            for k in range(len(self.phase_counts)):
+                self.phase_counts[k] = 0
 
     @property
     def stat_cycles(self) -> int:
@@ -228,9 +315,18 @@ class SMTProcessor:
         self._rename(cycle)
         self._fetch(cycle)
         policy.end_cycle(cycle)
-        for thread in self.threads:
-            if thread.pending_l1d > 0:  # inlined ThreadContext.is_slow
-                thread.stats.slow_cycles += 1
+        phase_counts = self.phase_counts
+        if phase_counts is None:
+            for thread in self.threads:
+                if thread.pending_l1d > 0:  # inlined ThreadContext.is_slow
+                    thread.stats.slow_cycles += 1
+        else:
+            slow_threads = 0
+            for thread in self.threads:
+                if thread.pending_l1d > 0:  # inlined ThreadContext.is_slow
+                    thread.stats.slow_cycles += 1
+                    slow_threads += 1
+            phase_counts[slow_threads] += 1
         if self.cycle_hooks:
             for hook in self.cycle_hooks:
                 hook(self)

@@ -1,14 +1,21 @@
-"""Multiprogrammed workloads (paper Table 4).
+"""Multiprogrammed workloads (paper Table 4, plus extended mixes).
 
 The paper evaluates 2-, 3- and 4-thread workloads of three types — ILP
 (only high-ILP threads), MEM (only memory-bounded threads) and MIX — with
 four randomly drawn groups per (thread count, type) cell to avoid bias.
 This module reproduces that table verbatim and provides helpers to
 instantiate the corresponding synthetic thread set.
+
+Beyond the paper, :data:`EXTRA_WORKLOAD_TABLE` adds 6-thread cells — a
+MIX cell that over-commits the shared back end with six contexts, and an
+all-MEM stress cell where every thread fights for MSHRs and the L2 —
+reachable through the same :func:`make_workload` / :func:`workload_groups`
+API and listed by ``python -m repro workloads``.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
@@ -56,6 +63,25 @@ WORKLOAD_TABLE: Dict[Tuple[int, str], Tuple[Tuple[str, ...], ...]] = {
     ),
 }
 
+#: Extended (non-paper) workload cells: 6-thread MIX workloads that
+#: over-commit the Table 2 machine, and an all-MEM 6-thread stress cell
+#: maximising MSHR/L2 contention.  Same four-groups-per-cell shape as
+#: Table 4 so every driver that averages groups works unchanged.
+EXTRA_WORKLOAD_TABLE: Dict[Tuple[int, str], Tuple[Tuple[str, ...], ...]] = {
+    (6, "MIX"): (
+        ("gzip", "twolf", "bzip2", "mcf", "wupwise", "art"),
+        ("mcf", "mesa", "lucas", "gzip", "vpr", "gcc"),
+        ("art", "gap", "twolf", "crafty", "swim", "fma3d"),
+        ("swim", "fma3d", "vpr", "bzip2", "equake", "apsi"),
+    ),
+    (6, "MEM"): (
+        ("mcf", "art", "swim", "equake", "lucas", "twolf"),
+        ("mcf", "twolf", "vpr", "parser", "art", "swim"),
+        ("equake", "parser", "mcf", "lucas", "art", "vpr"),
+        ("swim", "mcf", "art", "equake", "vpr", "twolf"),
+    ),
+}
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -89,21 +115,20 @@ class Workload:
 
 
 def make_workload(num_threads: int, wtype: str, group: int) -> Workload:
-    """Build one paper workload.
+    """Build one workload (paper Table 4 or an extended cell).
 
     Args:
-        num_threads: 2, 3 or 4.
+        num_threads: 2, 3 or 4 (paper), or 6 (extended cells).
         wtype: ``"ILP"``, ``"MIX"`` or ``"MEM"``.
         group: group number, 1 through 4 (paper Table 4 columns).
     """
     if wtype not in WORKLOAD_TYPES:
         raise ValueError(f"workload type must be one of {WORKLOAD_TYPES}")
-    try:
-        groups = WORKLOAD_TABLE[(num_threads, wtype)]
-    except KeyError:
+    key = (num_threads, wtype)
+    groups = WORKLOAD_TABLE.get(key) or EXTRA_WORKLOAD_TABLE.get(key)
+    if groups is None:
         raise ValueError(
-            f"no workloads defined for {num_threads} threads"
-        ) from None
+            f"no {wtype} workloads defined for {num_threads} threads")
     if not 1 <= group <= len(groups):
         raise ValueError(f"group must be in 1..{len(groups)}")
     return Workload(groups[group - 1], wtype, group)
@@ -114,9 +139,33 @@ def workload_groups(num_threads: int, wtype: str) -> List[Workload]:
     return [make_workload(num_threads, wtype, g) for g in (1, 2, 3, 4)]
 
 
-def all_workloads() -> Iterator[Workload]:
-    """Iterate the full 36-workload evaluation set of the paper."""
-    for num_threads in (2, 3, 4):
-        for wtype in WORKLOAD_TYPES:
-            for workload in workload_groups(num_threads, wtype):
-                yield workload
+def all_workloads(extended: bool = False) -> Iterator[Workload]:
+    """Iterate the evaluation workloads.
+
+    The default is the paper's exact 36-workload Table 4 set;
+    ``extended=True`` appends the :data:`EXTRA_WORKLOAD_TABLE` cells.
+    """
+    keys = list(WORKLOAD_TABLE)
+    if extended:
+        keys += list(EXTRA_WORKLOAD_TABLE)
+    for num_threads, wtype in keys:
+        for workload in workload_groups(num_threads, wtype):
+            yield workload
+
+
+_WORKLOAD_NAME = re.compile(r"^([A-Z]+)(\d+)\.g(\d+)$")
+
+
+def find_workload(label: str) -> Workload:
+    """Resolve a workload by its short name, e.g. ``MIX6.g1``.
+
+    Accepts the ``TYPEn.gk`` prefix of :attr:`Workload.name` for both
+    the paper and the extended tables (the CLI's workload selector).
+    """
+    match = _WORKLOAD_NAME.match(label.strip())
+    if match is None:
+        raise ValueError(
+            f"expected a workload name like 'MIX2.g1', got {label!r}")
+    wtype, num_threads, group = (match.group(1), int(match.group(2)),
+                                 int(match.group(3)))
+    return make_workload(num_threads, wtype, group)

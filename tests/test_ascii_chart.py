@@ -1,8 +1,14 @@
-"""Tests for the terminal bar-chart helpers."""
+"""Tests for the terminal bar-chart and timeline helpers."""
 
 import pytest
 
-from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
+from repro.metrics.ascii_chart import (
+    SPARK_LEVELS,
+    bar_chart,
+    grouped_bar_chart,
+    sparkline,
+    timeline_chart,
+)
 
 
 class TestBarChart:
@@ -50,3 +56,51 @@ class TestGroupedBarChart:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             grouped_bar_chart({})
+
+
+class TestSparkline:
+    def test_one_char_per_value(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_extremes_use_ramp_ends(self):
+        strip = sparkline([0.0, 1.0])
+        assert strip[0] == SPARK_LEVELS[0]
+        assert strip[-1] == SPARK_LEVELS[-1]
+
+    def test_flat_series_no_crash(self):
+        assert sparkline([2.0, 2.0, 2.0]) == SPARK_LEVELS[0] * 3
+
+    def test_shared_bounds(self):
+        # With a wide external scale, a narrow series stays low.
+        strip = sparkline([1.0, 2.0], low=0.0, high=100.0)
+        assert set(strip) <= set(SPARK_LEVELS[:3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestTimelineChart:
+    def test_rows_render_with_stats(self):
+        chart = timeline_chart([("total", [1.0, 2.0, 1.5]),
+                                ("gzip", [0.5, 0.6, 0.7])])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert "1.00..2.00" in lines[0]
+        assert "(last 0.70)" in lines[1]
+
+    def test_labels_aligned(self):
+        chart = timeline_chart([("x", [1.0]), ("long-label", [1.0])])
+        bars = [line.index("|") for line in chart.splitlines()]
+        assert len(set(bars)) == 1
+
+    def test_shared_scale(self):
+        chart = timeline_chart([("a", [0.0, 1.0]), ("b", [99.0, 100.0])],
+                               shared_scale=True)
+        low_row = chart.splitlines()[0]
+        # Under the global 0..100 scale, row "a" stays at the ramp floor.
+        assert SPARK_LEVELS[-1] not in low_row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeline_chart([])

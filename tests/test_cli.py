@@ -42,7 +42,9 @@ class TestCommands:
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
         assert "MEM2.g1" in out
-        assert out.count("\n") == 36
+        # 36 paper workloads plus the extended 6-thread cells.
+        assert "MIX6.g1" in out and "MEM6.g4" in out
+        assert out.count("\n") == 44
 
     def test_run_command(self, capsys):
         assert main(["run", "gzip", "--cycles", "1500",
@@ -56,3 +58,91 @@ class TestCommands:
                      "--cycles", "1500", "--warmup", "300"]) == 0
         out = capsys.readouterr().out
         assert "ICOUNT" in out and "SRA" in out and "Hmean" in out
+
+
+class TestIntervalCli:
+    def test_interval_run_table_is_identical(self, capsys):
+        """--interval-cycles must not change the printed result table."""
+        assert main(["run", "mcf+gzip", "--cycles", "1500",
+                     "--warmup", "300"]) == 0
+        monolithic = capsys.readouterr().out
+        assert main(["run", "mcf+gzip", "--cycles", "1500",
+                     "--warmup", "300", "--interval-cycles", "300"]) == 0
+        assert capsys.readouterr().out == monolithic
+
+    def test_timeline_rendering(self, capsys):
+        assert main(["run", "mcf+gzip", "--cycles", "1500", "--warmup",
+                     "300", "--interval-cycles", "300", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC per interval" in out
+        assert "Slow-thread phases" in out
+        assert ">=2 slow" in out
+
+    def test_timeline_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "timeline.json"
+        assert main(["run", "mcf", "--cycles", "1200", "--warmup", "300",
+                     "--interval-cycles", "400",
+                     "--timeline-json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["interval_cycles"] == 400
+        assert len(payload["intervals"]) == 3
+        assert sum(payload["intervals"][0]["phase_counts"]) == 400
+        assert len(payload["phase_distribution_pct"]) == 2
+
+    def test_progress_stream(self, capsys):
+        assert main(["run", "gzip", "--cycles", "1000", "--warmup", "200",
+                     "--interval-cycles", "250", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "interval 4/4" in err
+
+    def test_non_positive_interval_cycles_rejected(self):
+        for bad in ("0", "-5", "many"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "gzip", "--interval-cycles", bad])
+
+    def test_timeline_flags_require_interval_mode(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gzip", "--cycles", "500", "--warmup", "100",
+                  "--timeline"])
+        with pytest.raises(SystemExit):
+            main(["run", "gzip", "--cycles", "500", "--warmup", "100",
+                  "--timeline-json", "/tmp/unused.json"])
+        with pytest.raises(SystemExit):
+            main(["run", "gzip", "--cycles", "500", "--warmup", "100",
+                  "--interval-cycles", "100", "--reps", "2", "--timeline"])
+
+    def test_compare_accepts_interval_cycles(self, capsys):
+        assert main(["compare", "gzip", "--policies", "ICOUNT",
+                     "--cycles", "1000", "--warmup", "200",
+                     "--interval-cycles", "250"]) == 0
+        assert "ICOUNT" in capsys.readouterr().out
+
+
+class TestWorkloadSelector:
+    def test_compare_by_workload_name(self, capsys):
+        assert main(["compare", "--workload", "MEM2.g1", "--policies",
+                     "ICOUNT", "--cycles", "1000", "--warmup", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf+twolf" in out
+
+    def test_extended_workload_name_resolves(self, capsys):
+        assert main(["compare", "--workload", "MIX6.g1", "--policies",
+                     "ICOUNT", "--cycles", "600", "--warmup", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip+twolf+bzip2+mcf+wupwise+art" in out
+
+    def test_workload_and_mix_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "gzip", "--workload", "MEM2.g1"])
+
+    def test_compare_requires_some_workload(self):
+        with pytest.raises(SystemExit):
+            main(["compare"])
+
+    def test_bad_workload_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--workload", "NOPE9.g9"])

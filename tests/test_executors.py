@@ -164,6 +164,45 @@ class TestExecutorBehaviour:
         SerialExecutor().warm_up()  # no-op on workerless backends
 
 
+class TestRemoteBatching:
+    """Task batching amortises round-trips without changing results."""
+
+    def test_fixed_batch_size_matches_serial(self):
+        items = list(range(17))
+        with RemoteExecutor(spawn_workers=2, timeout=120.0,
+                            batch_size=4) as executor:
+            assert executor.map(_square, items) == [i * i for i in items]
+
+    def test_batch_of_one_matches_serial(self):
+        items = list(range(5))
+        with RemoteExecutor(spawn_workers=1, timeout=120.0,
+                            batch_size=1) as executor:
+            assert executor.map(_square, items) == [i * i for i in items]
+
+    def test_adaptive_batching_on_deep_queue(self):
+        """Default heuristic: a deep backlog on few workers batches up."""
+        items = list(range(40))
+        with RemoteExecutor(spawn_workers=1, timeout=120.0) as executor:
+            assert executor.map(_square, items) == [i * i for i in items]
+
+    def test_exception_inside_a_batch_propagates(self):
+        with RemoteExecutor(spawn_workers=1, timeout=120.0,
+                            batch_size=8) as executor:
+            with pytest.raises(RuntimeError, match="exploded"):
+                executor.map(_boom, [1, 2, 3])
+            # The worker survives the failing batch and keeps serving.
+            assert executor.map(_square, [5]) == [25]
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            RemoteExecutor(spawn_workers=0, batch_size=0)
+
+    def test_sim_jobs_batched_match_reference(self, reference_results):
+        with RemoteExecutor(spawn_workers=2, timeout=120.0,
+                            batch_size=3) as executor:
+            assert run_jobs(small_jobs(), 2, executor) == reference_results
+
+
 class TestMakeExecutor:
     def test_auto_is_serial_for_one_worker(self):
         assert isinstance(make_executor(None, 1), SerialExecutor)

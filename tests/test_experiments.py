@@ -60,15 +60,52 @@ class TestTable3:
 
 class TestTable5:
     def test_rows_sum_to_hundred(self):
-        rows = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP)
+        rows = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                             interval_cycles=500)
         assert [r.wtype for r in rows] == ["ILP", "MIX", "MEM"]
         for row in rows:
             total = row.slow_slow_pct + row.mixed_pct + row.fast_fast_pct
             assert total == pytest.approx(100.0)
         assert "SLOW-SLOW" in exp.format_table5(rows)
 
+    def test_rows_come_from_recorded_timelines(self):
+        """The driver consumes PhaseTimeline — same numbers, same source."""
+        timelines = exp.table5_timelines(cycles=CYCLES, warmup=WARMUP,
+                                         interval_cycles=500)
+        rows = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                             interval_cycles=500)
+        assert [wtype for wtype, _ in timelines] == [r.wtype for r in rows]
+        for (_, timeline), row in zip(timelines, rows):
+            # Each cell merges the four groups' timelines: 4 workloads
+            # x CYCLES/500 intervals of phase history.
+            assert timeline.cycles == 4 * CYCLES
+            assert timeline.two_thread_split() == pytest.approx(
+                (row.slow_slow_pct, row.mixed_pct, row.fast_fast_pct))
+
+    def test_interval_resolution_does_not_change_totals(self):
+        coarse = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                               interval_cycles=CYCLES)
+        fine = exp.table5_phase_distribution(cycles=CYCLES, warmup=WARMUP,
+                                             interval_cycles=250)
+        for a, b in zip(coarse, fine):
+            assert a.slow_slow_pct == pytest.approx(b.slow_slow_pct)
+            assert a.mixed_pct == pytest.approx(b.mixed_pct)
+
 
 class TestPolicyComparison:
+    def test_interval_mode_is_bitwise_identical_with_progress(self):
+        plain = exp.compare_policies(["ICOUNT", "DCRA"], cells=CELLS,
+                                     cycles=CYCLES, warmup=WARMUP)
+        events = []
+        chunked = exp.compare_policies(
+            ["ICOUNT", "DCRA"], cells=CELLS, cycles=CYCLES, warmup=WARMUP,
+            interval_cycles=500,
+            progress=lambda index, event: events.append((index, event)))
+        assert chunked == plain
+        # 4 workloads x 2 policies x (CYCLES/500) intervals
+        assert len(events) == 8 * (CYCLES // 500)
+        assert all("MIX2" in event.tag for _, event in events)
+
     def test_compare_policies_shape(self):
         results = exp.compare_policies(["ICOUNT", "SRA"], cells=CELLS,
                                        cycles=CYCLES, warmup=WARMUP)

@@ -1,0 +1,367 @@
+"""Tests for the chunked simulation core and interval statistics.
+
+The acceptance contract of the interval refactor: for every policy in
+the registry, on every executor backend, summing the per-interval
+snapshots of ``run_intervals()`` reproduces the monolithic ``run()``
+``SimulationResult`` bitwise — and warm-up expressed as discarded
+intervals is equivalent to a ``reset_stats()`` warm-up.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.engine import SimJob, run_jobs
+from repro.harness.executors import (
+    ProcessExecutor,
+    RemoteExecutor,
+    SerialExecutor,
+)
+from repro.harness.progress import (
+    IntervalProgress,
+    emit_progress,
+    progress_sink,
+)
+from repro.harness.runner import (
+    run_benchmarks,
+    run_benchmarks_intervals,
+    run_workload_intervals,
+)
+from repro.metrics.intervals import (
+    IntervalRecorder,
+    PhaseTimeline,
+    detect_steady_state,
+    snapshots_to_result,
+    sum_snapshots,
+    variance_over_time,
+)
+from repro.pipeline.config import SMTConfig
+from repro.pipeline.processor import SMTProcessor
+from repro.policies.registry import POLICY_NAMES, make_policy
+from repro.trace.profiles import get_profile
+from repro.trace.workloads import make_workload
+
+CYCLES = 2_000
+WARMUP = 400
+INTERVAL = 500
+
+
+def _processor(benchmarks=("mcf", "gzip"), policy="DCRA", seed=3):
+    return SMTProcessor(SMTConfig(),
+                        [get_profile(b) for b in benchmarks],
+                        make_policy(policy), seed=seed)
+
+
+class TestBitwiseEquivalence:
+    """Summed snapshots == monolithic result, across the whole matrix."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_every_registry_policy(self, policy):
+        mono = run_benchmarks(["mcf", "gzip"], policy, cycles=CYCLES,
+                              warmup=WARMUP, seed=3)
+        interval = run_benchmarks_intervals(
+            ["mcf", "gzip"], policy, cycles=CYCLES, warmup=WARMUP, seed=3,
+            interval_cycles=INTERVAL)
+        assert interval.result == mono
+
+    @pytest.mark.parametrize("benchmarks", [
+        ("gzip",),
+        ("mcf", "twolf", "gzip", "bzip2"),
+    ])
+    def test_thread_counts(self, benchmarks):
+        mono = run_benchmarks(list(benchmarks), "DCRA", cycles=CYCLES,
+                              warmup=WARMUP, seed=5)
+        interval = run_benchmarks_intervals(
+            list(benchmarks), "DCRA", cycles=CYCLES, warmup=WARMUP, seed=5,
+            interval_cycles=INTERVAL)
+        assert interval.result == mono
+
+    def test_uneven_final_interval(self):
+        mono = run_benchmarks(["mcf"], "ICOUNT", cycles=1_700, warmup=300,
+                              seed=9)
+        interval = run_benchmarks_intervals(
+            ["mcf"], "ICOUNT", cycles=1_700, warmup=300, seed=9,
+            interval_cycles=500)
+        assert interval.result == mono
+        assert [s.cycles for s in interval.recorder.snapshots] \
+            == [500, 500, 500, 200]
+
+    def test_zero_measured_cycles_degrades_like_monolithic(self):
+        mono = run_benchmarks(["gzip"], "ICOUNT", cycles=0, warmup=200,
+                              seed=1)
+        interval = run_benchmarks_intervals(
+            ["gzip"], "ICOUNT", cycles=0, warmup=200, seed=1,
+            interval_cycles=100)
+        assert interval.result == mono
+        assert interval.result.cycles == 0
+
+    def test_warmup_as_discarded_intervals(self):
+        mono = run_benchmarks(["mcf", "gzip"], "DCRA-ADAPT", cycles=CYCLES,
+                              warmup=WARMUP, seed=3)
+        interval = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA-ADAPT", cycles=CYCLES, warmup=WARMUP,
+            seed=3, interval_cycles=INTERVAL, warmup_as_intervals=True)
+        assert interval.result == mono
+        assert interval.recorder.discarded  # warm-up snapshots retained
+        assert sum(s.cycles for s in interval.recorder.discarded) == WARMUP
+        # Discarded indices count up to -1; measured stay 0-based, so
+        # the two series never collide and measured indices match the
+        # reset-based warm-up mode.
+        assert interval.recorder.discarded[-1].index == -1
+        assert [s.index for s in interval.recorder.snapshots][0] == 0
+
+    def test_snapshot_sum_matches_collect_result_counters(self):
+        """Summing snapshots equals one big interval, field for field."""
+        processor = _processor()
+        snapshots = list(processor.run_intervals(INTERVAL, n_intervals=4))
+        total = sum_snapshots(snapshots)
+        assert total.cycles == 4 * INTERVAL
+        assert total.committed == sum(
+            t.stats.committed for t in processor.threads)
+        assert total.phase_counts is not None
+        assert sum(total.phase_counts) == 4 * INTERVAL
+
+
+class TestExecutorMatrix:
+    """Interval-mode jobs are bitwise-identical on every backend."""
+
+    @staticmethod
+    def _jobs(interval_cycles):
+        return [
+            SimJob(("mcf", "gzip"), policy, None, CYCLES, WARMUP, seed=3,
+                   interval_cycles=interval_cycles)
+            for policy in ("ICOUNT", "STALL", "FLUSH", "DCRA", "DCRA-ADAPT")
+        ]
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_jobs(self._jobs(None), 1)
+
+    def test_serial_executor(self, reference):
+        with SerialExecutor() as executor:
+            assert run_jobs(self._jobs(INTERVAL), 1, executor) == reference
+
+    def test_process_executor(self, reference):
+        with ProcessExecutor(2) as executor:
+            assert run_jobs(self._jobs(INTERVAL), 2, executor) == reference
+
+    def test_remote_executor(self, reference):
+        with RemoteExecutor(spawn_workers=2, timeout=120.0) as executor:
+            assert run_jobs(self._jobs(INTERVAL), 2, executor) == reference
+
+
+class TestRunIntervalsApi:
+    def test_run_is_a_thin_wrapper(self):
+        """run() and a consumed run_intervals() simulate identical cycles."""
+        direct = _processor()
+        direct.run(CYCLES)
+        chunked = _processor()
+        list(chunked.run_intervals(INTERVAL, total_cycles=CYCLES))
+        assert direct.cycle == chunked.cycle
+        assert [t.stats.committed for t in direct.threads] \
+            == [t.stats.committed for t in chunked.threads]
+
+    def test_run_zero_cycles_is_a_noop(self):
+        processor = _processor()
+        processor.run(0)
+        assert processor.cycle == 0
+
+    def test_argument_validation(self):
+        processor = _processor()
+        with pytest.raises(ValueError, match="interval_cycles"):
+            list(processor.run_intervals(0, n_intervals=1))
+        with pytest.raises(ValueError, match="exactly one"):
+            list(processor.run_intervals(100))
+        with pytest.raises(ValueError, match="exactly one"):
+            list(processor.run_intervals(100, n_intervals=1,
+                                         total_cycles=200))
+
+    def test_snapshots_are_immutable(self):
+        processor = _processor()
+        snapshot = next(processor.run_intervals(100, n_intervals=1))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snapshot.cycles = 7
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snapshot.threads[0].committed = 7
+
+    def test_phase_tracking_off_by_default_for_run(self):
+        processor = _processor()
+        processor.run(200)
+        assert processor.phase_counts is None
+
+    def test_reset_stats_zeroes_phase_counts(self):
+        processor = _processor()
+        counts = processor.enable_phase_tracking()
+        processor.run(200)
+        assert sum(counts) == 200
+        processor.reset_stats()
+        assert sum(processor.phase_counts) == 0
+        assert processor.phase_counts is counts  # same live list
+
+    def test_phase_counts_cover_every_cycle(self):
+        processor = _processor()
+        snapshot = next(processor.run_intervals(300, n_intervals=1))
+        assert snapshot.phase_counts is not None
+        assert len(snapshot.phase_counts) == processor.num_threads + 1
+        assert sum(snapshot.phase_counts) == 300
+
+    def test_start_index_offsets_snapshot_indices(self):
+        processor = _processor()
+        snapshots = list(processor.run_intervals(100, n_intervals=3,
+                                                 start_index=5))
+        assert [s.index for s in snapshots] == [5, 6, 7]
+
+
+class TestRecorderAndTimeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES, warmup=WARMUP, seed=3,
+            interval_cycles=INTERVAL)
+
+    def test_series_lengths(self, run):
+        n = len(run.recorder)
+        assert n == CYCLES // INTERVAL
+        assert len(run.recorder.throughput_series()) == n
+        assert len(run.recorder.ipc_series(0)) == n
+
+    def test_to_result_round_trip(self, run):
+        rebuilt = snapshots_to_result(run.recorder.snapshots,
+                                      ["mcf", "gzip"], "DCRA")
+        assert rebuilt == run.result
+
+    def test_phase_timeline_distribution(self, run):
+        timeline = run.recorder.phase_timeline()
+        assert timeline.num_threads == 2
+        assert timeline.cycles == CYCLES
+        assert sum(timeline.distribution_pct()) == pytest.approx(100.0)
+        slow_slow, mixed, fast_fast = timeline.two_thread_split()
+        assert slow_slow + mixed + fast_fast == pytest.approx(100.0)
+
+    def test_timeline_merge(self, run):
+        timeline = run.recorder.phase_timeline()
+        merged = PhaseTimeline.merge([timeline, timeline])
+        assert merged.cycles == 2 * timeline.cycles
+        assert merged.distribution_pct() \
+            == pytest.approx(timeline.distribution_pct())
+
+    def test_two_thread_split_rejects_other_widths(self):
+        timeline = PhaseTimeline(num_threads=3,
+                                 entries=((10, (5, 3, 1, 1)),))
+        with pytest.raises(ValueError, match="2-thread"):
+            timeline.two_thread_split()
+
+    def test_empty_recorder_rejects_aggregation(self):
+        with pytest.raises(ValueError):
+            IntervalRecorder().total()
+
+
+class TestSteadyStateHelpers:
+    def test_variance_over_time(self):
+        series = [1.0, 1.0, 3.0]
+        running = variance_over_time(series)
+        assert running[0] == 0.0
+        assert running[1] == pytest.approx(0.0)
+        assert running[2] == pytest.approx(4.0 / 3.0)
+
+    def test_detect_steady_state_finds_settled_suffix(self):
+        values = [10.0, 5.0, 2.0, 1.0, 1.01, 0.99, 1.0]
+        assert detect_steady_state(values, window=3, rel_tol=0.05) == 3
+
+    def test_detect_steady_state_none_when_never_settles(self):
+        assert detect_steady_state([1.0, 2.0, 4.0, 8.0], window=2,
+                                   rel_tol=0.01) is None
+
+    def test_detect_steady_state_validates_window(self):
+        with pytest.raises(ValueError):
+            detect_steady_state([1.0], window=1)
+
+
+class TestProgressEvents:
+    def test_runner_emits_one_event_per_interval(self):
+        events = []
+        run_benchmarks_intervals(
+            ["gzip"], "ICOUNT", cycles=1_000, warmup=200, seed=1,
+            interval_cycles=250, progress=events.append,
+            progress_tag="probe")
+        assert len(events) == 4
+        assert [e.interval for e in events] == [0, 1, 2, 3]
+        final = events[-1]
+        assert final.cycles_done == final.total_cycles == 1_000
+        assert final.n_intervals == 4
+        assert final.tag == "probe"
+        assert final.throughput == pytest.approx(
+            final.committed / final.cycles_done)
+
+    def test_default_sink_is_discard(self):
+        emit_progress(IntervalProgress(0, 1, 1, 1, 1, 1.0))  # must not raise
+
+    def test_progress_sink_scope(self):
+        events = []
+        with progress_sink(events.append):
+            emit_progress(IntervalProgress(0, 1, 1, 1, 1, 1.0))
+        emit_progress(IntervalProgress(1, 1, 1, 1, 1, 1.0))
+        assert len(events) == 1
+
+    @staticmethod
+    def _interval_jobs():
+        return [
+            SimJob(("gzip",), "ICOUNT", None, 1_000, 200, seed=s,
+                   interval_cycles=250, tag=f"job{s}")
+            for s in (1, 2)
+        ]
+
+    def _assert_events(self, events):
+        assert set(events) == {0, 1}
+        for index in (0, 1):
+            assert [e.interval for e in events[index]] == [0, 1, 2, 3]
+            assert events[index][0].tag == f"job{index + 1}"
+
+    def test_raising_callback_warns_but_does_not_abort(self):
+        """Progress is telemetry: a broken callback cannot kill the run."""
+        import warnings
+
+        def broken(index, event):
+            raise BrokenPipeError("consumer went away")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with SerialExecutor() as executor:
+                results = run_jobs(self._interval_jobs(), 1, executor,
+                                   progress=broken)
+        assert len(results) == 2
+        assert all(r.cycles == 1_000 for r in results)
+        assert any("progress callback" in str(w.message) for w in caught)
+
+    def test_progress_through_serial_executor(self):
+        events = {}
+        with SerialExecutor() as executor:
+            run_jobs(self._interval_jobs(), 1, executor,
+                     progress=lambda i, e: events.setdefault(i, []).append(e))
+        self._assert_events(events)
+
+    def test_progress_through_process_executor(self):
+        events = {}
+        with ProcessExecutor(2) as executor:
+            run_jobs(self._interval_jobs(), 2, executor,
+                     progress=lambda i, e: events.setdefault(i, []).append(e))
+        self._assert_events(events)
+
+    def test_progress_through_remote_executor(self):
+        events = {}
+        with RemoteExecutor(spawn_workers=2, timeout=120.0) as executor:
+            run_jobs(self._interval_jobs(), 2, executor,
+                     progress=lambda i, e: events.setdefault(i, []).append(e))
+        self._assert_events(events)
+
+
+class TestWorkloadIntervals:
+    def test_run_workload_intervals_matches_benchmarks(self):
+        workload = make_workload(2, "MEM", 1)
+        by_workload = run_workload_intervals(
+            workload, "DCRA", cycles=1_000, warmup=200, seed=5,
+            interval_cycles=250)
+        by_benchmarks = run_benchmarks_intervals(
+            list(workload.benchmarks), "DCRA", cycles=1_000, warmup=200,
+            seed=5, interval_cycles=250)
+        assert by_workload.result == by_benchmarks.result

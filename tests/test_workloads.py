@@ -1,11 +1,13 @@
-"""Unit tests for the Table 4 workload definitions."""
+"""Unit tests for the Table 4 (and extended) workload definitions."""
 
 import pytest
 
 from repro.trace.profiles import get_profile
 from repro.trace.workloads import (
+    EXTRA_WORKLOAD_TABLE,
     WORKLOAD_TABLE,
     all_workloads,
+    find_workload,
     make_workload,
     workload_groups,
 )
@@ -84,3 +86,41 @@ class TestWorkloadApi:
     def test_invalid_group(self):
         with pytest.raises(ValueError):
             make_workload(2, "MIX", 5)
+
+
+class TestExtendedWorkloads:
+    def test_six_thread_cells_have_four_groups_of_six(self):
+        assert set(EXTRA_WORKLOAD_TABLE) == {(6, "MIX"), (6, "MEM")}
+        for (num_threads, _), groups in EXTRA_WORKLOAD_TABLE.items():
+            assert len(groups) == 4
+            for group in groups:
+                assert len(group) == num_threads
+
+    def test_mix6_contains_both_classes(self):
+        for group in EXTRA_WORKLOAD_TABLE[(6, "MIX")]:
+            classes = {get_profile(b).mem_class for b in group}
+            assert classes == {"ILP", "MEM"}, group
+
+    def test_mem6_is_all_mem(self):
+        for group in EXTRA_WORKLOAD_TABLE[(6, "MEM")]:
+            for benchmark in group:
+                assert get_profile(benchmark).mem_class == "MEM", group
+
+    def test_make_workload_reaches_extended_cells(self):
+        workload = make_workload(6, "MEM", 1)
+        assert workload.num_threads == 6
+        assert "MEM6.g1" in workload.name
+
+    def test_all_workloads_extended(self):
+        assert len(list(all_workloads(extended=True))) == 44
+        assert len(list(all_workloads())) == 36  # paper set untouched
+
+    def test_find_workload(self):
+        assert find_workload("MEM2.g1").benchmarks == ("mcf", "twolf")
+        assert find_workload("MIX6.g2").num_threads == 6
+
+    def test_find_workload_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            find_workload("gzip+twolf")
+        with pytest.raises(ValueError):
+            find_workload("MIX9.g1")
