@@ -16,9 +16,15 @@ every section is labelled.  ``--reps N`` replicates the
 policy-comparison sweeps over N derived seeds and adds ±95% CI columns.
 Expect a ~1h run serially in pure Python.
 
+``--warmup`` overrides every driver's warm-up — a fixed count, or
+``auto[:window,tol[,metric,max]]`` for steady-state warm-up resolved
+per run from its interval series (each run then picks the warm-up its
+workload needs instead of sharing one guessed count).
+
 Run:
     python scripts/run_all_experiments.py [output-file] [--jobs N]
         [--executor {serial,process,remote}] [--reps N]
+        [--warmup SPEC]
 """
 
 import argparse
@@ -30,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from repro.core.sharing import precomputed_table
 from repro.harness import experiments as exp
 from repro.harness.executors import make_executor
+from repro.harness.warmup import parse_warmup_argument
 
 CYCLES = 24_000
 WARMUP = 5_000
@@ -40,6 +47,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         description="Regenerate every table and figure of the paper.")
     parser.add_argument("output", nargs="?", default=None,
                         help="output file (default: stdout)")
+    parser.add_argument(
+        "--warmup", type=parse_warmup_argument, default=None, metavar="SPEC",
+        help="override every driver's warm-up: a cycle count, or "
+             "'auto[:window,tol[,metric[,max]]]' for steady-state "
+             "warm-up resolved per run (default: per-driver counts)")
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="workers for the sweeps (default: serial); "
@@ -64,10 +76,11 @@ def _table1() -> str:
         for index, row in enumerate(precomputed_table(32, 4), 1))
 
 
-def _figures45(jobs, executor, reps, interval_cycles=None) -> str:
+def _figures45(jobs, executor, reps, interval_cycles=None,
+               warmup=WARMUP) -> str:
     results = exp.compare_policies(
         ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
-        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=WARMUP, jobs=jobs,
+        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=warmup, jobs=jobs,
         reps=reps, executor=executor, interval_cycles=interval_cycles)
     lines = [exp.format_cell_results(results), ""]
     rows = exp.improvements_over(results)
@@ -86,30 +99,40 @@ def _figures45(jobs, executor, reps, interval_cycles=None) -> str:
 def build_artefacts(args, executor):
     """(label, thunk) per artefact; thunks share the one executor."""
     jobs, reps = args.jobs, args.reps
+
+    def warm(default):
+        """Per-driver warm-up: the --warmup override, or the default."""
+        return args.warmup if args.warmup is not None else default
+
     return [
         ("Table 1 (exact)", _table1),
         ("Figure 2 — resource sensitivity (perfect L1D)",
          lambda: exp.format_figure2(exp.figure2_resource_sensitivity(
-             cycles=12_000, warmup=3_000, jobs=jobs, executor=executor))),
+             cycles=12_000, warmup=warm(3_000), jobs=jobs,
+             executor=executor))),
         ("Table 3 — L2 miss rates",
          lambda: exp.format_table3(exp.table3_miss_rates(
-             cycles=15_000, warmup=4_000, jobs=jobs, executor=executor))),
+             cycles=15_000, warmup=warm(4_000), jobs=jobs,
+             executor=executor))),
         ("Table 5 — phase distribution (2-thread)",
          lambda: exp.format_table5(exp.table5_phase_distribution(
-             cycles=20_000, warmup=4_000, jobs=jobs, executor=executor))),
+             cycles=20_000, warmup=warm(4_000), jobs=jobs,
+             executor=executor))),
         ("Figures 4+5 — full 9-cell policy comparison",
-         lambda: _figures45(jobs, executor, reps, args.interval_cycles)),
+         lambda: _figures45(jobs, executor, reps, args.interval_cycles,
+                            warmup=warm(WARMUP))),
         ("Figure 6 — register sweep",
          lambda: exp.format_sweep(exp.figure6_register_sweep(
-             cycles=20_000, warmup=4_000, jobs=jobs, reps=reps,
+             cycles=20_000, warmup=warm(4_000), jobs=jobs, reps=reps,
              executor=executor), "registers")),
         ("Figure 7 — latency sweep",
          lambda: exp.format_sweep(exp.figure7_latency_sweep(
-             cycles=20_000, warmup=4_000, jobs=jobs, reps=reps,
+             cycles=20_000, warmup=warm(4_000), jobs=jobs, reps=reps,
              executor=executor), "latency")),
         ("Section 5.2 — front-end activity / MLP",
          lambda: exp.format_text52(exp.text52_frontend_and_mlp(
-             cycles=20_000, warmup=4_000, jobs=jobs, executor=executor))),
+             cycles=20_000, warmup=warm(4_000), jobs=jobs,
+             executor=executor))),
     ]
 
 

@@ -23,6 +23,12 @@ mode: statistics flush every N cycles (identical final tables — the
 interval refactor's invariant), ``--progress`` streams one line per
 completed interval to stderr, and ``run --timeline`` renders ASCII
 IPC/phase timelines (``--timeline-json`` dumps the raw series).
+
+``--warmup`` takes a fixed cycle count or ``auto[:window,tol]`` for
+steady-state warm-up: each run warms up until its IPC series settles
+(capped), resolving the length per workload instead of guessing one.
+Resolved lengths print to stderr and land in the report tables; an
+auto run resolving to N cycles is bitwise-identical to ``--warmup N``.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ from repro.harness.engine import (
 from repro.harness.progress import guard_progress
 from repro.harness.executors import Executor, make_executor
 from repro.harness.runner import run_benchmarks_intervals
+from repro.harness.warmup import WarmupPolicy, parse_warmup_argument
 from repro.metrics.ascii_chart import timeline_chart
 from repro.metrics.report import (
     ReplicatedComparisonRow,
@@ -118,6 +125,9 @@ def _dump_timeline_json(run, benchmarks: List[str], policy: str,
         "benchmarks": benchmarks,
         "policy": policy,
         "interval_cycles": run.interval_cycles,
+        "warmup_cycles": run.warmup_cycles,
+        "warmup_converged": run.warmup_converged,
+        "warmup_intervals_discarded": len(recorder.discarded),
         "intervals": [
             {
                 "index": snapshot.index,
@@ -137,6 +147,22 @@ def _dump_timeline_json(run, benchmarks: List[str], policy: str,
         handle.write("\n")
 
 
+def _adaptive_warmup(args: argparse.Namespace) -> bool:
+    """Whether ``--warmup`` asked for steady-state resolution."""
+    return isinstance(args.warmup, WarmupPolicy) and args.warmup.is_adaptive
+
+
+def _note_resolved_warmups(results) -> None:
+    """Audit note for ``--warmup auto``: the per-run resolved lengths.
+
+    Printed to stderr so stdout stays bitwise-comparable between a
+    fixed run and an auto run that resolves to the same length.
+    """
+    for result in results:
+        print(f"[warmup] {result.policy}: steady-state warm-up resolved "
+              f"{result.warmup_cycles} cycles", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     interval = args.interval_cycles
     if (args.timeline or args.timeline_json) and \
@@ -154,6 +180,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run = run_benchmarks_intervals(
             args.benchmarks, args.policy, None, args.cycles, args.warmup,
             args.seed, interval_cycles=interval, progress=wrapped)
+        if _adaptive_warmup(args):
+            settled = ("settled" if run.warmup_converged
+                       else "hit the max_warmup cap")
+            print(f"[warmup] {run.result.policy}: steady-state warm-up "
+                  f"resolved {run.warmup_cycles} cycles ({settled}, "
+                  f"{len(run.recorder.discarded)} intervals discarded)",
+                  file=sys.stderr)
         print(thread_table(run.result))
         if args.timeline:
             _print_timeline(run, args.benchmarks)
@@ -167,10 +200,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     with _cli_executor(args) as executor:
         if args.reps <= 1:
             result = run_jobs([job], args.jobs, executor, progress)[0]
+            if _adaptive_warmup(args):
+                _note_resolved_warmups([result])
             print(thread_table(result))
             return 0
         replicated = run_replicated(job, args.reps, args.jobs, executor,
                                     progress)
+    if _adaptive_warmup(args):
+        _note_resolved_warmups(replicated.results)
     print(f"Workload: {'+'.join(args.benchmarks)}  policy {args.policy}")
     row = ReplicatedComparisonRow(
         policy=replicated.policy,
@@ -214,6 +251,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     for policy in args.policies]
             results = run_jobs(jobs, args.jobs, executor, progress)
             singles = [singles_by_benchmark[b] for b in benchmarks]
+            if _adaptive_warmup(args):
+                _note_resolved_warmups(results)
             print(comparison_table(results, single_ipcs=singles))
             return 0
 
@@ -227,6 +266,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 for seed in seeds]
         results = run_jobs(jobs, args.jobs, executor, progress)
 
+    if _adaptive_warmup(args):
+        _note_resolved_warmups(results)
     singles_per_rep = [[singles[(b, seed)] for b in benchmarks]
                        for seed in seeds]
     rows: List[ReplicatedComparisonRow] = []
@@ -332,7 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     for sub_parser in (run_parser, compare_parser):
         sub_parser.add_argument("--cycles", type=int, default=15_000)
-        sub_parser.add_argument("--warmup", type=int, default=3_000)
+        sub_parser.add_argument(
+            "--warmup", type=parse_warmup_argument, default=3_000,
+            metavar="SPEC",
+            help="warm-up cycles before measuring: a count, or "
+                 "'auto[:window,tol[,metric[,max]]]' for steady-state "
+                 "warm-up resolved per run from the interval series "
+                 "(e.g. auto:6,0.02; resolved lengths print to stderr)")
         sub_parser.add_argument("--seed", type=int, default=1)
         sub_parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",

@@ -69,6 +69,14 @@ from repro.harness.runner import (
     run_workload_intervals,
     single_thread_ipc,
 )
+from repro.harness.warmup import (
+    WarmupPolicy,
+    WarmupSpec,
+    as_warmup_policy,
+    parse_warmup_argument,
+    parse_warmup_spec,
+    warmup_cache_token,
+)
 
 __all__ = [
     "BaselineCache",
@@ -83,6 +91,9 @@ __all__ = [
     "ReplicatedRun",
     "SerialExecutor",
     "SimJob",
+    "WarmupPolicy",
+    "WarmupSpec",
+    "as_warmup_policy",
     "baseline_cache",
     "clear_baseline_cache",
     "derive_seed",
@@ -95,6 +106,8 @@ __all__ = [
     "make_executor",
     "parallel_map",
     "parallel_map_streaming",
+    "parse_warmup_argument",
+    "parse_warmup_spec",
     "progress_sink",
     "replicate_job",
     "run_benchmarks",
@@ -107,4 +120,5 @@ __all__ = [
     "run_workload_intervals",
     "set_progress_sink",
     "single_thread_ipc",
+    "warmup_cache_token",
 ]

@@ -65,6 +65,7 @@ from repro.harness.runner import (
     run_benchmarks_intervals,
     single_thread_ipc,
 )
+from repro.harness.warmup import WarmupSpec
 from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
 from repro.pipeline.config import SMTConfig
 
@@ -80,7 +81,13 @@ class SimJob:
             sharing factors and frozen config dataclasses all are).
         config: processor configuration; Table 2 baseline when None.
         cycles: measured cycles (after warm-up).
-        warmup: cycles simulated before statistics are reset.
+        warmup: cycles simulated before statistics are reset — a plain
+            count, or a :class:`~repro.harness.warmup.WarmupPolicy`
+            (steady-state policies resolve their length per job from
+            the interval series; resolution is deterministic, so the
+            engine's any-backend bitwise contract holds unchanged, and
+            the chosen length rides back on
+            ``SimulationResult.warmup_cycles``).
         seed: workload seed for this job.
         tag: optional caller-side correlation label; ignored by the
             engine, carried for bookkeeping in driver code (and stamped
@@ -97,7 +104,7 @@ class SimJob:
     policy: PolicySpec = "ICOUNT"
     config: Optional[SMTConfig] = None
     cycles: int = DEFAULT_CYCLES
-    warmup: int = DEFAULT_WARMUP
+    warmup: WarmupSpec = DEFAULT_WARMUP
     seed: int = 1
     tag: Optional[str] = None
     interval_cycles: Optional[int] = None
@@ -338,7 +345,8 @@ def run_replicated(job: SimJob, reps: int, max_workers: int = 1,
                       progress))
 
 
-def _baseline_item(item: Tuple[str, SMTConfig, int, int, int]) -> float:
+def _baseline_item(item: Tuple[str, SMTConfig, int, "WarmupSpec", int]) \
+        -> float:
     """Worker-side baseline computation: one :func:`single_thread_ipc`.
 
     Module-level so the pool can pickle it; delegating to
@@ -354,7 +362,7 @@ def ensure_baselines(
     benchmarks: Sequence[str],
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
     max_workers: int = 1,
     executor=None,
@@ -376,7 +384,7 @@ def ensure_baselines_sweep(
     seeds: Sequence[int],
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     max_workers: int = 1,
     executor=None,
 ) -> Dict[Tuple[str, int], float]:

@@ -59,6 +59,7 @@ from repro.harness.runner import (
     improvement_pct,
     run_workload_intervals,
 )
+from repro.harness.warmup import WarmupSpec
 from repro.metrics.intervals import PhaseTimeline
 from repro.metrics.stats import ReplicatedResult, safe_hmean
 from repro.pipeline.config import SMTConfig
@@ -137,7 +138,7 @@ FIG2_RESOURCES: Dict[str, Tuple[str, ...]] = {
 
 def figure2_resource_sensitivity(
     cycles: int = 12_000,
-    warmup: int = 3_000,
+    warmup: WarmupSpec = 3_000,
     fractions: Sequence[float] = FIG2_FRACTIONS,
     resources: Optional[Sequence[str]] = None,
     seed: int = 7,
@@ -216,7 +217,7 @@ class Table3Row:
 
 def table3_miss_rates(
     cycles: int = 15_000,
-    warmup: int = 4_000,
+    warmup: WarmupSpec = 4_000,
     benchmarks: Optional[Sequence[str]] = None,
     seed: int = 3,
     jobs: int = 1,
@@ -270,7 +271,7 @@ class Table5Row:
 TABLE5_INTERVAL_CYCLES = 2_000
 
 
-def _table5_timeline(item: Tuple[Workload, int, int, int, int]) \
+def _table5_timeline(item: Tuple[Workload, int, WarmupSpec, int, int]) \
         -> PhaseTimeline:
     """Recorded phase timeline of one 2-thread workload under DCRA.
 
@@ -287,7 +288,7 @@ def _table5_timeline(item: Tuple[Workload, int, int, int, int]) \
 
 def table5_phase_distribution(
     cycles: int = 20_000,
-    warmup: int = 4_000,
+    warmup: WarmupSpec = 4_000,
     seed: int = 5,
     jobs: int = 1,
     executor=None,
@@ -317,7 +318,7 @@ def table5_phase_distribution(
 
 def table5_timelines(
     cycles: int = 20_000,
-    warmup: int = 4_000,
+    warmup: WarmupSpec = 4_000,
     seed: int = 5,
     jobs: int = 1,
     executor=None,
@@ -374,7 +375,7 @@ def compare_policies(
     cells: Sequence[Tuple[int, str]] = ALL_CELLS,
     config: Optional[SMTConfig] = None,
     cycles: int = 30_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     reps: int = 1,
@@ -397,6 +398,13 @@ def compare_policies(
     (identical results; per-interval progress streams to the optional
     ``(job_index, event)`` ``progress`` callback through whichever
     backend runs the sweep).
+
+    ``warmup`` accepts a fixed cycle count or a
+    :class:`~repro.harness.warmup.WarmupPolicy`: with a steady-state
+    policy every job (and every Hmean baseline) resolves its own
+    warm-up length from its interval series instead of sharing one
+    guessed count — the per-run resolutions ride back on each
+    ``SimulationResult.warmup_cycles``.
     """
     config = config or SMTConfig()
     seeds = derive_seeds(seed, reps)
@@ -505,7 +513,7 @@ def improvements_over(results: Sequence[CellResult],
 def figure4_dcra_vs_static(
     cells: Sequence[Tuple[int, str]] = ALL_CELLS,
     cycles: int = 30_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     reps: int = 1,
@@ -520,7 +528,7 @@ def figure4_dcra_vs_static(
 def figure5_policy_comparison(
     cells: Sequence[Tuple[int, str]] = ALL_CELLS,
     cycles: int = 30_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     reps: int = 1,
@@ -596,7 +604,7 @@ def _averaged_improvements(
     config: SMTConfig,
     cells: Sequence[Tuple[int, str]],
     cycles: int,
-    warmup: int,
+    warmup: "WarmupSpec",
     seed: int,
     subject: str = "DCRA",
     jobs: int = 1,
@@ -617,7 +625,7 @@ def figure6_register_sweep(
     register_sizes: Sequence[int] = FIG6_REGISTER_SIZES,
     cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
     cycles: int = 25_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     reps: int = 1,
@@ -659,7 +667,7 @@ def figure7_latency_sweep(
     latencies: Sequence[Tuple[int, int]] = FIG7_LATENCIES,
     cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
     cycles: int = 25_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     reps: int = 1,
@@ -706,7 +714,7 @@ class Text52Row:
 def text52_frontend_and_mlp(
     cells: Sequence[Tuple[int, str]] = ((2, "MIX"), (4, "MIX"), (2, "MEM")),
     cycles: int = 25_000,
-    warmup: int = 5_000,
+    warmup: WarmupSpec = 5_000,
     seed: int = 1,
     jobs: int = 1,
     executor=None,

@@ -13,6 +13,7 @@ processes of the parallel experiment engine
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -23,6 +24,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.progress import IntervalProgress, emit_progress
+from repro.harness.warmup import (
+    WarmupPolicy,
+    WarmupSpec,
+    as_warmup_policy,
+    warmup_cache_token,
+)
 from repro.metrics.intervals import (
     IntervalRecorder,
     capture_counter_state,
@@ -59,8 +66,11 @@ DEFAULT_INTERVAL_CYCLES = 5_000
 PolicySpec = Union[str, Tuple[str, dict]]
 
 #: Bump on deliberate cache-format changes.  Code-change staleness is
-#: handled automatically by :func:`simulator_fingerprint`.
-BASELINE_CACHE_VERSION = 1
+#: handled automatically by :func:`simulator_fingerprint`.  v2: the
+#: warm-up component of the key became :func:`warmup_cache_token`, so
+#: adaptive (steady-state) warm-up baselines key separately from fixed
+#: ones.
+BASELINE_CACHE_VERSION = 2
 
 _fingerprint_cache: Optional[str] = None
 
@@ -103,10 +113,13 @@ class BaselineCache:
       :data:`BASELINE_CACHE_VERSION`, the :func:`simulator_fingerprint`
       (a content hash of the ``repro`` source tree), benchmark name,
       the ``repr`` of the :class:`SMTConfig` (every field participates),
-      measured cycles, warm-up cycles and seed.  Changing *any* input —
-      including any line of simulator code — therefore misses rather
-      than returning a stale value; bumping the version constant
-      invalidates everything at once.
+      measured cycles, the warm-up token
+      (:func:`~repro.harness.warmup.warmup_cache_token` — a plain cycle
+      count for fixed warm-up, the full policy parameterisation for
+      steady-state warm-up, so the two can never collide) and seed.
+      Changing *any* input — including any line of simulator code —
+      therefore misses rather than returning a stale value; bumping the
+      version constant invalidates everything at once.
     * Writes go to a temporary file followed by :func:`os.replace`, so
       concurrent readers in other processes see either the complete
       entry or none at all — no locking is required, and racing writers
@@ -127,14 +140,15 @@ class BaselineCache:
         return base / "baselines"
 
     @staticmethod
-    def _key(benchmark: str, config: SMTConfig, cycles: int, warmup: int,
-             seed: int) -> str:
+    def _key(benchmark: str, config: SMTConfig, cycles: int,
+             warmup: WarmupSpec, seed: int) -> str:
         descriptor = (f"v{BASELINE_CACHE_VERSION}|{simulator_fingerprint()}|"
-                      f"{benchmark}|{config!r}|{cycles}|{warmup}|{seed}")
+                      f"{benchmark}|{config!r}|{cycles}|"
+                      f"{warmup_cache_token(warmup)}|{seed}")
         return hashlib.sha256(descriptor.encode()).hexdigest()
 
     def get(self, benchmark: str, config: SMTConfig, cycles: int,
-            warmup: int, seed: int) -> Optional[float]:
+            warmup: WarmupSpec, seed: int) -> Optional[float]:
         """Cached IPC for a baseline run, or None on a miss."""
         key = self._key(benchmark, config, cycles, warmup, seed)
         cached = self._memory.get(key)
@@ -152,7 +166,7 @@ class BaselineCache:
         return float(ipc)
 
     def put(self, benchmark: str, config: SMTConfig, cycles: int,
-            warmup: int, seed: int, ipc: float) -> None:
+            warmup: WarmupSpec, seed: int, ipc: float) -> None:
         """Store a baseline result in memory and (best-effort) on disk."""
         key = self._key(benchmark, config, cycles, warmup, seed)
         self._memory[key] = ipc
@@ -163,7 +177,7 @@ class BaselineCache:
             "version": BASELINE_CACHE_VERSION,
             "benchmark": benchmark,
             "cycles": cycles,
-            "warmup": warmup,
+            "warmup": warmup_cache_token(warmup),
             "seed": seed,
         })
         try:
@@ -213,12 +227,17 @@ def _build_processor(
     return SMTProcessor(config, profiles, _build_policy(policy), seed=seed)
 
 
+def _adaptive_warmup_chunk(plan: WarmupPolicy, default: int) -> int:
+    """The warm-up chunk size an adaptive plan resolves with."""
+    return plan.interval_cycles or default
+
+
 def run_benchmarks(
     benchmarks: Sequence[str],
     policy: PolicySpec = "ICOUNT",
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
 ) -> SimulationResult:
     """Simulate a benchmark mix under a policy and collect statistics.
@@ -229,16 +248,34 @@ def run_benchmarks(
             policies (e.g. ``("DCRA", {"activity_window": 1024})``).
         config: processor configuration; Table 2 baseline when omitted.
         cycles: measured cycles (after warm-up).
-        warmup: cycles simulated before statistics are reset.
+        warmup: cycles simulated before statistics are reset — a plain
+            count, or a :class:`~repro.harness.warmup.WarmupPolicy`.  A
+            steady-state policy resolves its length from the interval
+            series (chunk size ``policy.interval_cycles`` or
+            :data:`DEFAULT_INTERVAL_CYCLES`); a resolution of N cycles
+            is bitwise-identical to ``warmup=N``.  The chosen length is
+            recorded on the result (``warmup_cycles``).
         seed: workload seed; keep it fixed when comparing policies so
             every policy sees the identical instruction streams.
     """
     processor = _build_processor(benchmarks, policy, config, seed)
-    if warmup:
-        processor.run(warmup)
+    plan = as_warmup_policy(warmup)
+    if plan.is_adaptive:
+        snapshots, _ = processor.run_adaptive_warmup(
+            _adaptive_warmup_chunk(plan, DEFAULT_INTERVAL_CYCLES),
+            window=plan.window, rel_tol=plan.rel_tol, metric=plan.metric,
+            max_warmup=plan.max_warmup, track_phases=False)
+        warmup_cycles = sum(s.cycles for s in snapshots)
+    else:
+        warmup_cycles = plan.cycles
+        if warmup_cycles:
+            processor.run(warmup_cycles)
+    if warmup_cycles:
         processor.reset_stats()
     processor.run(cycles)
-    return collect_result(processor, benchmarks=list(benchmarks))
+    result = collect_result(processor, benchmarks=list(benchmarks))
+    result.warmup_cycles = warmup_cycles
+    return result
 
 
 @dataclass
@@ -252,11 +289,19 @@ class IntervalRun:
             intervals included, marked discarded) and the time-series
             views derived from them.
         interval_cycles: the chunk size the run used.
+        warmup_cycles: warm-up length the run actually simulated —
+            the fixed count, or the length a steady-state policy
+            resolved (also recorded on ``result.warmup_cycles``).
+        warmup_converged: for steady-state warm-up, whether the metric
+            series settled before the ``max_warmup`` cap; None for
+            fixed warm-up.
     """
 
     result: SimulationResult
     recorder: IntervalRecorder
     interval_cycles: int
+    warmup_cycles: int = 0
+    warmup_converged: Optional[bool] = None
 
 
 def run_benchmarks_intervals(
@@ -264,7 +309,7 @@ def run_benchmarks_intervals(
     policy: PolicySpec = "ICOUNT",
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
     interval_cycles: int = DEFAULT_INTERVAL_CYCLES,
     warmup_as_intervals: bool = False,
@@ -282,6 +327,13 @@ def run_benchmarks_intervals(
     interval refactor's hard invariant).
 
     Args:
+        warmup: a fixed cycle count or a
+            :class:`~repro.harness.warmup.WarmupPolicy`.  Steady-state
+            warm-up always runs as discarded intervals (chunk size
+            ``policy.interval_cycles`` or this run's
+            ``interval_cycles``), resolving its length from the metric
+            series; the chosen length and convergence flag land on the
+            returned :class:`IntervalRun`.
         interval_cycles: chunk size; the final interval is short when it
             does not divide ``cycles``.
         warmup_as_intervals: warm up by *discarding* leading intervals
@@ -298,18 +350,36 @@ def run_benchmarks_intervals(
     processor = _build_processor(benchmarks, policy, config, seed)
     recorder = IntervalRecorder()
     notify = progress if progress is not None else emit_progress
-    if warmup:
+    plan = as_warmup_policy(warmup)
+    warmup_converged: Optional[bool] = None
+    if plan.is_adaptive:
+        warmup_snapshots, warmup_converged = processor.run_adaptive_warmup(
+            _adaptive_warmup_chunk(plan, interval_cycles),
+            window=plan.window, rel_tol=plan.rel_tol, metric=plan.metric,
+            max_warmup=plan.max_warmup)
+        # Re-index to count up to -1, matching the fixed
+        # warmup-as-intervals convention (measured intervals stay
+        # 0-based, discarded and kept indices never collide).
+        n_warmup = len(warmup_snapshots)
+        for position, snapshot in enumerate(warmup_snapshots):
+            recorder.record(
+                dataclasses.replace(snapshot, index=position - n_warmup),
+                discard=True)
+        warmup_cycles = sum(s.cycles for s in warmup_snapshots)
+    else:
+        warmup_cycles = plan.cycles
+    if warmup_cycles and not plan.is_adaptive:
         if warmup_as_intervals:
             # Warm-up snapshots count down to -1 so measured intervals
             # are 0-based in both warm-up modes and indices never
             # collide between the discarded and kept series.
-            n_warmup = -(-warmup // interval_cycles)
+            n_warmup = -(-warmup_cycles // interval_cycles)
             for snapshot in processor.run_intervals(
-                    interval_cycles, total_cycles=warmup,
+                    interval_cycles, total_cycles=warmup_cycles,
                     start_index=-n_warmup):
                 recorder.record(snapshot, discard=True)
         else:
-            processor.run(warmup)
+            processor.run(warmup_cycles)
             processor.reset_stats()
     n_intervals = -(-cycles // interval_cycles) if cycles else 0
     cycles_done = committed = 0
@@ -337,8 +407,11 @@ def run_benchmarks_intervals(
         result = snapshots_to_result(
             [snapshot_between(capture, capture, 0)],
             list(benchmarks), processor.policy.name)
+    result.warmup_cycles = warmup_cycles
     return IntervalRun(result=result, recorder=recorder,
-                       interval_cycles=interval_cycles)
+                       interval_cycles=interval_cycles,
+                       warmup_cycles=warmup_cycles,
+                       warmup_converged=warmup_converged)
 
 
 def run_workload_intervals(
@@ -346,7 +419,7 @@ def run_workload_intervals(
     policy: PolicySpec = "ICOUNT",
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
     interval_cycles: int = DEFAULT_INTERVAL_CYCLES,
     warmup_as_intervals: bool = False,
@@ -364,7 +437,7 @@ def run_workload(
     policy: PolicySpec = "ICOUNT",
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
 ) -> SimulationResult:
     """Like :func:`run_benchmarks` for a Table 4 :class:`Workload`."""
@@ -376,7 +449,7 @@ def single_thread_ipc(
     benchmark: str,
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
 ) -> float:
     """IPC of a benchmark running alone on the machine (Hmean baseline).
@@ -421,7 +494,7 @@ def evaluate_workload(
     policies: Sequence[PolicySpec],
     config: Optional[SMTConfig] = None,
     cycles: int = DEFAULT_CYCLES,
-    warmup: int = DEFAULT_WARMUP,
+    warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
     reps: int = 1,
 ) -> Dict[str, PolicyEvaluation]:

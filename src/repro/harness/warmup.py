@@ -1,0 +1,226 @@
+"""Warm-up policies: fixed cycle counts or steady-state-driven lengths.
+
+The paper warms every run up for a fixed cycle count before measuring,
+but different workloads reach steady state at very different points —
+an ILP mix settles within a few thousand cycles while a MEM mix is
+still filling the L2 tens of thousands of cycles in.  A fixed count
+therefore either wastes cycles or contaminates measurements.
+
+:class:`WarmupPolicy` makes the warm-up rule itself a declarative,
+picklable value the whole harness threads through — ``SimJob``, the
+engine, every experiment driver, and the CLI (``--warmup auto``):
+
+* **fixed** — warm up for exactly ``cycles`` cycles, the historical
+  behaviour.  A plain ``int`` anywhere a policy is accepted means the
+  same thing (:func:`as_warmup_policy`).
+* **steady-state** — warm up in interval-sized chunks, watch a metric
+  series (total IPC or per-thread IPC), and stop as soon as the
+  trailing ``window`` intervals are settled within ``rel_tol``
+  (:func:`~repro.metrics.intervals.window_settled`), capped at
+  ``max_warmup`` cycles.  The adaptive loop lives in
+  :meth:`~repro.pipeline.processor.SMTProcessor.run_adaptive_warmup`.
+
+Determinism and equivalence
+---------------------------
+Resolution is a pure function of (benchmarks, policy, config, seed,
+warm-up policy): the same job resolves the same warm-up length on every
+backend.  A steady-state policy that resolves to N cycles produces a
+measured window **bitwise identical** to ``warmup=N`` — warm-up is
+always "simulate, then don't count", and chunked simulation never
+changes behaviour (the interval refactor's invariant) — pinned by
+tests on the serial, process and remote executors.
+
+Because adaptive and fixed warm-ups of the same nominal spec can cover
+different cycles, baseline-cache keys embed :func:`warmup_cache_token`:
+a fixed policy keys exactly like its plain-int spelling, while a
+steady-state policy keys on its full parameterisation, so adaptive
+baselines can never collide with fixed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: Steady-state defaults: trailing window length (intervals), relative
+#: tolerance, and the warm-up cap in cycles (4x the harness's fixed
+#: default of 3000 — generous for MEM mixes, bounded for sweeps).
+DEFAULT_STEADY_WINDOW = 4
+DEFAULT_STEADY_REL_TOL = 0.05
+DEFAULT_MAX_WARMUP = 12_000
+
+#: Metrics a steady-state policy may watch: total IPC of each interval,
+#: or every thread's own IPC (all threads must settle).
+WARMUP_METRICS = ("throughput", "ipc")
+
+
+@dataclass(frozen=True)
+class WarmupPolicy:
+    """How a run chooses its warm-up length.
+
+    Frozen (hashable, picklable) so it can ride inside a frozen
+    :class:`~repro.harness.engine.SimJob` to any executor backend.
+
+    Attributes:
+        mode: ``"fixed"`` or ``"steady-state"``.
+        cycles: fixed-mode warm-up length; ignored in steady-state mode.
+        window: steady-state trailing window, in intervals (>= 2).
+        rel_tol: relative tolerance of the settled test (>= 0).
+        metric: ``"throughput"`` (total IPC per interval) or ``"ipc"``
+            (every thread's IPC must settle individually).
+        max_warmup: steady-state cap in cycles; a series that never
+            settles warms up exactly this long (>= 0).
+        interval_cycles: warm-up chunk size.  None (the default) follows
+            the run: the run's own ``interval_cycles`` in interval mode,
+            :data:`~repro.harness.runner.DEFAULT_INTERVAL_CYCLES` for
+            monolithic runs.  Pin it explicitly when comparing runs
+            across different measurement chunk sizes — resolution
+            granularity follows this value.
+    """
+
+    mode: str = "fixed"
+    cycles: int = 0
+    window: int = DEFAULT_STEADY_WINDOW
+    rel_tol: float = DEFAULT_STEADY_REL_TOL
+    metric: str = "throughput"
+    max_warmup: int = DEFAULT_MAX_WARMUP
+    interval_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fixed", "steady-state"):
+            raise ValueError(f"unknown warm-up mode {self.mode!r}")
+        if self.mode == "fixed":
+            if self.cycles < 0:
+                raise ValueError("fixed warm-up cycles must be >= 0")
+            return
+        if self.window < 2:
+            raise ValueError("steady-state window must be >= 2")
+        if self.rel_tol < 0:
+            raise ValueError("steady-state rel_tol must be >= 0")
+        if self.metric not in WARMUP_METRICS:
+            raise ValueError(
+                f"unknown warm-up metric {self.metric!r} "
+                f"(expected one of {', '.join(WARMUP_METRICS)})")
+        if self.max_warmup < 0:
+            raise ValueError("max_warmup must be >= 0")
+        if self.interval_cycles is not None and self.interval_cycles <= 0:
+            raise ValueError("warm-up interval_cycles must be positive")
+
+    @classmethod
+    def fixed(cls, cycles: int) -> "WarmupPolicy":
+        """The historical behaviour: warm up exactly ``cycles`` cycles."""
+        return cls(mode="fixed", cycles=cycles)
+
+    @classmethod
+    def steady_state(
+        cls,
+        window: int = DEFAULT_STEADY_WINDOW,
+        rel_tol: float = DEFAULT_STEADY_REL_TOL,
+        metric: str = "throughput",
+        max_warmup: int = DEFAULT_MAX_WARMUP,
+        interval_cycles: Optional[int] = None,
+    ) -> "WarmupPolicy":
+        """Adaptive warm-up ending when the metric series settles."""
+        return cls(mode="steady-state", window=window, rel_tol=rel_tol,
+                   metric=metric, max_warmup=max_warmup,
+                   interval_cycles=interval_cycles)
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether warm-up length is resolved from the interval series."""
+        return self.mode == "steady-state"
+
+
+#: Everything the harness accepts as a warm-up spec: a plain cycle
+#: count (historical), or a :class:`WarmupPolicy`.
+WarmupSpec = Union[int, WarmupPolicy]
+
+
+def as_warmup_policy(warmup: WarmupSpec) -> WarmupPolicy:
+    """Normalise a warm-up spec: a plain int means fixed cycles."""
+    if isinstance(warmup, WarmupPolicy):
+        return warmup
+    if isinstance(warmup, bool) or not isinstance(warmup, int):
+        raise TypeError(
+            f"warmup must be an int or WarmupPolicy, got {warmup!r}")
+    return WarmupPolicy.fixed(warmup)
+
+
+def warmup_cache_token(warmup: WarmupSpec) -> str:
+    """Canonical cache-key fragment of a warm-up spec.
+
+    Fixed policies and their plain-int spellings produce the identical
+    token (they are defined to run identically), while steady-state
+    policies embed their full parameterisation — so adaptive-warm-up
+    baselines never collide with fixed-warm-up ones, and two adaptive
+    policies collide only when they would resolve identically.
+    """
+    policy = as_warmup_policy(warmup)
+    if not policy.is_adaptive:
+        return str(policy.cycles)
+    return (f"auto(window={policy.window},rel_tol={policy.rel_tol!r},"
+            f"metric={policy.metric},max={policy.max_warmup},"
+            f"interval={policy.interval_cycles})")
+
+
+def parse_warmup_spec(text: str) -> WarmupSpec:
+    """Parse a CLI ``--warmup`` value.
+
+    Accepted forms::
+
+        3000                      fixed warm-up of 3000 cycles
+        auto                      steady-state warm-up, defaults
+        auto:6                    window of 6 intervals
+        auto:6,0.02               window 6, rel_tol 0.02
+        auto:6,0.02,ipc           ... watching per-thread IPC
+        auto:6,0.02,ipc,20000     ... capped at 20000 warm-up cycles
+
+    Raises ValueError (argparse-friendly) on anything else.
+    """
+    text = text.strip()
+    if not text.lower().startswith("auto"):
+        try:
+            cycles = int(text)
+        except ValueError:
+            raise ValueError(
+                f"expected a cycle count or auto[:window,tol[,metric"
+                f"[,max]]], got {text!r}") from None
+        # Validate eagerly (negative counts) so the CLI rejects the
+        # spec at parse time instead of crashing mid-run.
+        WarmupPolicy.fixed(cycles)
+        return cycles
+    if text.lower() == "auto":
+        return WarmupPolicy.steady_state()
+    if not text[4:].startswith(":"):
+        raise ValueError(f"malformed adaptive warm-up spec {text!r}")
+    parts = [part.strip() for part in text[5:].split(",")]
+    if not parts or len(parts) > 4 or not all(parts):
+        raise ValueError(f"malformed adaptive warm-up spec {text!r}")
+    try:
+        window = int(parts[0])
+        rel_tol = (float(parts[1]) if len(parts) > 1
+                   else DEFAULT_STEADY_REL_TOL)
+        metric = parts[2] if len(parts) > 2 else "throughput"
+        max_warmup = (int(parts[3]) if len(parts) > 3
+                      else DEFAULT_MAX_WARMUP)
+        return WarmupPolicy.steady_state(window=window, rel_tol=rel_tol,
+                                         metric=metric,
+                                         max_warmup=max_warmup)
+    except ValueError as error:
+        raise ValueError(
+            f"bad adaptive warm-up spec {text!r}: {error}") from None
+
+
+def parse_warmup_argument(value: str) -> WarmupSpec:
+    """argparse ``type=`` adapter for ``--warmup`` flags.
+
+    The one adapter every CLI surface shares (``python -m repro`` and
+    ``scripts/run_all_experiments.py``): :func:`parse_warmup_spec` with
+    its errors rewrapped the way argparse reports them.
+    """
+    import argparse
+
+    try:
+        return parse_warmup_spec(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None

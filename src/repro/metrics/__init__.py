@@ -18,9 +18,11 @@ from repro.metrics.intervals import (
     PhaseTimeline,
     ThreadIntervalDelta,
     detect_steady_state,
+    detect_steady_state_suffix,
     snapshots_to_result,
     sum_snapshots,
     variance_over_time,
+    window_settled,
 )
 from repro.metrics.report import (
     ReplicatedComparisonRow,
@@ -54,6 +56,7 @@ __all__ = [
     "collect_result",
     "comparison_table",
     "detect_steady_state",
+    "detect_steady_state_suffix",
     "grouped_bar_chart",
     "hmean",
     "hmean_speedup",
@@ -68,4 +71,5 @@ __all__ = [
     "timeline_chart",
     "variance_over_time",
     "weighted_speedup",
+    "window_settled",
 ]

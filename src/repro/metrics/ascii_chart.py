@@ -9,11 +9,17 @@ interval-mode series (IPC over time, phase fractions — see
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Sequence, Tuple
 
 #: Density ramp for :func:`sparkline`, lowest to highest (pure ASCII so
 #: timelines survive any terminal or CI log).
 SPARK_LEVELS = " .:-=+*#%@"
+
+#: Placeholder :func:`sparkline` prints for NaN/inf points (a zero-IPC
+#: interval can yield NaN ratios); deliberately outside ``SPARK_LEVELS``
+#: so bad points are visible rather than silently drawn as data.
+SPARK_PLACEHOLDER = "?"
 
 
 def bar_chart(
@@ -60,18 +66,37 @@ def sparkline(values: Sequence[float], low: Optional[float] = None,
     """Render a series as one character per value (ASCII density ramp).
 
     Args:
-        values: the series, drawn left to right.
-        low / high: scale bounds; default to the series min/max.  Pass
-            shared bounds to draw several comparable sparklines.
+        values: the series, drawn left to right.  NaN/inf points render
+            as :data:`SPARK_PLACEHOLDER` and are skipped when computing
+            the default bounds.
+        low / high: scale bounds; default to the min/max of the finite
+            values.  Pass shared bounds to draw several comparable
+            sparklines.  Explicit bounds must be finite and satisfy
+            ``low <= high``; inverted bounds raise rather than rendering
+            a misleading all-low strip.
     """
     if not values:
         raise ValueError("nothing to chart")
-    low = min(values) if low is None else low
-    high = max(values) if high is None else high
+    for name, bound in (("low", low), ("high", high)):
+        if bound is not None and not math.isfinite(bound):
+            raise ValueError(f"sparkline {name} bound must be finite, "
+                             f"got {bound!r}")
+    if low is not None and high is not None and low > high:
+        raise ValueError(
+            f"sparkline bounds inverted: low {low!r} > high {high!r}")
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite and (low is None or high is None):
+        # Nothing to scale against: every point is a placeholder.
+        return SPARK_PLACEHOLDER * len(values)
+    low = min(finite) if low is None else low
+    high = max(finite) if high is None else high
     span = high - low
     top = len(SPARK_LEVELS) - 1
     chars = []
     for value in values:
+        if not math.isfinite(value):
+            chars.append(SPARK_PLACEHOLDER)
+            continue
         if span <= 0:
             level = 0 if value <= low else top
         else:
@@ -90,6 +115,8 @@ def timeline_chart(rows: Sequence[Tuple[str, Sequence[float]]],
 
     Args:
         rows: (label, series) pairs; series may differ in length.
+            NaN/inf points render as :data:`SPARK_PLACEHOLDER` and are
+            excluded from the scale bounds and the printed min/max.
         unit: suffix for the printed min/max/last values.
         shared_scale: scale every sparkline to the global min/max so
             rows are visually comparable.
@@ -99,7 +126,8 @@ def timeline_chart(rows: Sequence[Tuple[str, Sequence[float]]],
     label_width = max(len(label) for label, _ in rows)
     low = high = None
     if shared_scale:
-        everything = [v for _, series in rows for v in series]
+        everything = [v for _, series in rows for v in series
+                      if math.isfinite(v)]
         if everything:
             low, high = min(everything), max(everything)
     lines = []
@@ -109,9 +137,14 @@ def timeline_chart(rows: Sequence[Tuple[str, Sequence[float]]],
             lines.append(f"{label:>{label_width}s} |" + "|")
             continue
         strip = sparkline(series, low, high)
+        finite = [v for v in series if math.isfinite(v)]
+        if not finite:
+            lines.append(f"{label:>{label_width}s} |{strip}| "
+                         "(no finite values)")
+            continue
         lines.append(
             f"{label:>{label_width}s} |{strip}| "
-            f"{min(series):.2f}..{max(series):.2f}{unit} "
+            f"{min(finite):.2f}..{max(finite):.2f}{unit} "
             f"(last {series[-1]:.2f}{unit})")
     return "\n".join(lines)
 

@@ -24,6 +24,7 @@ simulation API (:meth:`repro.pipeline.processor.SMTProcessor.run_intervals`):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence, Tuple
 
@@ -434,21 +435,77 @@ def variance_over_time(values: Sequence[float]) -> List[float]:
     return result
 
 
+def window_settled(values: Sequence[float], rel_tol: float) -> bool:
+    """Whether every value lies within ``rel_tol`` of the window's mean.
+
+    The one stability predicate all steady-state detection shares.  The
+    tolerance is relative to ``max(|mean|, 1e-12)`` so constant-zero
+    series settle rather than dividing by zero.  A window containing a
+    non-finite value (NaN from a degenerate ratio, inf from an overflow)
+    is **never** settled: NaN comparisons are always false, which would
+    otherwise skip such windows silently — here the rule is explicit.
+    """
+    if not values:
+        raise ValueError("cannot test an empty window")
+    if any(not math.isfinite(value) for value in values):
+        return False
+    mean = sum(values) / len(values)
+    scale = max(abs(mean), 1e-12)
+    return all(abs(value - mean) <= rel_tol * scale for value in values)
+
+
 def detect_steady_state(values: Sequence[float], window: int = 4,
                         rel_tol: float = 0.05) -> Optional[int]:
     """First index at which a metric series has settled, or None.
 
     The series is *steady* at index ``i`` when every value of
     ``values[i:i+window]`` lies within ``rel_tol`` (relative) of that
-    window's mean.  Used to pick how many leading intervals to discard
-    as warm-up instead of guessing a cycle count.
+    window's mean (:func:`window_settled`).  Used to pick how many
+    leading intervals to discard as warm-up instead of guessing a cycle
+    count.
+
+    Robustness contract (hardened for real series):
+
+    * ``window > len(values)`` returns None explicitly — a series too
+      short to hold one window cannot be called steady.
+    * Windows containing NaN/inf values never settle (see
+      :func:`window_settled`); surrounding finite windows are still
+      considered, so one bad interval shifts — never fakes — detection.
+    * A constant-zero series settles at index 0 (zero spread, any tol).
+
+    Note that the first settled window may be a *transient* plateau the
+    series later leaves; when the decision is "discard everything before
+    this point", prefer :func:`detect_steady_state_suffix`, which
+    requires stability through the end of the series.
     """
     if window < 2:
         raise ValueError("steady-state window must be >= 2")
+    if window > len(values):
+        return None
     for start in range(0, len(values) - window + 1):
-        chunk = values[start:start + window]
-        mean = sum(chunk) / window
-        scale = max(abs(mean), 1e-12)
-        if all(abs(value - mean) <= rel_tol * scale for value in chunk):
+        if window_settled(values[start:start + window], rel_tol):
+            return start
+    return None
+
+
+def detect_steady_state_suffix(values: Sequence[float], window: int = 4,
+                               rel_tol: float = 0.05) -> Optional[int]:
+    """First index from which the *rest* of the series is settled.
+
+    The suffix-stability variant of :func:`detect_steady_state`: index
+    ``i`` qualifies only when the whole tail ``values[i:]`` (at least
+    ``window`` values long) lies within ``rel_tol`` of the tail's mean.
+    A transient flat window followed by further drift therefore does not
+    end warm-up prematurely — the series must stay settled through the
+    end.  Same robustness contract as :func:`detect_steady_state`:
+    ``window > len(values)`` returns None, tails containing non-finite
+    values never settle.
+    """
+    if window < 2:
+        raise ValueError("steady-state window must be >= 2")
+    if window > len(values):
+        return None
+    for start in range(0, len(values) - window + 1):
+        if window_settled(values[start:], rel_tol):
             return start
     return None

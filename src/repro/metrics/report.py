@@ -14,10 +14,20 @@ from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
 
 
 def thread_table(result: SimulationResult) -> str:
-    """Per-thread breakdown of one run."""
+    """Per-thread breakdown of one run.
+
+    When the result records its warm-up length (``warmup_cycles``), the
+    header prints it — the same rendering whether the length was fixed
+    or resolved by a steady-state policy, so a ``--warmup auto`` run
+    that resolves to N cycles prints bitwise-identically to
+    ``--warmup N``.
+    """
+    header = (f"policy {result.policy}: {result.cycles} cycles, "
+              f"throughput {result.throughput:.2f} IPC")
+    if result.warmup_cycles is not None:
+        header += f", warm-up {result.warmup_cycles}"
     lines = [
-        f"policy {result.policy}: {result.cycles} cycles, "
-        f"throughput {result.throughput:.2f} IPC",
+        header,
         f"{'thread':12s} {'IPC':>6s} {'commit':>8s} {'fetch':>8s} "
         f"{'wrong-path':>11s} {'mispred':>8s} {'L2 miss%':>9s} "
         f"{'slow%':>6s}",
@@ -61,6 +71,17 @@ def comparison_table(results: Sequence[SimulationResult],
             row += f" {hmean:7.3f}"
         row += "  " + " ".join(f"{t.ipc:8.2f}" for t in result.threads)
         lines.append(row)
+    # Audit line: the warm-up each run actually simulated (fixed count
+    # or steady-state resolution), printed only when every result
+    # records one so legacy result lists render unchanged.
+    warmups = [result.warmup_cycles for result in results]
+    if all(w is not None for w in warmups):
+        if len(set(warmups)) == 1:
+            lines.append(f"warm-up: {warmups[0]} cycles")
+        else:
+            lines.append("warm-up: " + " ".join(
+                f"{result.policy}={result.warmup_cycles}"
+                for result in results))
     return "\n".join(lines)
 
 

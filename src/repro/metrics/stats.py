@@ -177,12 +177,21 @@ class ThreadResult:
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of one simulation run."""
+    """Aggregate outcome of one simulation run.
+
+    ``warmup_cycles`` records the warm-up length the run actually
+    simulated before measuring — the fixed count, or the length a
+    steady-state :class:`~repro.harness.warmup.WarmupPolicy` resolved —
+    so runs are auditable after the fact (report tables print it).
+    None when the producer predates warm-up recording (e.g. a result
+    built directly from :func:`collect_result`).
+    """
 
     policy: str
     cycles: int
     threads: List[ThreadResult]
     avg_l2_overlap: float
+    warmup_cycles: Optional[int] = None
 
     @property
     def ipcs(self) -> List[float]:

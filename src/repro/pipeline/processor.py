@@ -256,6 +256,64 @@ class SMTProcessor:
             yield snapshot_between(before, capture_counter_state(self),
                                    start_index + offset)
 
+    def run_adaptive_warmup(self, interval_cycles: int,
+                            window: int = 4,
+                            rel_tol: float = 0.05,
+                            metric: str = "throughput",
+                            max_warmup: int = 12_000,
+                            track_phases: bool = True):
+        """Warm up until a metric series settles, or ``max_warmup`` cycles.
+
+        Simulates ``interval_cycles``-sized chunks (the final chunk is
+        short when the cap is not a multiple), watching either the total
+        IPC of each chunk (``metric="throughput"``) or every thread's
+        own IPC (``metric="ipc"``, all threads must settle).  Warm-up
+        ends the first time the trailing ``window`` chunks are settled
+        within ``rel_tol`` (:func:`~repro.metrics.intervals.window_settled`
+        — the online face of suffix-stability: the settled window is
+        always the current end of the series).
+
+        Like every run API, chunking and counter captures never change
+        simulated behaviour: warming up adaptively for N cycles leaves
+        the processor in exactly the state a monolithic ``run(N)``
+        would, so an adaptive warm-up that resolves to N cycles is
+        bitwise-equivalent to a fixed warm-up of N cycles.
+
+        Returns:
+            ``(snapshots, converged)`` — the warm-up
+            :class:`~repro.metrics.intervals.IntervalSnapshot` list
+            (indices 0..n-1; callers re-index discarded series) and
+            whether the series settled before the cap.
+        """
+        if metric not in ("throughput", "ipc"):
+            raise ValueError(f"unknown warm-up metric {metric!r}")
+        if window < 2:
+            raise ValueError("steady-state window must be >= 2")
+        if max_warmup < 0:
+            raise ValueError("max_warmup must be >= 0")
+        snapshots = []
+        num_series = self.num_threads if metric == "ipc" else 1
+        series: List[List[float]] = [[] for _ in range(num_series)]
+        cycles_done = 0
+        from repro.metrics.intervals import window_settled
+
+        while cycles_done < max_warmup:
+            length = min(interval_cycles, max_warmup - cycles_done)
+            for snapshot in self.run_intervals(
+                    length, n_intervals=1, track_phases=track_phases,
+                    start_index=len(snapshots)):
+                snapshots.append(snapshot)
+                cycles_done += snapshot.cycles
+                if metric == "ipc":
+                    for tid, delta in enumerate(snapshot.threads):
+                        series[tid].append(delta.ipc(snapshot.cycles))
+                else:
+                    series[0].append(snapshot.throughput)
+            if len(snapshots) >= window and all(
+                    window_settled(s[-window:], rel_tol) for s in series):
+                return snapshots, True
+        return snapshots, False
+
     def run_until_commits(self, commits: int, max_cycles: int = 10_000_000) -> None:
         """Run until every thread commits ``commits`` instructions."""
         start = [t.stats.committed for t in self.threads]

@@ -4,11 +4,15 @@ import pytest
 
 from repro.metrics.ascii_chart import (
     SPARK_LEVELS,
+    SPARK_PLACEHOLDER,
     bar_chart,
     grouped_bar_chart,
     sparkline,
     timeline_chart,
 )
+
+NAN = float("nan")
+INF = float("inf")
 
 
 class TestBarChart:
@@ -79,6 +83,43 @@ class TestSparkline:
         with pytest.raises(ValueError):
             sparkline([])
 
+    def test_nan_renders_placeholder(self):
+        """A zero-IPC interval can yield NaN ratios; the strip must not
+        raise (int(round(nan)) used to) and marks the point visibly."""
+        strip = sparkline([1.0, NAN, 3.0])
+        assert strip[1] == SPARK_PLACEHOLDER
+        assert strip[0] != SPARK_PLACEHOLDER and strip[2] != SPARK_PLACEHOLDER
+
+    def test_inf_renders_placeholder(self):
+        strip = sparkline([1.0, INF, -INF, 3.0])
+        assert strip[1] == SPARK_PLACEHOLDER
+        assert strip[2] == SPARK_PLACEHOLDER
+
+    def test_nonfinite_excluded_from_default_bounds(self):
+        """The finite points still span the full ramp — an inf must not
+        stretch the scale and flatten everything else."""
+        strip = sparkline([0.0, INF, 1.0])
+        assert strip[0] == SPARK_LEVELS[0]
+        assert strip[2] == SPARK_LEVELS[-1]
+
+    def test_all_nonfinite_series(self):
+        assert sparkline([NAN, INF]) == SPARK_PLACEHOLDER * 2
+
+    def test_inverted_explicit_bounds_raise(self):
+        with pytest.raises(ValueError, match="inverted"):
+            sparkline([1.0, 2.0], low=5.0, high=1.0)
+
+    def test_nonfinite_explicit_bounds_raise(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], low=NAN, high=2.0)
+        with pytest.raises(ValueError):
+            sparkline([1.0], low=0.0, high=INF)
+
+    def test_equal_explicit_bounds_still_allowed(self):
+        # low == high is the legitimate flat-scale case, not inversion.
+        assert sparkline([1.0, 3.0], low=2.0, high=2.0) == \
+            SPARK_LEVELS[0] + SPARK_LEVELS[-1]
+
 
 class TestTimelineChart:
     def test_rows_render_with_stats(self):
@@ -104,3 +145,22 @@ class TestTimelineChart:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             timeline_chart([])
+
+    def test_nan_bearing_series_renders(self):
+        """The acceptance pin: a NaN-bearing IPC series must chart
+        without raising, with finite stats and placeholder points."""
+        chart = timeline_chart([("ipc", [1.0, NAN, 2.0])])
+        assert SPARK_PLACEHOLDER in chart
+        assert "1.00..2.00" in chart
+
+    def test_all_nonfinite_series_renders(self):
+        chart = timeline_chart([("bad", [NAN, INF])])
+        assert "(no finite values)" in chart
+
+    def test_shared_scale_ignores_nonfinite(self):
+        chart = timeline_chart([("a", [0.0, 1.0]), ("b", [INF, 100.0])],
+                               shared_scale=True)
+        # Row a still renders against the finite 0..100 scale: the inf
+        # did not stretch the bounds to flatten-or-saturate everything.
+        low_row = chart.splitlines()[0]
+        assert SPARK_LEVELS[-1] not in low_row

@@ -122,6 +122,85 @@ class TestIntervalCli:
         assert "ICOUNT" in capsys.readouterr().out
 
 
+class TestAdaptiveWarmupCli:
+    #: Settles after exactly two intervals (any finite values are within
+    #: 1000% of their mean), so resolution is deterministic and fast.
+    AUTO = "auto:2,10,throughput,1200"
+
+    def test_warmup_parses_to_policy(self):
+        from repro.harness.warmup import WarmupPolicy
+
+        args = build_parser().parse_args(
+            ["run", "gzip", "--warmup", "auto:6,0.02"])
+        assert args.warmup == WarmupPolicy.steady_state(window=6,
+                                                        rel_tol=0.02)
+        args = build_parser().parse_args(["run", "gzip", "--warmup", "500"])
+        assert args.warmup == 500
+
+    def test_bad_warmup_spec_rejected(self):
+        # "-100" is rejected at parse time (argparse error), not as a
+        # mid-run ValueError traceback.
+        for bad in ("soon", "auto:", "auto:1", "auto:4,x", "-100"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["run", "gzip", "--warmup=" + bad])
+
+    def test_run_reports_resolution_on_stderr(self, capsys):
+        assert main(["run", "mcf+gzip", "--cycles", "1200", "--warmup",
+                     self.AUTO, "--interval-cycles", "300"]) == 0
+        captured = capsys.readouterr()
+        assert "warm-up 600" in captured.out
+        assert "steady-state warm-up resolved 600 cycles" in captured.err
+        assert "settled" in captured.err
+
+    def test_auto_resolving_to_n_matches_fixed_n_bitwise(self, capsys):
+        """The acceptance pin, at the CLI surface: stdout of an auto run
+        equals stdout of a fixed run at the resolved length."""
+        assert main(["run", "mcf+gzip", "--cycles", "1200", "--warmup",
+                     self.AUTO, "--interval-cycles", "300"]) == 0
+        auto_out = capsys.readouterr().out
+        assert main(["run", "mcf+gzip", "--cycles", "1200", "--warmup",
+                     "600", "--interval-cycles", "300"]) == 0
+        assert capsys.readouterr().out == auto_out
+
+    def test_auto_through_engine_path(self, capsys):
+        # Without --interval-cycles the run goes through SimJob/run_jobs;
+        # the resolved length must ride back on the result.
+        assert main(["run", "gzip", "--cycles", "800", "--warmup",
+                     self.AUTO]) == 0
+        captured = capsys.readouterr()
+        assert "resolved 1200 cycles" in captured.err  # cap: one 1200 chunk
+        assert "warm-up 1200" in captured.out
+
+    def test_auto_timeline_renders(self, capsys):
+        assert main(["run", "mcf+gzip", "--cycles", "1200", "--warmup",
+                     self.AUTO, "--interval-cycles", "300",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC per interval" in out
+
+    def test_auto_timeline_json_records_warmup(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "timeline.json"
+        assert main(["run", "mcf+gzip", "--cycles", "1200", "--warmup",
+                     self.AUTO, "--interval-cycles", "300",
+                     "--timeline-json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["warmup_cycles"] == 600
+        assert payload["warmup_converged"] is True
+        assert payload["warmup_intervals_discarded"] == 2
+
+    def test_compare_with_auto_warmup(self, capsys):
+        assert main(["compare", "mcf+gzip", "--policies", "ICOUNT", "DCRA",
+                     "--cycles", "800", "--warmup", self.AUTO,
+                     "--interval-cycles", "200"]) == 0
+        captured = capsys.readouterr()
+        assert "warm-up:" in captured.out
+        assert captured.err.count("steady-state warm-up resolved") == 2
+
+
 class TestWorkloadSelector:
     def test_compare_by_workload_name(self, capsys):
         assert main(["compare", "--workload", "MEM2.g1", "--policies",

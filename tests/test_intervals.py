@@ -31,9 +31,11 @@ from repro.metrics.intervals import (
     IntervalRecorder,
     PhaseTimeline,
     detect_steady_state,
+    detect_steady_state_suffix,
     snapshots_to_result,
     sum_snapshots,
     variance_over_time,
+    window_settled,
 )
 from repro.pipeline.config import SMTConfig
 from repro.pipeline.processor import SMTProcessor
@@ -228,7 +230,11 @@ class TestRecorderAndTimeline:
     def test_to_result_round_trip(self, run):
         rebuilt = snapshots_to_result(run.recorder.snapshots,
                                       ["mcf", "gzip"], "DCRA")
-        assert rebuilt == run.result
+        # A raw rebuild carries no warm-up audit info; every measured
+        # number must still match the runner's result bitwise.
+        assert rebuilt.warmup_cycles is None
+        assert rebuilt == dataclasses.replace(run.result,
+                                              warmup_cycles=None)
 
     def test_phase_timeline_distribution(self, run):
         timeline = run.recorder.phase_timeline()
@@ -275,6 +281,51 @@ class TestSteadyStateHelpers:
     def test_detect_steady_state_validates_window(self):
         with pytest.raises(ValueError):
             detect_steady_state([1.0], window=1)
+
+    def test_window_longer_than_series_returns_none(self):
+        assert detect_steady_state([1.0, 1.0], window=3) is None
+        assert detect_steady_state([], window=2) is None
+        assert detect_steady_state_suffix([1.0, 1.0], window=3) is None
+
+    def test_constant_zero_series_settles_immediately(self):
+        assert detect_steady_state([0.0] * 5, window=3) == 0
+        assert detect_steady_state_suffix([0.0] * 5, window=3) == 0
+
+    def test_nan_windows_never_settle(self):
+        """NaN comparisons are always False; the rule is now explicit —
+        windows containing NaN are skipped, finite windows still match."""
+        nan = float("nan")
+        values = [nan, 1.0, 1.0, 1.0]
+        assert detect_steady_state(values, window=3, rel_tol=0.05) == 1
+        assert detect_steady_state([nan, nan, nan, nan], window=2) is None
+        assert not window_settled([1.0, nan], rel_tol=10.0)
+
+    def test_inf_windows_never_settle(self):
+        inf = float("inf")
+        assert detect_steady_state([inf, inf, 2.0, 2.0, 2.0],
+                                   window=3) == 2
+        assert not window_settled([inf, inf], rel_tol=0.5)
+
+    def test_window_settled_rejects_empty(self):
+        with pytest.raises(ValueError):
+            window_settled([], rel_tol=0.05)
+
+    def test_suffix_variant_ignores_transient_plateau(self):
+        """A flat window mid-series must not end warm-up early: the
+        plain detector stops at the plateau, the suffix variant waits
+        for the stretch that holds to the end."""
+        values = [1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0]
+        assert detect_steady_state(values, window=3, rel_tol=0.05) == 0
+        assert detect_steady_state_suffix(values, window=3,
+                                          rel_tol=0.05) == 4
+
+    def test_suffix_variant_validates_window(self):
+        with pytest.raises(ValueError):
+            detect_steady_state_suffix([1.0, 1.0], window=1)
+
+    def test_suffix_variant_none_when_tail_drifts(self):
+        assert detect_steady_state_suffix([1.0, 2.0, 4.0, 8.0],
+                                          window=2, rel_tol=0.01) is None
 
 
 class TestProgressEvents:

@@ -6,7 +6,7 @@ from repro.metrics.report import comparison_table, paper_scorecard, thread_table
 from repro.metrics.stats import SimulationResult, ThreadResult
 
 
-def make_result(policy="DCRA", ipcs=(2.0, 0.5)):
+def make_result(policy="DCRA", ipcs=(2.0, 0.5), warmup_cycles=None):
     threads = [
         ThreadResult(f"bench{i}", committed=int(ipc * 1000), ipc=ipc,
                      fetched=1500, fetched_wrong_path=100, squashed=120,
@@ -15,7 +15,8 @@ def make_result(policy="DCRA", ipcs=(2.0, 0.5)):
         for i, ipc in enumerate(ipcs)
     ]
     return SimulationResult(policy, cycles=1000, threads=threads,
-                            avg_l2_overlap=2.0)
+                            avg_l2_overlap=2.0,
+                            warmup_cycles=warmup_cycles)
 
 
 class TestThreadTable:
@@ -29,6 +30,13 @@ class TestThreadTable:
         table = thread_table(make_result())
         assert "2.00" in table  # IPC
         assert "throughput 2.50" in table
+
+    def test_warmup_omitted_when_unrecorded(self):
+        assert "warm-up" not in thread_table(make_result())
+
+    def test_warmup_printed_when_recorded(self):
+        table = thread_table(make_result(warmup_cycles=2500))
+        assert "warm-up 2500" in table.splitlines()[0]
 
 
 class TestComparisonTable:
@@ -54,6 +62,31 @@ class TestComparisonTable:
         b = make_result(ipcs=(1.0, 2.0))
         with pytest.raises(ValueError):
             comparison_table([a, b])
+
+    def test_warmup_line_omitted_for_legacy_results(self):
+        table = comparison_table([make_result("ICOUNT"), make_result("DCRA")])
+        assert "warm-up" not in table
+
+    def test_uniform_warmups_collapse_to_one_line(self):
+        table = comparison_table([
+            make_result("ICOUNT", warmup_cycles=3000),
+            make_result("DCRA", warmup_cycles=3000),
+        ])
+        assert table.splitlines()[-1] == "warm-up: 3000 cycles"
+
+    def test_per_policy_warmups_listed_when_they_differ(self):
+        table = comparison_table([
+            make_result("ICOUNT", warmup_cycles=2000),
+            make_result("DCRA", warmup_cycles=5000),
+        ])
+        assert table.splitlines()[-1] == "warm-up: ICOUNT=2000 DCRA=5000"
+
+    def test_mixed_recording_omits_warmup_line(self):
+        table = comparison_table([
+            make_result("ICOUNT", warmup_cycles=2000),
+            make_result("DCRA"),
+        ])
+        assert "warm-up" not in table
 
 
 class TestScorecard:

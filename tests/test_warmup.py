@@ -1,0 +1,332 @@
+"""Tests for steady-state-driven adaptive warm-up.
+
+The hard acceptance contract: a steady-state warm-up policy that
+resolves to N cycles produces results **bitwise identical** to a fixed
+``warmup=N`` — on the monolithic and interval run paths, and through
+every executor backend.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.engine import SimJob, run_jobs
+from repro.harness.executors import ProcessExecutor, RemoteExecutor
+from repro.harness.runner import (
+    BaselineCache,
+    run_benchmarks,
+    run_benchmarks_intervals,
+    single_thread_ipc,
+)
+from repro.harness.warmup import (
+    DEFAULT_MAX_WARMUP,
+    DEFAULT_STEADY_REL_TOL,
+    DEFAULT_STEADY_WINDOW,
+    WarmupPolicy,
+    as_warmup_policy,
+    parse_warmup_spec,
+    warmup_cache_token,
+)
+from repro.pipeline.config import SMTConfig
+
+CYCLES = 1_500
+INTERVAL = 300
+
+#: Settles after exactly ``window`` intervals: any two finite values
+#: are within 1000% of their mean (committed counts are non-negative).
+EASY = dict(window=2, rel_tol=10.0, max_warmup=1_500)
+
+
+class TestWarmupPolicy:
+    def test_fixed_constructor(self):
+        policy = WarmupPolicy.fixed(4_000)
+        assert policy.mode == "fixed"
+        assert policy.cycles == 4_000
+        assert not policy.is_adaptive
+
+    def test_steady_state_constructor_defaults(self):
+        policy = WarmupPolicy.steady_state()
+        assert policy.is_adaptive
+        assert policy.window == DEFAULT_STEADY_WINDOW
+        assert policy.rel_tol == DEFAULT_STEADY_REL_TOL
+        assert policy.metric == "throughput"
+        assert policy.max_warmup == DEFAULT_MAX_WARMUP
+
+    def test_picklable_and_hashable_inside_simjob(self):
+        import pickle
+
+        policy = WarmupPolicy.steady_state(window=3)
+        job = SimJob(("gzip",), warmup=policy)
+        assert pickle.loads(pickle.dumps(job)) == job
+        hash(job)  # frozen dataclasses must stay hashable
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mode="sometimes"),
+        dict(mode="fixed", cycles=-1),
+        dict(mode="steady-state", window=1),
+        dict(mode="steady-state", rel_tol=-0.1),
+        dict(mode="steady-state", metric="hmean"),
+        dict(mode="steady-state", max_warmup=-5),
+        dict(mode="steady-state", interval_cycles=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WarmupPolicy(**kwargs)
+
+    def test_as_warmup_policy_accepts_int(self):
+        assert as_warmup_policy(700) == WarmupPolicy.fixed(700)
+        policy = WarmupPolicy.steady_state()
+        assert as_warmup_policy(policy) is policy
+
+    def test_as_warmup_policy_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_warmup_policy("3000")
+        with pytest.raises(TypeError):
+            as_warmup_policy(True)
+
+
+class TestParseWarmupSpec:
+    def test_plain_count(self):
+        assert parse_warmup_spec("3000") == 3000
+        assert parse_warmup_spec(" 0 ") == 0
+
+    def test_auto_defaults(self):
+        assert parse_warmup_spec("auto") == WarmupPolicy.steady_state()
+
+    def test_auto_with_parameters(self):
+        assert parse_warmup_spec("auto:6") == \
+            WarmupPolicy.steady_state(window=6)
+        assert parse_warmup_spec("auto:6,0.02") == \
+            WarmupPolicy.steady_state(window=6, rel_tol=0.02)
+        assert parse_warmup_spec("auto:6,0.02,ipc") == \
+            WarmupPolicy.steady_state(window=6, rel_tol=0.02, metric="ipc")
+        assert parse_warmup_spec("auto:6,0.02,ipc,9000") == \
+            WarmupPolicy.steady_state(window=6, rel_tol=0.02, metric="ipc",
+                                      max_warmup=9000)
+
+    @pytest.mark.parametrize("text", [
+        "fast", "3.5", "-100", "auto:", "auto:,", "auto:abc", "auto:6,xyz",
+        "auto:6,0.02,ipc,9000,extra", "autox", "auto:1", "auto:6,-1",
+    ])
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises(ValueError):
+            parse_warmup_spec(text)
+
+
+class TestAdaptiveResolution:
+    def test_converges_and_reports(self):
+        run = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES,
+            warmup=WarmupPolicy.steady_state(**EASY), seed=3,
+            interval_cycles=INTERVAL)
+        assert run.warmup_converged is True
+        assert run.warmup_cycles == 2 * INTERVAL
+        assert run.result.warmup_cycles == run.warmup_cycles
+        assert len(run.recorder.discarded) == 2
+
+    def test_discarded_indices_count_to_minus_one(self):
+        run = run_benchmarks_intervals(
+            ["gzip"], "ICOUNT", cycles=CYCLES,
+            warmup=WarmupPolicy.steady_state(**EASY), seed=1,
+            interval_cycles=INTERVAL)
+        assert [s.index for s in run.recorder.discarded] == [-2, -1]
+        assert [s.index for s in run.recorder.snapshots] == list(
+            range(len(run.recorder.snapshots)))
+
+    def test_auto_resolving_to_n_matches_fixed_n_bitwise(self):
+        auto = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES,
+            warmup=WarmupPolicy.steady_state(**EASY), seed=3,
+            interval_cycles=INTERVAL)
+        resolved = auto.warmup_cycles
+        fixed_interval = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES, warmup=resolved,
+            seed=3, interval_cycles=INTERVAL)
+        fixed_mono = run_benchmarks(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES, warmup=resolved, seed=3)
+        auto_mono = run_benchmarks(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES,
+            warmup=WarmupPolicy.steady_state(
+                interval_cycles=INTERVAL, **EASY), seed=3)
+        assert auto.result == fixed_interval.result
+        assert auto.result == fixed_mono
+        assert auto_mono == fixed_mono
+
+    def test_max_warmup_cap(self):
+        """A window the run can never fill warms up exactly max_warmup."""
+        policy = WarmupPolicy.steady_state(window=5, rel_tol=0.05,
+                                           max_warmup=1_100)
+        run = run_benchmarks_intervals(
+            ["gzip"], "ICOUNT", cycles=800, warmup=policy, seed=1,
+            interval_cycles=500)
+        assert run.warmup_converged is False
+        assert run.warmup_cycles == 1_100
+        # The cap is honoured exactly: the last chunk is short.
+        assert [s.cycles for s in run.recorder.discarded] == [500, 500, 100]
+        # Cap-hit resolution is still bitwise-equivalent to fixed.
+        fixed = run_benchmarks(["gzip"], "ICOUNT", cycles=800,
+                               warmup=1_100, seed=1)
+        assert run.result == fixed
+
+    def test_per_thread_ipc_metric(self):
+        policy = WarmupPolicy.steady_state(window=2, rel_tol=10.0,
+                                           metric="ipc", max_warmup=1_500)
+        run = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", cycles=CYCLES, warmup=policy, seed=3,
+            interval_cycles=INTERVAL)
+        assert run.warmup_converged is True
+        assert run.warmup_cycles == 2 * INTERVAL
+
+    def test_adaptive_zero_cap_equals_no_warmup(self):
+        policy = WarmupPolicy.steady_state(window=2, max_warmup=0)
+        auto = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                              warmup=policy, seed=1)
+        fixed = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                               warmup=0, seed=1)
+        assert auto == fixed
+        assert auto.warmup_cycles == 0
+
+    def test_resolution_is_workload_dependent(self):
+        """Different workloads may resolve different warm-up lengths —
+        the whole point of steady-state warm-up.  Pin that resolution
+        reacts to the series: a tolerance of zero cannot settle (equal
+        integer commit counts aside) while a huge one settles at the
+        window."""
+        loose = run_benchmarks_intervals(
+            ["mcf"], "ICOUNT", cycles=600,
+            warmup=WarmupPolicy.steady_state(window=2, rel_tol=10.0,
+                                             max_warmup=1_000),
+            seed=1, interval_cycles=200)
+        tight = run_benchmarks_intervals(
+            ["mcf"], "ICOUNT", cycles=600,
+            warmup=WarmupPolicy.steady_state(window=2, rel_tol=1e-12,
+                                             max_warmup=1_000),
+            seed=1, interval_cycles=200)
+        assert loose.warmup_cycles <= tight.warmup_cycles
+
+
+class TestFixedWarmupEdgeCases:
+    def test_zero_warmup_with_warmup_as_intervals(self):
+        run = run_benchmarks_intervals(
+            ["gzip"], "ICOUNT", cycles=CYCLES, warmup=0, seed=1,
+            interval_cycles=INTERVAL, warmup_as_intervals=True)
+        mono = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                              warmup=0, seed=1)
+        assert run.result == mono
+        assert run.recorder.discarded == []
+        assert run.warmup_cycles == 0
+
+    def test_warmup_not_multiple_of_interval(self):
+        """The ceiling-division path: 700-cycle warm-up in 500-cycle
+        chunks discards two intervals of 500 and 200 cycles."""
+        as_intervals = run_benchmarks_intervals(
+            ["mcf"], "ICOUNT", cycles=1_000, warmup=700, seed=2,
+            interval_cycles=500, warmup_as_intervals=True)
+        assert [s.cycles for s in as_intervals.recorder.discarded] == \
+            [500, 200]
+        assert [s.index for s in as_intervals.recorder.discarded] == [-2, -1]
+        via_reset = run_benchmarks_intervals(
+            ["mcf"], "ICOUNT", cycles=1_000, warmup=700, seed=2,
+            interval_cycles=500)
+        assert as_intervals.result == via_reset.result
+
+    def test_fixed_policy_equals_plain_int(self):
+        a = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                           warmup=400, seed=1)
+        b = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                           warmup=WarmupPolicy.fixed(400), seed=1)
+        assert a == b
+
+    def test_fixed_runs_record_warmup(self):
+        result = run_benchmarks(["gzip"], "ICOUNT", cycles=CYCLES,
+                                warmup=400, seed=1)
+        assert result.warmup_cycles == 400
+
+
+class TestExecutorEquivalence:
+    """--warmup auto must be bitwise-identical on every backend."""
+
+    @staticmethod
+    def jobs():
+        policy = WarmupPolicy.steady_state(window=2, rel_tol=10.0,
+                                           max_warmup=600)
+        return [
+            SimJob(("gzip",), "ICOUNT", None, 800, policy, seed=3),
+            SimJob(("mcf", "gzip"), "DCRA", None, 800, policy, seed=3,
+                   interval_cycles=200),
+            SimJob(("twolf",), "FLUSH++", None, 800,
+                   WarmupPolicy.steady_state(window=3, rel_tol=10.0,
+                                             max_warmup=700,
+                                             interval_cycles=250),
+                   seed=5),
+        ]
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_jobs(self.jobs(), max_workers=1)
+
+    def test_reference_resolved_adaptively(self, reference):
+        assert [r.warmup_cycles for r in reference] == [600, 400, 700]
+
+    def test_serial_executor(self, reference):
+        assert run_jobs(self.jobs(), executor="serial") == reference
+
+    def test_process_executor(self, reference):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert run_jobs(self.jobs(), executor=executor) == reference
+
+    def test_remote_executor(self, reference):
+        with RemoteExecutor(spawn_workers=2, timeout=120.0) as executor:
+            assert run_jobs(self.jobs(), executor=executor) == reference
+
+
+class TestBaselineCacheKeys:
+    def test_fixed_token_matches_plain_int(self):
+        assert warmup_cache_token(3000) == \
+            warmup_cache_token(WarmupPolicy.fixed(3000))
+
+    def test_adaptive_token_never_collides_with_fixed(self):
+        for cycles in (0, 3000, DEFAULT_MAX_WARMUP):
+            assert warmup_cache_token(cycles) != \
+                warmup_cache_token(WarmupPolicy.steady_state())
+
+    def test_adaptive_tokens_distinguish_parameters(self):
+        tokens = {
+            warmup_cache_token(WarmupPolicy.steady_state()),
+            warmup_cache_token(WarmupPolicy.steady_state(window=6)),
+            warmup_cache_token(WarmupPolicy.steady_state(rel_tol=0.02)),
+            warmup_cache_token(WarmupPolicy.steady_state(metric="ipc")),
+            warmup_cache_token(WarmupPolicy.steady_state(max_warmup=9000)),
+            warmup_cache_token(
+                WarmupPolicy.steady_state(interval_cycles=1000)),
+        }
+        assert len(tokens) == 6
+
+    def test_cache_entries_do_not_collide(self):
+        """An adaptive baseline and a fixed one of the same nominal spec
+        are distinct cache entries (the cache-version-2 contract)."""
+        cache = BaselineCache()
+        config = SMTConfig()
+        policy = WarmupPolicy.steady_state(max_warmup=300)
+        cache.put("gzip", config, 1000, 300, 1, ipc=1.0)
+        cache.put("gzip", config, 1000, policy, 1, ipc=2.0)
+        assert cache.get("gzip", config, 1000, 300, 1) == 1.0
+        assert cache.get("gzip", config, 1000, policy, 1) == 2.0
+
+    def test_single_thread_ipc_with_adaptive_policy_memoises(self):
+        policy = WarmupPolicy.steady_state(window=2, rel_tol=10.0,
+                                           max_warmup=400)
+        first = single_thread_ipc("gzip", cycles=800, warmup=policy, seed=11)
+        second = single_thread_ipc("gzip", cycles=800, warmup=policy,
+                                   seed=11)
+        assert first == second
+        fixed = single_thread_ipc("gzip", cycles=800, warmup=400, seed=11)
+        # Same resolved length, separate cache entries, same physics.
+        assert fixed == first
+
+
+class TestReplaceSemantics:
+    def test_simjob_replace_keeps_warmup_policy(self):
+        policy = WarmupPolicy.steady_state(window=3)
+        job = SimJob(("gzip",), warmup=policy)
+        assert dataclasses.replace(job, seed=9).warmup is policy
