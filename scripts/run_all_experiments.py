@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Regenerate every paper artefact at full budget and dump raw results.
 
-Writes the output consumed by EXPERIMENTS.md.  Every driver runs
-through the parallel experiment engine: ``--jobs N`` simulates on N
-workers and ``--executor`` picks the backend (local process pool by
-default, ``remote`` for socket workers); by the engine's determinism
-contract each artefact's numbers are identical for any combination.
+Writes the output consumed by EXPERIMENTS.md.  The artefact list is the
+declarative scenario suite (``repro.harness.experiments.ARTIFACTS`` —
+the same registry behind ``repro scenario list``), plus the exact
+Table 1; every driver runs through the parallel experiment engine:
+``--jobs N`` simulates on N workers and ``--executor`` picks the
+backend (local process pool by default, ``remote`` for socket
+workers); by the engine's determinism contract each artefact's numbers
+are identical for any combination.
 
 With workers available the artefacts *stream*: all drivers share one
 executor, their job subsets interleave on the worker fleet, and each
@@ -14,7 +17,11 @@ driver-by-driver — so early artefacts appear while later sweeps are
 still simulating.  Section order therefore follows completion, and
 every section is labelled.  ``--reps N`` replicates the
 policy-comparison sweeps over N derived seeds and adds ±95% CI columns.
-Expect a ~1h run serially in pure Python.
+Expect a ~1h run serially in pure Python — or pass ``--reuse auto``
+(the default) and let the content-addressed result store make repeat
+runs incremental: any job already stored (same source fingerprint,
+config, budgets, seed) is served instead of simulated, with identical
+output.
 
 ``--warmup`` overrides every driver's warm-up — a fixed count, or
 ``auto[:window,tol[,metric,max]]`` for steady-state warm-up resolved
@@ -24,22 +31,21 @@ workload needs instead of sharing one guessed count).
 Run:
     python scripts/run_all_experiments.py [output-file] [--jobs N]
         [--executor {serial,process,remote}] [--reps N]
-        [--warmup SPEC]
+        [--warmup SPEC] [--reuse {off,auto,require}]
 """
 
 import argparse
+import dataclasses
 import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 
 from repro.core.sharing import precomputed_table
-from repro.harness import experiments as exp
+from repro.harness.experiments import ARTIFACTS
 from repro.harness.executors import make_executor
+from repro.harness.results import REUSE_MODES, result_store
 from repro.harness.warmup import parse_warmup_argument
-
-CYCLES = 24_000
-WARMUP = 5_000
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -67,6 +73,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--interval-cycles", type=int, default=None, metavar="N",
         help="run the Figure 4/5 policy sweep in N-cycle chunks "
              "(identical numbers; enables per-interval progress)")
+    parser.add_argument(
+        "--reuse", choices=list(REUSE_MODES), default="auto",
+        help="result-store mode (default auto: repeat runs serve stored "
+             "results and simulate only misses — identical output; "
+             "'off' recomputes everything, 'require' asserts a warm "
+             "store)")
     return parser.parse_args(argv)
 
 
@@ -76,64 +88,19 @@ def _table1() -> str:
         for index, row in enumerate(precomputed_table(32, 4), 1))
 
 
-def _figures45(jobs, executor, reps, interval_cycles=None,
-               warmup=WARMUP) -> str:
-    results = exp.compare_policies(
-        ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"],
-        cells=exp.ALL_CELLS, cycles=CYCLES, warmup=warmup, jobs=jobs,
-        reps=reps, executor=executor, interval_cycles=interval_cycles)
-    lines = [exp.format_cell_results(results), ""]
-    rows = exp.improvements_over(results)
-    lines.append(exp.format_improvements(rows))
-    for baseline in ("SRA", "ICOUNT", "DG", "FLUSH++"):
-        values = [r.hmean_improvement_pct for r in rows
-                  if r.baseline == baseline]
-        tp = [r.throughput_improvement_pct for r in rows
-              if r.baseline == baseline]
-        lines.append(
-            f"DCRA vs {baseline}: mean Hmean {sum(values) / len(values):+.1f}%"
-            f"  mean throughput {sum(tp) / len(tp):+.1f}%")
-    return "\n".join(lines)
-
-
 def build_artefacts(args, executor):
     """(label, thunk) per artefact; thunks share the one executor."""
-    jobs, reps = args.jobs, args.reps
-
-    def warm(default):
-        """Per-driver warm-up: the --warmup override, or the default."""
-        return args.warmup if args.warmup is not None else default
-
-    return [
-        ("Table 1 (exact)", _table1),
-        ("Figure 2 — resource sensitivity (perfect L1D)",
-         lambda: exp.format_figure2(exp.figure2_resource_sensitivity(
-             cycles=12_000, warmup=warm(3_000), jobs=jobs,
-             executor=executor))),
-        ("Table 3 — L2 miss rates",
-         lambda: exp.format_table3(exp.table3_miss_rates(
-             cycles=15_000, warmup=warm(4_000), jobs=jobs,
-             executor=executor))),
-        ("Table 5 — phase distribution (2-thread)",
-         lambda: exp.format_table5(exp.table5_phase_distribution(
-             cycles=20_000, warmup=warm(4_000), jobs=jobs,
-             executor=executor))),
-        ("Figures 4+5 — full 9-cell policy comparison",
-         lambda: _figures45(jobs, executor, reps, args.interval_cycles,
-                            warmup=warm(WARMUP))),
-        ("Figure 6 — register sweep",
-         lambda: exp.format_sweep(exp.figure6_register_sweep(
-             cycles=20_000, warmup=warm(4_000), jobs=jobs, reps=reps,
-             executor=executor), "registers")),
-        ("Figure 7 — latency sweep",
-         lambda: exp.format_sweep(exp.figure7_latency_sweep(
-             cycles=20_000, warmup=warm(4_000), jobs=jobs, reps=reps,
-             executor=executor), "latency")),
-        ("Section 5.2 — front-end activity / MLP",
-         lambda: exp.format_text52(exp.text52_frontend_and_mlp(
-             cycles=20_000, warmup=warm(4_000), jobs=jobs,
-             executor=executor))),
-    ]
+    entries = [("Table 1 (exact)", _table1)]
+    for artifact in ARTIFACTS:
+        def thunk(artifact=artifact):
+            # Artefacts without an interval knob ignore the argument
+            # (the ArtifactDef.render contract).
+            return artifact.render(
+                jobs=args.jobs, executor=executor, reps=args.reps,
+                reuse=args.reuse, warmup=args.warmup,
+                interval_cycles=args.interval_cycles)
+        entries.append((artifact.title, thunk))
+    return entries
 
 
 def main() -> None:
@@ -141,6 +108,7 @@ def main() -> None:
     out = open(args.output, "w") if args.output else sys.stdout
     emit_lock = threading.Lock()
     t0 = time.time()
+    store_before = dataclasses.replace(result_store.stats)
 
     def emit_section(label, body):
         with emit_lock:
@@ -173,7 +141,12 @@ def main() -> None:
         if executor is not None:
             executor.close()
 
-    emit_section("done", f"{len(artefacts)} artefacts")
+    stats = result_store.stats
+    emit_section(
+        "done",
+        f"{len(artefacts)} artefacts  [store reuse={args.reuse}: "
+        f"{stats.hits - store_before.hits} result(s) reused, "
+        f"{stats.misses - store_before.misses} computed]")
 
 
 if __name__ == "__main__":

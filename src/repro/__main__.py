@@ -10,7 +10,18 @@ Commands:
   workload via ``--workload MIX6.g1``) and print a side-by-side table
   with Hmean fairness; ``--reps N`` adds ±95% CI error columns over N
   seed replications.
+* ``scenario run FILE|KEY`` — execute a declarative scenario file
+  (JSON/TOML, see :mod:`repro.harness.scenario`) or a built-in paper
+  artefact by key; ``scenario list`` shows the built-ins.
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
+
+``--reuse {off,auto,require}`` wires the content-addressed result
+store (``$REPRO_CACHE_DIR/results/``): ``auto`` serves stored results
+and simulates only the misses (output is identical — simulations are
+deterministic), ``require`` fails on any miss, proving a warm store.
+``scenario run`` defaults to ``auto``; ``run``/``compare`` default to
+``off``.  Store traffic is reported on stderr so stdout stays
+bitwise-comparable between cold and warm runs.
 
 ``--jobs N`` parallelises the simulations and baselines over N workers;
 ``--executor {serial,process,remote}`` picks where they run (the remote
@@ -35,7 +46,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import json
+import os
 import sys
 import threading
 from typing import Iterator, List, Optional
@@ -51,7 +64,18 @@ from repro.harness.engine import (
 )
 from repro.harness.progress import guard_progress
 from repro.harness.executors import Executor, make_executor
+from repro.harness.results import (
+    REUSE_MODES,
+    ResultStoreMiss,
+    normalize_reuse,
+    result_store,
+)
 from repro.harness.runner import run_benchmarks_intervals
+from repro.harness.scenario import (
+    load_scenario,
+    run_scenario,
+    scenario_report,
+)
 from repro.harness.warmup import WarmupPolicy, parse_warmup_argument
 from repro.metrics.ascii_chart import timeline_chart
 from repro.metrics.report import (
@@ -152,6 +176,26 @@ def _adaptive_warmup(args: argparse.Namespace) -> bool:
     return isinstance(args.warmup, WarmupPolicy) and args.warmup.is_adaptive
 
 
+@contextlib.contextmanager
+def _store_traffic(args: argparse.Namespace) -> Iterator[dict]:
+    """Track result-store traffic for one command invocation.
+
+    Yields a dict filled in on exit with this invocation's hit/miss
+    counts; with ``--reuse`` enabled a summary goes to stderr (stdout
+    stays bitwise-comparable between cold and warm runs).
+    """
+    before = dataclasses.replace(result_store.stats)
+    stats: dict = {}
+    yield stats
+    after = result_store.stats
+    stats.update(hits=after.hits - before.hits,
+                 misses=after.misses - before.misses,
+                 stores=after.stores - before.stores)
+    if normalize_reuse(getattr(args, "reuse", None)) != "off":
+        print(f"[store] {stats['hits']} stored result(s) reused, "
+              f"{stats['misses']} computed", file=sys.stderr)
+
+
 def _note_resolved_warmups(results) -> None:
     """Audit note for ``--warmup auto``: the per-run resolved lengths.
 
@@ -173,13 +217,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.reps <= 1 and interval:
         # In-process interval run: keeps the recorder, so the timeline
         # views are available (a single job gains nothing from workers).
-        wrapped = None
-        if args.progress:
-            progress = guard_progress(_progress_printer(1))
-            wrapped = lambda event: progress(0, event)  # noqa: E731
-        run = run_benchmarks_intervals(
-            args.benchmarks, args.policy, None, args.cycles, args.warmup,
-            args.seed, interval_cycles=interval, progress=wrapped)
+        # Store reuse round-trips the whole IntervalRun (snapshots
+        # included), so a warm rerun renders identical timelines too.
+        reuse = normalize_reuse(args.reuse)
+        job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
+                     args.warmup, args.seed, interval_cycles=interval)
+        run = None
+        with _store_traffic(args):
+            if reuse == "require":
+                run = result_store.require(job, "intervals")
+            elif reuse == "auto":
+                run = result_store.get(job, "intervals")
+            if run is None:
+                wrapped = None
+                if args.progress:
+                    progress = guard_progress(_progress_printer(1))
+                    wrapped = lambda event: progress(0, event)  # noqa: E731
+                run = run_benchmarks_intervals(
+                    args.benchmarks, args.policy, None, args.cycles,
+                    args.warmup, args.seed, interval_cycles=interval,
+                    progress=wrapped)
+                if reuse == "auto":
+                    result_store.put(job, run, "intervals")
         if _adaptive_warmup(args):
             settled = ("settled" if run.warmup_converged
                        else "hit the max_warmup cap")
@@ -197,15 +256,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
                  args.warmup, args.seed, interval_cycles=interval)
     progress = _progress_printer(max(1, args.reps)) if args.progress else None
-    with _cli_executor(args) as executor:
+    with _cli_executor(args) as executor, _store_traffic(args):
         if args.reps <= 1:
-            result = run_jobs([job], args.jobs, executor, progress)[0]
+            result = run_jobs([job], args.jobs, executor, progress,
+                              args.reuse)[0]
             if _adaptive_warmup(args):
                 _note_resolved_warmups([result])
             print(thread_table(result))
             return 0
         replicated = run_replicated(job, args.reps, args.jobs, executor,
-                                    progress)
+                                    progress, args.reuse)
     if _adaptive_warmup(args):
         _note_resolved_warmups(replicated.results)
     print(f"Workload: {'+'.join(args.benchmarks)}  policy {args.policy}")
@@ -241,7 +301,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"Workload: {'+'.join(benchmarks)}")
     n_jobs = len(args.policies) * max(1, args.reps)
     progress = _progress_printer(n_jobs) if args.progress else None
-    with _cli_executor(args) as executor:
+    with _cli_executor(args) as executor, _store_traffic(args):
         if args.reps <= 1:
             singles_by_benchmark = ensure_baselines(
                 benchmarks, cycles=args.cycles, warmup=args.warmup,
@@ -249,7 +309,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             jobs = [SimJob(tuple(benchmarks), policy, None, args.cycles,
                            args.warmup, args.seed, interval_cycles=interval)
                     for policy in args.policies]
-            results = run_jobs(jobs, args.jobs, executor, progress)
+            results = run_jobs(jobs, args.jobs, executor, progress,
+                               args.reuse)
             singles = [singles_by_benchmark[b] for b in benchmarks]
             if _adaptive_warmup(args):
                 _note_resolved_warmups(results)
@@ -264,7 +325,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                        args.warmup, seed, interval_cycles=interval)
                 for policy in args.policies
                 for seed in seeds]
-        results = run_jobs(jobs, args.jobs, executor, progress)
+        results = run_jobs(jobs, args.jobs, executor, progress, args.reuse)
 
     if _adaptive_warmup(args):
         _note_resolved_warmups(results)
@@ -283,6 +344,85 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             per_thread=replicated.thread_ipc_stats,
         ))
     print(replicated_comparison_table(rows, benchmarks))
+    return 0
+
+
+def _cmd_scenario_list(_args: argparse.Namespace) -> int:
+    """List the built-in paper-artefact scenarios."""
+    from repro.harness.experiments import ARTIFACTS
+
+    print(f"{'key':8s} {'scenario':34s} title")
+    for artifact in ARTIFACTS:
+        print(f"{artifact.key:8s} {artifact.scenario().name:34s} "
+              f"{artifact.title}")
+    print("\nAny JSON/TOML scenario file also runs: "
+          "repro scenario run FILE (see README, examples/)")
+    return 0
+
+
+def _scenario_overrides(args: argparse.Namespace) -> dict:
+    """CLI overrides applied on top of a loaded scenario file."""
+    overrides = {}
+    if args.cycles is not None:
+        overrides["cycles"] = args.cycles
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.reps is not None:
+        overrides["reps"] = args.reps
+    return overrides
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Run a scenario file, or a built-in artefact by key."""
+    from repro.harness.experiments import ARTIFACTS, find_artifact
+
+    is_file = (os.path.exists(args.target)
+               or args.target.endswith((".json", ".toml")))
+    stats: dict
+    with _cli_executor(args) as executor, _store_traffic(args) as stats:
+        if is_file:
+            try:
+                scenario = load_scenario(args.target)
+                scenario = dataclasses.replace(scenario,
+                                               **_scenario_overrides(args))
+            except (OSError, ValueError) as error:
+                raise SystemExit(str(error)) from None
+            outcome = run_scenario(scenario, args.jobs, executor,
+                                   reuse=args.reuse)
+            print(f"# scenario {scenario.name} "
+                  f"({len(outcome.compiled.jobs)} jobs, "
+                  f"{len(outcome.compiled.points)} grid point(s))")
+            if scenario.description:
+                print(f"# {scenario.description}")
+            print(scenario_report(outcome, include_hmean=not args.no_hmean,
+                                  max_workers=args.jobs, executor=executor))
+            stats["jobs"] = len(outcome.compiled.jobs)
+        else:
+            try:
+                artifact = find_artifact(args.target)
+            except ValueError as error:
+                keys = ", ".join(a.key for a in ARTIFACTS)
+                raise SystemExit(
+                    f"{error}\n(pass a scenario file path, or one of: "
+                    f"{keys})") from None
+            body = artifact.render(
+                jobs=args.jobs, executor=executor,
+                reps=args.reps or 1, reuse=args.reuse,
+                warmup=args.warmup, cycles=args.cycles, seed=args.seed)
+            print(f"# {artifact.title}")
+            print(body)
+    # Built-in artefacts have no compiled job list here; with reuse on,
+    # every job consulted the store exactly once, so hits + misses is
+    # the job count (keeps the hits == jobs warm-store check uniform).
+    stats.setdefault("jobs", stats["hits"] + stats["misses"])
+    if args.store_stats:
+        with open(args.store_stats, "w") as handle:
+            json.dump({"target": args.target,
+                       "reuse": normalize_reuse(args.reuse), **stats},
+                      handle, indent=2)
+            handle.write("\n")
     return 0
 
 
@@ -362,6 +502,52 @@ def build_parser() -> argparse.ArgumentParser:
                                 choices=list(POLICY_NAMES))
     compare_parser.set_defaults(func=_cmd_compare)
 
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="run declarative scenario specs (files or built-ins)")
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command",
+                                                  required=True)
+    scenario_sub.add_parser(
+        "list", help="list the built-in paper-artefact scenarios",
+    ).set_defaults(func=_cmd_scenario_list)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario file (JSON/TOML) or built-in key")
+    scenario_run.add_argument(
+        "target",
+        help="path to a scenario file, or a built-in artefact key "
+             "(see 'repro scenario list')")
+    scenario_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="workers for the simulations and baselines "
+             "(default: serial); results are identical for any N")
+    scenario_run.add_argument(
+        "--executor", choices=["serial", "process", "remote"], default=None,
+        help="execution backend (default: process pool when --jobs > 1)")
+    scenario_run.add_argument(
+        "--reuse", choices=list(REUSE_MODES), default="auto",
+        help="result-store mode (default auto: serve stored results, "
+             "simulate only misses; 'require' fails on a cold store)")
+    scenario_run.add_argument(
+        "--cycles", type=int, default=None,
+        help="override the scenario's measured cycles")
+    scenario_run.add_argument(
+        "--warmup", type=parse_warmup_argument, default=None,
+        metavar="SPEC", help="override the scenario's warm-up spec")
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's base seed")
+    scenario_run.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="override the scenario's seed replications")
+    scenario_run.add_argument(
+        "--no-hmean", action="store_true",
+        help="skip single-thread baselines (throughput columns only; "
+             "file scenarios)")
+    scenario_run.add_argument(
+        "--store-stats", metavar="PATH", default=None,
+        help="write this run's store hit/miss counters as JSON")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
     sub.add_parser("policies", help="list policies").set_defaults(
         func=_cmd_policies)
     sub.add_parser("benchmarks", help="list benchmarks").set_defaults(
@@ -404,12 +590,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="stream one line per completed interval to stderr "
                  "(with --interval-cycles)")
+        sub_parser.add_argument(
+            "--reuse", choices=list(REUSE_MODES), default="off",
+            help="result-store mode: 'auto' serves stored results and "
+                 "simulates only misses (identical output), 'require' "
+                 "fails on any miss (default: off)")
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ResultStoreMiss as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -54,6 +54,22 @@ def resolve_factor(factor) -> SharingFactor:
         raise ValueError(f"unknown sharing factor {factor!r}; known: {known}") from None
 
 
+def factor_names_for_memory_latency(memory_latency: int):
+    """The Section 5.3 band selection as ``(iq, reg)`` factor *names*.
+
+    Names (not resolved callables) are the serialisable spelling: they
+    survive ``repr``-based cache keys and JSON scenario files, which is
+    why :func:`repro.harness.experiments.dcra_for_latency` builds its
+    tuned configs from this rather than from a resolved
+    :class:`SharingModel`.
+    """
+    if memory_latency <= 150:
+        return ("inverse_active", "inverse_active")
+    if memory_latency <= 400:
+        return ("inverse_active_plus4", "inverse_active_plus4")
+    return ("zero", "inverse_active_plus4")
+
+
 def slow_share(total: int, fast_active: int, slow_active: int,
                factor="inverse_active") -> int:
     """Entries each slow-active thread may hold (paper equation 3).
@@ -133,8 +149,4 @@ class SharingModel:
         500 cycles -> C = 0 for the issue queues, C = 1/(T+4) for the
         registers.  Intermediate latencies use the nearest band.
         """
-        if memory_latency <= 150:
-            return cls("inverse_active", "inverse_active")
-        if memory_latency <= 400:
-            return cls("inverse_active_plus4", "inverse_active_plus4")
-        return cls("zero", "inverse_active_plus4")
+        return cls(*factor_names_for_memory_latency(memory_latency))

@@ -18,11 +18,23 @@ worker count on any backend, with seed-replication statistics through
 remote workers (:class:`~repro.harness.executors.RemoteExecutor`, worker
 side in :mod:`repro.harness.remote_worker`).
 
+:mod:`repro.harness.scenario` makes whole experiments declarative:
+frozen :class:`~repro.harness.scenario.Scenario` specs (workloads,
+policies, config, budgets, sweep grids) loadable from Python, JSON or
+TOML and compiled deterministically to the engine's job list
+(``repro scenario run FILE``).
+
+:mod:`repro.harness.results` is the content-addressed
+:class:`~repro.harness.results.ResultStore` under
+``$REPRO_CACHE_DIR/results/``: every engine surface takes
+``reuse="auto"|"off"|"require"`` to serve stored simulation results
+instead of recomputing them, with identical output.
+
 :mod:`repro.harness.experiments` regenerates every table and figure of
-the paper's evaluation section; each driver expresses its sweep as a job
-list and takes ``jobs`` / ``executor`` parameters (also reachable as
-``--jobs`` / ``--executor`` on ``python -m repro`` and
-``scripts/run_all_experiments.py``).
+the paper's evaluation section; each driver compiles from a scenario
+spec and takes ``jobs`` / ``executor`` / ``reuse`` parameters (also
+reachable as ``--jobs`` / ``--executor`` / ``--reuse`` on
+``python -m repro`` and ``scripts/run_all_experiments.py``).
 """
 
 from repro.harness.engine import (
@@ -33,6 +45,7 @@ from repro.harness.engine import (
     ensure_baselines,
     ensure_baselines_sweep,
     executor_scope,
+    map_jobs_stored,
     parallel_map,
     parallel_map_streaming,
     replicate_job,
@@ -40,6 +53,31 @@ from repro.harness.engine import (
     run_jobs,
     run_jobs_streaming,
     run_replicated,
+)
+from repro.harness.results import (
+    REUSE_MODES,
+    ResultStore,
+    ResultStoreMiss,
+    cache_key,
+    job_token,
+    policy_token,
+    result_store,
+    source_fingerprint,
+)
+from repro.harness.scenario import (
+    CompiledScenario,
+    Scenario,
+    ScenarioRun,
+    SweepAxis,
+    SweepPoint,
+    load_scenario,
+    run_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_report,
+    scenario_to_dict,
+    sweep_axis,
+    sweep_point,
 )
 from repro.harness.progress import (
     IntervalProgress,
@@ -80,6 +118,7 @@ from repro.harness.warmup import (
 
 __all__ = [
     "BaselineCache",
+    "CompiledScenario",
     "DEFAULT_INTERVAL_CYCLES",
     "EXECUTOR_NAMES",
     "Executor",
@@ -87,14 +126,22 @@ __all__ = [
     "IntervalRun",
     "PolicyEvaluation",
     "ProcessExecutor",
+    "REUSE_MODES",
     "RemoteExecutor",
     "ReplicatedRun",
+    "ResultStore",
+    "ResultStoreMiss",
+    "Scenario",
+    "ScenarioRun",
     "SerialExecutor",
     "SimJob",
+    "SweepAxis",
+    "SweepPoint",
     "WarmupPolicy",
     "WarmupSpec",
     "as_warmup_policy",
     "baseline_cache",
+    "cache_key",
     "clear_baseline_cache",
     "derive_seed",
     "derive_seeds",
@@ -103,22 +150,35 @@ __all__ = [
     "ensure_baselines_sweep",
     "evaluate_workload",
     "executor_scope",
+    "job_token",
+    "load_scenario",
     "make_executor",
+    "map_jobs_stored",
     "parallel_map",
     "parallel_map_streaming",
     "parse_warmup_argument",
     "parse_warmup_spec",
+    "policy_token",
     "progress_sink",
     "replicate_job",
+    "result_store",
     "run_benchmarks",
     "run_benchmarks_intervals",
     "run_job",
     "run_jobs",
     "run_jobs_streaming",
     "run_replicated",
+    "run_scenario",
     "run_workload",
     "run_workload_intervals",
+    "save_scenario",
+    "scenario_from_dict",
+    "scenario_report",
+    "scenario_to_dict",
     "set_progress_sink",
     "single_thread_ipc",
+    "source_fingerprint",
+    "sweep_axis",
+    "sweep_point",
     "warmup_cache_token",
 ]

@@ -37,6 +37,15 @@ same on-disk entries, so a baseline is simulated once per sweep rather
 than once per process.  :func:`ensure_baselines` (one seed) and
 :func:`ensure_baselines_sweep` (replication sweeps) precompute missing
 baselines through the backend before a sweep starts.
+
+Result reuse
+------------
+Because jobs are deterministic, a full result can be cached as safely
+as a baseline: with ``reuse="auto"`` the engine serves any job already
+in the content-addressed :class:`~repro.harness.results.ResultStore`
+and dispatches only the misses (``reuse="require"`` asserts a warm
+store).  Hits are resolved before the backend sees a task, so reuse is
+backend-agnostic and never changes output — it only skips simulations.
 """
 
 from __future__ import annotations
@@ -56,6 +65,11 @@ from typing import (
 )
 
 from repro.harness.executors import Executor, make_executor
+from repro.harness.results import (
+    ResultStore,
+    normalize_reuse,
+    resolve_store,
+)
 from repro.harness.runner import (
     DEFAULT_CYCLES,
     DEFAULT_WARMUP,
@@ -237,8 +251,65 @@ def parallel_map_streaming(func: Callable, items: Sequence,
             backend.close()
 
 
+def _store_partition(jobs: Sequence[SimJob], reuse: str,
+                     store: Optional[ResultStore], kind: str) \
+        -> Tuple[ResultStore, List, List[int]]:
+    """Split jobs into stored results and indices still to compute.
+
+    Returns ``(store, results, missing)`` where ``results`` holds the
+    stored payload (or None) per job and ``missing`` lists the indices
+    to compute.  With ``reuse="require"`` a missing entry raises
+    :class:`~repro.harness.results.ResultStoreMiss` instead.
+    """
+    store = resolve_store(store)
+    results: List = [None] * len(jobs)
+    missing: List[int] = []
+    for index, job in enumerate(jobs):
+        cached = (store.require(job, kind) if reuse == "require"
+                  else store.get(job, kind))
+        if cached is not None:
+            results[index] = cached
+        else:
+            missing.append(index)
+    return store, results, missing
+
+
+def map_jobs_stored(func: Callable, jobs: Sequence[SimJob], kind: str,
+                    max_workers: int = 1, executor=None, progress=None,
+                    reuse=None, store: Optional[ResultStore] = None) -> List:
+    """Map a job function through the content-addressed result store.
+
+    The reuse-aware generic the store-enabled sweeps share:
+    :func:`run_jobs` uses it with :func:`run_job` and payload kind
+    ``"result"``; drivers that extract other payloads (e.g. Table 5's
+    phase timelines) pass their own module-level ``func`` and ``kind``.
+    Stored payloads are served without dispatching; misses run through
+    :func:`parallel_map` (any backend) and are written back by the
+    caller's process, so reuse works identically on every executor.
+
+    ``reuse`` is ``"off"`` (None), ``"auto"`` or ``"require"`` — see
+    :mod:`repro.harness.results` for the contract.
+    """
+    jobs = list(jobs)
+    mode = normalize_reuse(reuse)
+    if mode == "off":
+        return parallel_map(func, jobs, max_workers, executor, progress)
+    store, results, missing = _store_partition(jobs, mode, store, kind)
+    if missing:
+        remapped = None
+        if progress is not None:
+            remapped = lambda i, event: progress(missing[i], event)  # noqa: E731
+        computed = parallel_map(func, [jobs[i] for i in missing],
+                                max_workers, executor, remapped)
+        for index, value in zip(missing, computed):
+            store.put(jobs[index], value, kind)
+            results[index] = value
+    return results
+
+
 def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
-             executor=None, progress=None) -> List[SimulationResult]:
+             executor=None, progress=None, reuse=None,
+             store: Optional[ResultStore] = None) -> List[SimulationResult]:
     """Execute jobs and return their results in submission order.
 
     Args:
@@ -248,23 +319,53 @@ def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
         executor: backend selection, as in :func:`parallel_map`.
         progress: ``(job_index, event)`` callback for the per-interval
             progress of interval-mode jobs (see :func:`parallel_map`).
+        reuse: result-store mode — ``"off"``/None (default; compute
+            everything), ``"auto"`` (serve stored results, compute and
+            store misses — never changes output, jobs being
+            deterministic), or ``"require"`` (raise
+            :class:`~repro.harness.results.ResultStoreMiss` on any
+            miss).  Store hits skip the backend entirely, so reuse
+            behaves identically on every executor.
+        store: the :class:`~repro.harness.results.ResultStore` to use
+            (default: the process-wide instance).
     """
-    return parallel_map(run_job, list(jobs), max_workers, executor,
-                        progress)
+    return map_jobs_stored(run_job, list(jobs), "result", max_workers,
+                           executor, progress, reuse, store)
 
 
 def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
-                       executor=None, progress=None) \
+                       executor=None, progress=None, reuse=None,
+                       store: Optional[ResultStore] = None) \
         -> Iterator[Tuple[int, SimulationResult]]:
     """Execute jobs, yielding ``(index, result)`` as each completes.
 
     The streaming face of :func:`run_jobs`: drivers that render
     artefacts incrementally consume results the moment a worker
     finishes them instead of waiting for the whole sweep.  Sorting the
-    pairs by index reproduces the :func:`run_jobs` list bitwise.
+    pairs by index reproduces the :func:`run_jobs` list bitwise.  With
+    ``reuse`` enabled, stored results are yielded first (in job order),
+    then the computed misses stream in completion order.
     """
-    yield from parallel_map_streaming(run_job, list(jobs), max_workers,
-                                      executor, progress)
+    jobs = list(jobs)
+    mode = normalize_reuse(reuse)
+    if mode == "off":
+        yield from parallel_map_streaming(run_job, jobs, max_workers,
+                                          executor, progress)
+        return
+    store_, results, missing = _store_partition(jobs, mode, store, "result")
+    for index, value in enumerate(results):
+        if value is not None:
+            yield index, value
+    if not missing:
+        return
+    remapped = None
+    if progress is not None:
+        remapped = lambda i, event: progress(missing[i], event)  # noqa: E731
+    for position, value in parallel_map_streaming(
+            run_job, [jobs[i] for i in missing], max_workers, executor,
+            remapped):
+        store_.put(jobs[missing[position]], value, "result")
+        yield missing[position], value
 
 
 # --------------------------------------------------------------------------
@@ -335,14 +436,15 @@ class ReplicatedRun:
 
 
 def run_replicated(job: SimJob, reps: int, max_workers: int = 1,
-                   executor=None, progress=None) -> ReplicatedRun:
+                   executor=None, progress=None, reuse=None,
+                   store: Optional[ResultStore] = None) -> ReplicatedRun:
     """Run a job ``reps`` times with derived seeds (see
     :func:`replicate_job`) and collect the replications.  ``progress``
-    receives ``(replica_index, event)`` for interval-mode jobs, as in
-    :func:`run_jobs`."""
+    receives ``(replica_index, event)`` for interval-mode jobs, and
+    ``reuse``/``store`` wire the result store, as in :func:`run_jobs`."""
     return ReplicatedRun(
         job, run_jobs(replicate_job(job, reps), max_workers, executor,
-                      progress))
+                      progress, reuse, store))
 
 
 def _baseline_item(item: Tuple[str, SMTConfig, int, "WarmupSpec", int]) \

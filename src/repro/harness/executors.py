@@ -46,6 +46,12 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.harness.progress import guard_progress, set_progress_sink
 from repro.harness.remote_worker import (
+    MAX_HANDSHAKE_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    auth_token_digest,
+    decode_handshake,
+    encode_handshake,
     recv_message,
     send_message,
     spawn_loopback_workers,
@@ -346,6 +352,17 @@ class RemoteExecutor(Executor):
     to the consumer as a :class:`RuntimeError`.  Instances are
     thread-safe: concurrent ``map`` calls interleave their tasks over
     the same worker fleet.
+
+    Every connection starts with a versioned handshake (protocol v2,
+    see :mod:`repro.harness.remote_worker`): the worker announces magic
+    + protocol version + an optional shared-secret digest
+    (``$REPRO_REMOTE_TOKEN``, read on both sides; loopback workers
+    inherit it automatically).  A worker with the wrong version or
+    token is answered with a clean ``("reject", reason)`` and dropped —
+    it never receives tasks — and a pre-handshake worker that sends
+    nothing is rejected after ``handshake_timeout`` seconds.  The token
+    authenticates but does not encrypt; tunnel the port (SSH/TLS) on
+    untrusted networks.
     """
 
     name = "remote"
@@ -353,13 +370,15 @@ class RemoteExecutor(Executor):
     def __init__(self, spawn_workers: int = 2, host: str = "127.0.0.1",
                  port: int = 0, timeout: float = 600.0,
                  max_attempts: int = 3,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 handshake_timeout: float = 10.0) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1 (or None for the "
                              "adaptive heuristic)")
         self.timeout = timeout
         self.max_attempts = max_attempts
         self.batch_size = batch_size
+        self.handshake_timeout = handshake_timeout
         self._tasks: "queue.Queue" = queue.Queue()
         self._results: dict = {}  # call_id -> queue.Queue
         self._progress: dict = {}  # call_id -> (index, event) callback
@@ -437,9 +456,75 @@ class RemoteExecutor(Executor):
             if live:
                 batch.append(task)
 
+    def _reject_worker(self, conn: socket.socket, reason: str) -> None:
+        """Answer a failed handshake with a clean, explained rejection."""
+        warnings.warn(f"remote executor rejected a worker: {reason}",
+                      RuntimeWarning, stacklevel=3)
+        try:
+            send_message(conn, encode_handshake(["reject", reason]))
+        except OSError:
+            pass
+
+    def _handshake_worker(self, conn: socket.socket) -> bool:
+        """Validate one worker's hello; True when it may receive tasks.
+
+        Checks magic, protocol version and — when the executor side has
+        ``$REPRO_REMOTE_TOKEN`` set — the shared-secret digest
+        (constant-time comparison).  A worker that sends nothing within
+        ``handshake_timeout`` (e.g. one predating the handshake) is
+        rejected rather than left to deadlock the connection.
+
+        Security posture: nothing from the connection is unpickled (or
+        even buffered beyond :data:`MAX_HANDSHAKE_BYTES`) until this
+        JSON handshake has passed — an unauthenticated peer can never
+        reach the pickle layer.
+        """
+        import hmac
+
+        conn.settimeout(self.handshake_timeout)
+        try:
+            hello = decode_handshake(
+                recv_message(conn, max_size=MAX_HANDSHAKE_BYTES))
+        except Exception as error:  # noqa: BLE001 - junk or timeout
+            self._reject_worker(
+                conn, f"no valid handshake received within "
+                      f"{self.handshake_timeout:.0f}s ({error}; worker "
+                      f"predates protocol v{PROTOCOL_VERSION}?)")
+            return False
+        kind = hello[0] if isinstance(hello, list) and hello else None
+        payload = hello[1] if kind == "hello" and len(hello) > 1 else None
+        if kind != "hello" or not isinstance(payload, dict) \
+                or payload.get("magic") != PROTOCOL_MAGIC:
+            self._reject_worker(conn, "bad handshake magic")
+            return False
+        version = payload.get("version")
+        if version != PROTOCOL_VERSION:
+            self._reject_worker(
+                conn, f"protocol version mismatch (worker v{version}, "
+                      f"executor v{PROTOCOL_VERSION})")
+            return False
+        expected = auth_token_digest()
+        if expected is not None:
+            supplied = payload.get("token")
+            if not isinstance(supplied, str) \
+                    or not hmac.compare_digest(expected, supplied):
+                self._reject_worker(
+                    conn, "authentication failed (REPRO_REMOTE_TOKEN "
+                          "mismatch or missing on the worker)")
+                return False
+        try:
+            send_message(conn, encode_handshake(
+                ["welcome", {"version": PROTOCOL_VERSION}]))
+        except OSError:
+            return False
+        conn.settimeout(None)
+        return True
+
     def _serve_worker(self, conn: socket.socket) -> None:
         """Feed one connected worker batches from the shared task queue."""
         try:
+            if not self._handshake_worker(conn):
+                return
             while True:
                 batch = self._gather_batch()
                 if batch is None:

@@ -1,24 +1,31 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
-Each function returns plain data structures (lists of rows) so tests,
-benchmarks and examples can all consume them; ``format_*`` helpers render
-them as the paper lays them out.  Cycle budgets are parameters: the
-defaults keep a full regeneration tractable in pure Python, and every
-driver accepts larger budgets for lower-variance runs.
+Each paper artefact is a declarative :class:`~repro.harness.scenario.Scenario`
+spec (the ``*_scenario`` builders below) compiled to the engine's job
+list and aggregated by a small driver function; :data:`ARTIFACTS` is
+the declarative registry — key, title, scenario builder, renderer —
+that ``repro scenario list`` and ``scripts/run_all_experiments.py``
+iterate.  The drivers return plain data structures (lists of rows) so
+tests, benchmarks and examples can all consume them; ``format_*``
+helpers render them as the paper lays them out.  Cycle budgets are
+parameters: the defaults keep a full regeneration tractable in pure
+Python, and every driver accepts larger budgets for lower-variance
+runs.
 
-Every driver expresses its sweep as a list of declarative
-:class:`~repro.harness.engine.SimJob` specs submitted to the parallel
-experiment engine, and accepts a ``jobs`` parameter (worker count,
-default serial) plus an ``executor`` parameter selecting the backend —
-an :class:`~repro.harness.executors.Executor` instance or a name from
+Every driver accepts a ``jobs`` parameter (worker count, default
+serial), an ``executor`` parameter selecting the backend — an
+:class:`~repro.harness.executors.Executor` instance or a name from
 :data:`~repro.harness.executors.EXECUTOR_NAMES` (serial, local process
-pool, or remote worker machines).  Results are identical for any
-``jobs`` value on any backend: job seeds are fixed by the driver and
-each job simulates independently (see :mod:`repro.harness.engine` for
-the determinism contract).  The policy-comparison drivers additionally
-take ``reps``: seed replications via
-:func:`~repro.harness.engine.derive_seed` that turn each reported
-metric into a mean with a 95% confidence interval
+pool, or remote worker machines) — and a ``reuse`` parameter wiring the
+content-addressed result store (:mod:`repro.harness.results`):
+``"auto"`` serves previously stored results and simulates only the
+misses, ``"require"`` asserts a warm store.  Results are identical for
+any ``jobs`` / ``executor`` / ``reuse`` combination: job seeds are
+fixed by the scenario and each job simulates independently (see
+:mod:`repro.harness.engine` for the determinism contract).  The
+policy-comparison drivers additionally take ``reps``: seed
+replications via :func:`~repro.harness.engine.derive_seed` that turn
+each reported metric into a mean with a 95% confidence interval
 (:class:`~repro.metrics.stats.ReplicatedResult`).  Single-thread Hmean
 baselines are shared across processes through the disk-backed baseline
 cache.
@@ -42,29 +49,35 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dcra import DcraConfig
-from repro.core.sharing import SharingModel
+from repro.core.sharing import factor_names_for_memory_latency
 from repro.harness.engine import (
     SimJob,
     derive_seeds,
     ensure_baselines_sweep,
     executor_scope,
-    parallel_map,
+    map_jobs_stored,
     run_jobs,
 )
 from repro.harness.runner import (
     PolicySpec,
     improvement_pct,
-    run_workload_intervals,
+    run_benchmarks_intervals,
+)
+from repro.harness.scenario import (
+    Scenario,
+    SweepAxis,
+    sweep_axis,
+    sweep_point,
 )
 from repro.harness.warmup import WarmupSpec
 from repro.metrics.intervals import PhaseTimeline
 from repro.metrics.stats import ReplicatedResult, safe_hmean
 from repro.pipeline.config import SMTConfig
 from repro.trace.profiles import ALL_BENCHMARKS, ILP_BENCHMARKS, MEM_BENCHMARKS, get_profile
-from repro.trace.workloads import Workload, workload_groups
+from repro.trace.workloads import workload_groups
 
 #: Workload cells evaluated in Figures 4 and 5 (paper Section 4).
 ALL_CELLS: Tuple[Tuple[int, str], ...] = tuple(
@@ -76,6 +89,11 @@ ALL_CELLS: Tuple[Tuple[int, str], ...] = tuple(
 #: Reduced representative benchmark sets for the quicker drivers.
 _FIG2_INT_BENCHMARKS = ("gzip", "gcc", "crafty", "bzip2")
 _FIG2_FP_BENCHMARKS = ("wupwise", "mesa", "apsi", "fma3d")
+
+
+def _cell_selectors(cells: Sequence[Tuple[int, str]]) -> Tuple[str, ...]:
+    """Scenario workload selectors for (thread count, type) cells."""
+    return tuple(f"{wtype}{num_threads}" for num_threads, wtype in cells)
 
 
 # --------------------------------------------------------------------------
@@ -136,6 +154,36 @@ FIG2_RESOURCES: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def figure2_scenario(
+    cycles: int = 12_000,
+    warmup: WarmupSpec = 3_000,
+    fractions: Sequence[float] = FIG2_FRACTIONS,
+    resources: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> Scenario:
+    """The Figure 2 sweep as a scenario: one grid point per (resource,
+    setting), each overriding the config *and* the benchmark set
+    (FP resources use FP benchmarks only)."""
+    points = []
+    for resource in list(resources or FIG2_RESOURCES):
+        benchmarks = FIG2_RESOURCES[resource]
+        points.append(sweep_point(
+            f"{resource}@full",
+            {"config": FIG2_CONFIG, "workloads": benchmarks}))
+        for fraction in fractions:
+            points.append(sweep_point(
+                f"{resource}@{fraction:g}",
+                {"config": _fig2_config_for(resource, fraction),
+                 "workloads": benchmarks}))
+    return Scenario(
+        name="figure2-resource-sensitivity",
+        description="Single-thread relative speed vs fraction of one "
+                    "resource, perfect L1D (paper Figure 2)",
+        workloads=(), policies=("ICOUNT",), config=FIG2_CONFIG,
+        cycles=cycles, warmup=warmup, seed=seed,
+        sweep=(SweepAxis("setting", tuple(points)),))
+
+
 def figure2_resource_sensitivity(
     cycles: int = 12_000,
     warmup: WarmupSpec = 3_000,
@@ -144,6 +192,7 @@ def figure2_resource_sensitivity(
     seed: int = 7,
     jobs: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[Figure2Row]:
     """Regenerate Figure 2: % of full speed vs % of one resource.
 
@@ -152,29 +201,28 @@ def figure2_resource_sensitivity(
     mean IPC relative to the full-resource run.
     """
     resource_names = list(resources or FIG2_RESOURCES)
-    job_list: List[SimJob] = []
-    for resource in resource_names:
-        benchmarks = FIG2_RESOURCES[resource]
-        job_list.extend(
-            SimJob((b,), "ICOUNT", FIG2_CONFIG, cycles, warmup, seed)
-            for b in benchmarks)
-        for fraction in fractions:
-            config = _fig2_config_for(resource, fraction)
-            job_list.extend(
-                SimJob((b,), "ICOUNT", config, cycles, warmup, seed)
-                for b in benchmarks)
-    results = iter(run_jobs(job_list, jobs, executor))
+    scenario = figure2_scenario(cycles, warmup, fractions, resource_names,
+                                seed)
+    compiled = scenario.compile()
+    results = run_jobs(compiled.jobs, jobs, executor, reuse=reuse)
+    per_point: Dict[int, Dict[str, float]] = {}
+    for meta, result in zip(compiled.meta, results):
+        per_point.setdefault(meta.point, {})[
+            meta.workload.benchmarks[0]] = result.threads[0].ipc
 
     rows: List[Figure2Row] = []
+    position = 0
     for resource in resource_names:
         benchmarks = FIG2_RESOURCES[resource]
-        full = {b: next(results).threads[0].ipc for b in benchmarks}
+        full = per_point[position]
+        position += 1
         for fraction in fractions:
+            scaled = per_point[position]
+            position += 1
             ratios = []
             for benchmark in benchmarks:
-                ipc = next(results).threads[0].ipc
                 if full[benchmark] > 0:
-                    ratios.append(ipc / full[benchmark])
+                    ratios.append(scaled[benchmark] / full[benchmark])
             rows.append(Figure2Row(resource, fraction,
                                    sum(ratios) / len(ratios)))
     return rows
@@ -215,6 +263,21 @@ class Table3Row:
         return "MEM" if self.measured_l2_missrate_pct > 1.0 else "ILP"
 
 
+def table3_scenario(
+    cycles: int = 15_000,
+    warmup: WarmupSpec = 4_000,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 3,
+) -> Scenario:
+    """Table 3 as a scenario: every benchmark running alone."""
+    return Scenario(
+        name="table3-miss-rates",
+        description="Single-thread L2 miss rate and MEM/ILP class per "
+                    "benchmark (paper Table 3)",
+        workloads=tuple(benchmarks or sorted(ALL_BENCHMARKS)),
+        policies=("ICOUNT",), cycles=cycles, warmup=warmup, seed=seed)
+
+
 def table3_miss_rates(
     cycles: int = 15_000,
     warmup: WarmupSpec = 4_000,
@@ -222,13 +285,16 @@ def table3_miss_rates(
     seed: int = 3,
     jobs: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[Table3Row]:
     """Regenerate Table 3: single-thread L2 miss rate per benchmark."""
-    names = list(benchmarks or sorted(ALL_BENCHMARKS))
-    job_list = [SimJob((name,), "ICOUNT", None, cycles, warmup, seed)
-                for name in names]
+    scenario = table3_scenario(cycles, warmup, benchmarks, seed)
+    compiled = scenario.compile()
     rows = []
-    for name, result in zip(names, run_jobs(job_list, jobs, executor)):
+    for meta, result in zip(compiled.meta,
+                            run_jobs(compiled.jobs, jobs, executor,
+                                     reuse=reuse)):
+        name = meta.workload.benchmarks[0]
         profile = get_profile(name)
         rows.append(Table3Row(
             benchmark=name,
@@ -270,19 +336,39 @@ class Table5Row:
 #: Phase-timeline resolution of the Table 5 driver, in cycles.
 TABLE5_INTERVAL_CYCLES = 2_000
 
+#: Cell order of the Table 5 rows.
+_TABLE5_WTYPES = ("ILP", "MIX", "MEM")
 
-def _table5_timeline(item: Tuple[Workload, int, WarmupSpec, int, int]) \
-        -> PhaseTimeline:
-    """Recorded phase timeline of one 2-thread workload under DCRA.
 
-    Module-level (not a closure) so :func:`parallel_map` can ship it to
-    worker processes.  The phase data is the per-cycle fast/slow
-    histogram the interval recorder tracks natively — no driver-side
-    cycle hooks or ad-hoc counters.
+def table5_scenario(
+    cycles: int = 20_000,
+    warmup: WarmupSpec = 4_000,
+    seed: int = 5,
+    interval_cycles: int = TABLE5_INTERVAL_CYCLES,
+) -> Scenario:
+    """Table 5 as a scenario: every 2-thread cell under DCRA, chunked."""
+    return Scenario(
+        name="table5-phase-distribution",
+        description="Fast/slow phase combinations of the 2-thread cells "
+                    "under DCRA, from recorded phase timelines (paper "
+                    "Table 5)",
+        workloads=tuple(f"{wtype}2" for wtype in _TABLE5_WTYPES),
+        policies=("DCRA",), cycles=cycles, warmup=warmup, seed=seed,
+        interval_cycles=interval_cycles)
+
+
+def _job_phase_timeline(job: SimJob) -> PhaseTimeline:
+    """Recorded phase timeline of one compiled Table 5 job.
+
+    Module-level (not a closure) so the engine can ship it to worker
+    processes; the payload is store-reusable under the
+    ``"phase_timeline"`` kind.  The phase data is the per-cycle
+    fast/slow histogram the interval recorder tracks natively — no
+    driver-side cycle hooks or ad-hoc counters.
     """
-    workload, cycles, warmup, seed, interval_cycles = item
-    run = run_workload_intervals(workload, "DCRA", None, cycles, warmup,
-                                 seed, interval_cycles=interval_cycles)
+    run = run_benchmarks_intervals(
+        list(job.benchmarks), job.policy, job.config, job.cycles,
+        job.warmup, job.seed, interval_cycles=job.interval_cycles)
     return run.recorder.phase_timeline()
 
 
@@ -293,6 +379,7 @@ def table5_phase_distribution(
     jobs: int = 1,
     executor=None,
     interval_cycles: int = TABLE5_INTERVAL_CYCLES,
+    reuse=None,
 ) -> List[Table5Row]:
     """Regenerate Table 5: % of cycles 2-thread workloads spend with both
     threads slow, one slow one fast, or both fast (under DCRA).
@@ -305,7 +392,8 @@ def table5_phase_distribution(
     """
     rows = []
     for wtype, timeline in table5_timelines(cycles, warmup, seed, jobs,
-                                            executor, interval_cycles):
+                                            executor, interval_cycles,
+                                            reuse):
         slow_slow, mixed, fast_fast = timeline.two_thread_split()
         rows.append(Table5Row(
             wtype=wtype,
@@ -323,18 +411,19 @@ def table5_timelines(
     jobs: int = 1,
     executor=None,
     interval_cycles: int = TABLE5_INTERVAL_CYCLES,
+    reuse=None,
 ) -> List[Tuple[str, PhaseTimeline]]:
     """Merged per-cell phase timelines behind Table 5, one per type."""
-    wtypes = ("ILP", "MIX", "MEM")
-    items = [(workload, cycles, warmup, seed, interval_cycles)
-             for wtype in wtypes
-             for workload in workload_groups(2, wtype)]
-    per_workload = iter(parallel_map(_table5_timeline, items, jobs,
-                                     executor))
+    scenario = table5_scenario(cycles, warmup, seed, interval_cycles)
+    compiled = scenario.compile()
+    timelines = map_jobs_stored(_job_phase_timeline, compiled.jobs,
+                                "phase_timeline", jobs, executor,
+                                reuse=reuse)
     return [
         (wtype, PhaseTimeline.merge(
-            [next(per_workload) for _ in workload_groups(2, wtype)]))
-        for wtype in wtypes
+            [timeline for meta, timeline in zip(compiled.meta, timelines)
+             if meta.workload.wtype == wtype]))
+        for wtype in _TABLE5_WTYPES
     ]
 
 
@@ -370,44 +459,51 @@ class CellResult:
     hmean_stats: Optional[ReplicatedResult] = None
 
 
-def compare_policies(
+def comparison_scenario(
     policies: Sequence[PolicySpec],
     cells: Sequence[Tuple[int, str]] = ALL_CELLS,
     config: Optional[SMTConfig] = None,
     cycles: int = 30_000,
     warmup: WarmupSpec = 5_000,
     seed: int = 1,
-    jobs: int = 1,
     reps: int = 1,
-    executor=None,
     interval_cycles: Optional[int] = None,
+    name: str = "policy-comparison",
+) -> Scenario:
+    """The policy-comparison sweep (Figures 4/5/6/7's core) as a
+    scenario: one cell selector per (thread count, type), every policy
+    on every group, shared seeds within a replication."""
+    return Scenario(
+        name=name,
+        workloads=_cell_selectors(cells),
+        policies=tuple(policies),
+        config=config, cycles=cycles, warmup=warmup, seed=seed,
+        reps=reps, interval_cycles=interval_cycles)
+
+
+def _scenario_comparison(
+    scenario: Scenario,
+    cells: Sequence[Tuple[int, str]],
+    jobs: int = 1,
+    backend=None,
     progress=None,
+    reuse=None,
 ) -> List[CellResult]:
-    """Evaluate policies over workload cells, averaging the four groups.
+    """Run one concrete (no-sweep) comparison scenario and aggregate.
 
-    This is the driver behind Figures 4, 5, 6 and 7.  The sweep runs as
-    two engine phases: the single-thread Hmean baselines of every
-    benchmark involved, then one job per (replication, workload,
-    policy).  Within a replication all jobs share one seed so every
-    policy sees identical instruction streams; with ``reps > 1`` the
-    whole comparison is repeated per derived seed (:func:`derive_seed`)
-    and each cell reports the mean plus a
-    :class:`~repro.metrics.stats.ReplicatedResult` spread.
-
-    ``interval_cycles`` switches the policy jobs to chunked simulation
-    (identical results; per-interval progress streams to the optional
-    ``(job_index, event)`` ``progress`` callback through whichever
-    backend runs the sweep).
-
-    ``warmup`` accepts a fixed cycle count or a
-    :class:`~repro.harness.warmup.WarmupPolicy`: with a steady-state
-    policy every job (and every Hmean baseline) resolves its own
-    warm-up length from its interval series instead of sharing one
-    guessed count — the per-run resolutions ride back on each
-    ``SimulationResult.warmup_cycles``.
+    The shared core behind :func:`compare_policies` and the per-point
+    aggregation of the Figure 6/7 sweeps: single-thread baselines
+    first, then one engine call for the compiled jobs, then the
+    historical per-cell aggregation (four groups averaged, Hmean per
+    replication against that replication's own baselines).  Results
+    are looked up through the compiled job provenance
+    (:class:`~repro.harness.scenario.JobMeta`), so a ``cells`` list
+    out of sync with ``scenario.workloads`` is a loud error, never a
+    silent misattribution.
     """
-    config = config or SMTConfig()
-    seeds = derive_seeds(seed, reps)
+    config = scenario.config or SMTConfig()
+    reps = scenario.reps
+    seeds = derive_seeds(scenario.seed, reps)
     cell_workloads = [(num_threads, wtype,
                        list(workload_groups(num_threads, wtype)))
                       for num_threads, wtype in cells]
@@ -415,36 +511,35 @@ def compare_policies(
                       for _, _, workloads in cell_workloads
                       for workload in workloads
                       for b in workload.benchmarks]
-    job_list: List[SimJob] = []
-    for rep_seed in seeds:
-        for _, _, workloads in cell_workloads:
-            for workload in workloads:
-                job_list.extend(
-                    SimJob(tuple(workload.benchmarks), policy, config,
-                           cycles, warmup, rep_seed,
-                           tag=workload.name,
-                           interval_cycles=interval_cycles)
-                    for policy in policies)
-    # One backend for both engine phases (a named 'remote' executor
-    # spawns its worker fleet once, not once per phase).
-    with executor_scope(executor, jobs) as backend:
-        singles = ensure_baselines_sweep(all_benchmarks, seeds, config,
-                                         cycles, warmup, max_workers=jobs,
-                                         executor=backend)
-        job_results = iter(run_jobs(job_list, jobs, backend, progress))
+    compiled = scenario.compile()
+    singles = ensure_baselines_sweep(all_benchmarks, seeds, config,
+                                     scenario.cycles, scenario.warmup,
+                                     max_workers=jobs, executor=backend)
+    results = run_jobs(compiled.jobs, jobs, backend, progress, reuse)
+    by_key = {(meta.rep, meta.workload, meta.policy_index): result
+              for meta, result in zip(compiled.meta, results)}
+
+    def result_for(rep: int, workload, policy_index: int):
+        try:
+            return by_key[(rep, workload, policy_index)]
+        except KeyError:
+            raise ValueError(
+                f"scenario {scenario.name!r} compiled no job for "
+                f"{workload.name} (cells out of sync with "
+                f"scenario.workloads?)") from None
 
     # Per replication, the historical per-cell aggregation; keys appear
     # in (cell order, policy completion order), preserved below.
     per_rep: List[Dict[Tuple[int, str, str], Tuple[float, float]]] = []
-    for rep_seed in seeds:
+    for rep, rep_seed in enumerate(seeds):
         cell_metrics: Dict[Tuple[int, str, str], Tuple[float, float]] = {}
         for num_threads, wtype, workloads in cell_workloads:
             sums: Dict[str, List[float]] = {}
             for workload in workloads:
                 workload_singles = [singles[(b, rep_seed)]
                                     for b in workload.benchmarks]
-                for _ in policies:
-                    result = next(job_results)
+                for policy_index in range(len(scenario.policies)):
+                    result = result_for(rep, workload, policy_index)
                     entry = sums.setdefault(result.policy, [0.0, 0.0])
                     entry[0] += result.throughput / 4.0
                     hmean = safe_hmean(result.ipcs, workload_singles,
@@ -470,6 +565,56 @@ def compare_policies(
             sum(hmeans) / len(hmeans),
             throughput_stats, hmean_stats))
     return results
+
+
+def compare_policies(
+    policies: Sequence[PolicySpec],
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    config: Optional[SMTConfig] = None,
+    cycles: int = 30_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+    jobs: int = 1,
+    reps: int = 1,
+    executor=None,
+    interval_cycles: Optional[int] = None,
+    progress=None,
+    reuse=None,
+) -> List[CellResult]:
+    """Evaluate policies over workload cells, averaging the four groups.
+
+    This is the driver behind Figures 4, 5, 6 and 7.  The sweep is a
+    :func:`comparison_scenario` compiled to two engine phases: the
+    single-thread Hmean baselines of every benchmark involved, then one
+    job per (replication, workload, policy).  Within a replication all
+    jobs share one seed so every policy sees identical instruction
+    streams; with ``reps > 1`` the whole comparison is repeated per
+    derived seed (:func:`derive_seed`) and each cell reports the mean
+    plus a :class:`~repro.metrics.stats.ReplicatedResult` spread.
+
+    ``interval_cycles`` switches the policy jobs to chunked simulation
+    (identical results; per-interval progress streams to the optional
+    ``(job_index, event)`` ``progress`` callback through whichever
+    backend runs the sweep).
+
+    ``warmup`` accepts a fixed cycle count or a
+    :class:`~repro.harness.warmup.WarmupPolicy`: with a steady-state
+    policy every job (and every Hmean baseline) resolves its own
+    warm-up length from its interval series instead of sharing one
+    guessed count — the per-run resolutions ride back on each
+    ``SimulationResult.warmup_cycles``.
+
+    ``reuse`` wires the content-addressed result store: ``"auto"``
+    serves stored job results and simulates only the misses (identical
+    output — jobs are deterministic), ``"require"`` raises on any miss.
+    """
+    scenario = comparison_scenario(policies, cells, config, cycles,
+                                   warmup, seed, reps, interval_cycles)
+    # One backend for both engine phases (a named 'remote' executor
+    # spawns its worker fleet once, not once per phase).
+    with executor_scope(executor, jobs) as backend:
+        return _scenario_comparison(scenario, cells, jobs, backend,
+                                    progress, reuse)
 
 
 @dataclass
@@ -510,6 +655,19 @@ def improvements_over(results: Sequence[CellResult],
     return rows
 
 
+def figure4_scenario(
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    cycles: int = 30_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+    reps: int = 1,
+) -> Scenario:
+    """Figure 4's sweep: DCRA against static allocation."""
+    return comparison_scenario(
+        ["SRA", "DCRA"], cells, None, cycles, warmup, seed, reps,
+        name="figure4-dcra-vs-static")
+
+
 def figure4_dcra_vs_static(
     cells: Sequence[Tuple[int, str]] = ALL_CELLS,
     cycles: int = 30_000,
@@ -518,11 +676,27 @@ def figure4_dcra_vs_static(
     jobs: int = 1,
     reps: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[ImprovementRow]:
     """Regenerate Figure 4: DCRA improvement over SRA per workload cell."""
-    results = compare_policies(["SRA", "DCRA"], cells, None, cycles,
-                               warmup, seed, jobs, reps, executor)
+    scenario = figure4_scenario(cells, cycles, warmup, seed, reps)
+    with executor_scope(executor, jobs) as backend:
+        results = _scenario_comparison(scenario, cells, jobs, backend,
+                                       reuse=reuse)
     return improvements_over(results)
+
+
+def figure5_scenario(
+    cells: Sequence[Tuple[int, str]] = ALL_CELLS,
+    cycles: int = 30_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+    reps: int = 1,
+) -> Scenario:
+    """Figure 5's sweep: the fetch policies against DCRA."""
+    return comparison_scenario(
+        ["ICOUNT", "DG", "FLUSH++", "DCRA"], cells, None, cycles, warmup,
+        seed, reps, name="figure5-policy-comparison")
 
 
 def figure5_policy_comparison(
@@ -533,10 +707,13 @@ def figure5_policy_comparison(
     jobs: int = 1,
     reps: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[CellResult]:
     """Regenerate Figure 5: throughput and Hmean for the fetch policies."""
-    return compare_policies(["ICOUNT", "DG", "FLUSH++", "DCRA"], cells,
-                            None, cycles, warmup, seed, jobs, reps, executor)
+    scenario = figure5_scenario(cells, cycles, warmup, seed, reps)
+    with executor_scope(executor, jobs) as backend:
+        return _scenario_comparison(scenario, cells, jobs, backend,
+                                    reuse=reuse)
 
 
 def format_improvements(rows: Sequence[ImprovementRow]) -> str:
@@ -599,26 +776,59 @@ class SweepRow:
     hmean_improvement_pct: float
 
 
-def _averaged_improvements(
-    policies: Sequence[PolicySpec],
-    config: SMTConfig,
-    cells: Sequence[Tuple[int, str]],
-    cycles: int,
-    warmup: "WarmupSpec",
-    seed: int,
-    subject: str = "DCRA",
-    jobs: int = 1,
-    reps: int = 1,
-    executor=None,
-) -> Dict[str, float]:
+def _mean_hmean_improvements(results: Sequence[CellResult],
+                             subject: str = "DCRA") -> Dict[str, float]:
     """Mean Hmean-improvement of the subject over each baseline."""
-    results = compare_policies(policies, cells, config, cycles, warmup,
-                               seed, jobs, reps, executor)
     rows = improvements_over(results, subject)
     sums: Dict[str, List[float]] = {}
     for row in rows:
         sums.setdefault(row.baseline, []).append(row.hmean_improvement_pct)
     return {name: sum(vals) / len(vals) for name, vals in sums.items()}
+
+
+def _sweep_rows(
+    scenario: Scenario,
+    cells: Sequence[Tuple[int, str]],
+    parameter_of: Callable[[object], int],
+    jobs: int = 1,
+    executor=None,
+    reuse=None,
+) -> List[SweepRow]:
+    """Aggregate a swept comparison scenario into Figure 6/7 rows.
+
+    Every grid point is one full policy comparison (its own
+    configuration, its own baselines); ``parameter_of`` maps the
+    point to the integer the x-axis plots.
+    """
+    rows: List[SweepRow] = []
+    with executor_scope(executor, jobs) as backend:
+        for point in scenario.grid_points():
+            results = _scenario_comparison(point.scenario, cells, jobs,
+                                           backend, reuse=reuse)
+            improvements = _mean_hmean_improvements(results)
+            for baseline, value in sorted(improvements.items()):
+                rows.append(SweepRow(parameter_of(point), baseline, value))
+    return rows
+
+
+def figure6_scenario(
+    register_sizes: Sequence[int] = FIG6_REGISTER_SIZES,
+    cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
+    cycles: int = 25_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+    reps: int = 1,
+) -> Scenario:
+    """Figure 6's sweep: the full comparison per register-file size."""
+    base = comparison_scenario(
+        ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], cells, None, cycles,
+        warmup, seed, reps, name="figure6-register-sweep")
+    return dataclasses.replace(
+        base,
+        description="DCRA Hmean improvement vs physical register file "
+                    "size (paper Figure 6)",
+        sweep=(sweep_axis("registers", "config.registers",
+                          register_sizes),))
 
 
 def figure6_register_sweep(
@@ -630,19 +840,14 @@ def figure6_register_sweep(
     jobs: int = 1,
     reps: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[SweepRow]:
     """Regenerate Figure 6: Hmean improvement vs register file size."""
-    rows = []
-    with executor_scope(executor, jobs) as backend:
-        for size in register_sizes:
-            config = SMTConfig().with_registers(size)
-            improvements = _averaged_improvements(
-                ["ICOUNT", "FLUSH++", "DG", "SRA", "DCRA"], config, cells,
-                cycles, warmup, seed, jobs=jobs, reps=reps,
-                executor=backend)
-            for baseline, value in sorted(improvements.items()):
-                rows.append(SweepRow(size, baseline, value))
-    return rows
+    scenario = figure6_scenario(register_sizes, cells, cycles, warmup,
+                                seed, reps)
+    return _sweep_rows(scenario, cells,
+                       lambda point: point.get("config.registers"),
+                       jobs, executor, reuse)
 
 
 # --------------------------------------------------------------------------
@@ -654,13 +859,46 @@ FIG7_LATENCIES = ((100, 10), (300, 20), (500, 25))
 
 
 def dcra_for_latency(memory_latency: int) -> PolicySpec:
-    """DCRA with the paper's latency-tuned sharing factor (Section 5.3)."""
-    model = SharingModel.for_memory_latency(memory_latency)
+    """DCRA with the paper's latency-tuned sharing factor (Section 5.3).
+
+    The config carries factor *names*, not resolved callables: names
+    have stable reprs (result-store keys identical across processes)
+    and serialise to JSON scenario files; a :class:`SharingModel`'s
+    resolved function objects would defeat both.
+    """
+    iq_name, reg_name = factor_names_for_memory_latency(memory_latency)
     config = DcraConfig(
-        iq_sharing_factor=model.iq_factor,
-        reg_sharing_factor=model.reg_factor,
+        iq_sharing_factor=iq_name,
+        reg_sharing_factor=reg_name,
     )
     return ("DCRA", {"config": config})
+
+
+def figure7_scenario(
+    latencies: Sequence[Tuple[int, int]] = FIG7_LATENCIES,
+    cells: Sequence[Tuple[int, str]] = SWEEP_CELLS,
+    cycles: int = 25_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+    reps: int = 1,
+) -> Scenario:
+    """Figure 7's sweep: each latency pairing brings its own config
+    *and* its own latency-tuned DCRA (a multi-field sweep point)."""
+    base = comparison_scenario(
+        ["ICOUNT"], cells, None, cycles, warmup, seed, reps,
+        name="figure7-latency-sweep")
+    points = tuple(
+        sweep_point(str(memory_latency), {
+            "config.latencies": (memory_latency, l2_latency),
+            "policies": ("ICOUNT", "FLUSH++", "DG", "SRA",
+                         dcra_for_latency(memory_latency)),
+        })
+        for memory_latency, l2_latency in latencies)
+    return dataclasses.replace(
+        base,
+        description="DCRA Hmean improvement vs memory latency, "
+                    "latency-tuned sharing factors (paper Figure 7)",
+        sweep=(SweepAxis("latency", points),))
 
 
 def figure7_latency_sweep(
@@ -672,20 +910,14 @@ def figure7_latency_sweep(
     jobs: int = 1,
     reps: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[SweepRow]:
     """Regenerate Figure 7: Hmean improvement vs memory latency."""
-    rows = []
-    with executor_scope(executor, jobs) as backend:
-        for memory_latency, l2_latency in latencies:
-            config = SMTConfig().with_latencies(memory_latency, l2_latency)
-            improvements = _averaged_improvements(
-                ["ICOUNT", "FLUSH++", "DG", "SRA",
-                 dcra_for_latency(memory_latency)],
-                config, cells, cycles, warmup, seed, jobs=jobs, reps=reps,
-                executor=backend)
-            for baseline, value in sorted(improvements.items()):
-                rows.append(SweepRow(memory_latency, baseline, value))
-    return rows
+    scenario = figure7_scenario(latencies, cells, cycles, warmup, seed,
+                                reps)
+    return _sweep_rows(scenario, cells,
+                       lambda point: point.get("config.latencies")[0],
+                       jobs, executor, reuse)
 
 
 def format_sweep(rows: Sequence[SweepRow], parameter_name: str) -> str:
@@ -711,6 +943,22 @@ class Text52Row:
     avg_l2_overlap: float
 
 
+def text52_scenario(
+    cells: Sequence[Tuple[int, str]] = ((2, "MIX"), (4, "MIX"), (2, "MEM")),
+    cycles: int = 25_000,
+    warmup: WarmupSpec = 5_000,
+    seed: int = 1,
+) -> Scenario:
+    """The Section 5.2 measurement as a scenario: FLUSH++ vs DCRA."""
+    return Scenario(
+        name="text52-frontend-mlp",
+        description="Front-end activity and L2-miss overlap of FLUSH++ "
+                    "vs DCRA (paper Section 5.2)",
+        workloads=_cell_selectors(cells),
+        policies=("FLUSH++", "DCRA"),
+        cycles=cycles, warmup=warmup, seed=seed)
+
+
 def text52_frontend_and_mlp(
     cells: Sequence[Tuple[int, str]] = ((2, "MIX"), (4, "MIX"), (2, "MEM")),
     cycles: int = 25_000,
@@ -718,25 +966,27 @@ def text52_frontend_and_mlp(
     seed: int = 1,
     jobs: int = 1,
     executor=None,
+    reuse=None,
 ) -> List[Text52Row]:
     """Measure the Section 5.2 claims: FLUSH++ fetches ~2x more than DCRA
     while DCRA overlaps more L2 misses (memory parallelism)."""
-    policies = ("FLUSH++", "DCRA")
-    job_list = [
-        SimJob(tuple(workload.benchmarks), policy, None, cycles, warmup, seed)
-        for num_threads, wtype in cells
-        for policy in policies
-        for workload in workload_groups(num_threads, wtype)
-    ]
-    job_results = iter(run_jobs(job_list, jobs, executor))
+    scenario = text52_scenario(cells, cycles, warmup, seed)
+    compiled = scenario.compile()
+    results = run_jobs(compiled.jobs, jobs, executor, reuse=reuse)
+    by_key: Dict[Tuple[int, str, int, int], object] = {}
+    for meta, result in zip(compiled.meta, results):
+        workload = meta.workload
+        by_key[(workload.num_threads, workload.wtype, workload.group,
+                meta.policy_index)] = result
 
     rows = []
     for num_threads, wtype in cells:
-        for policy in policies:
+        for policy_index, policy in enumerate(scenario.policies):
             fetched = committed = 0
             overlap = 0.0
-            for _ in workload_groups(num_threads, wtype):
-                result = next(job_results)
+            for workload in workload_groups(num_threads, wtype):
+                result = by_key[(num_threads, wtype, workload.group,
+                                 policy_index)]
                 fetched += result.total_fetched
                 committed += result.total_committed
                 overlap += result.avg_l2_overlap / 4.0
@@ -758,3 +1008,184 @@ def format_text52(rows: Sequence[Text52Row]) -> str:
                      f"{row.fetched_per_commit:13.2f} "
                      f"{row.avg_l2_overlap:11.2f}")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# The paper-artefact registry (the declarative scenario suite)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArtifactDef:
+    """One paper artefact: its scenario spec and how to render it.
+
+    Attributes:
+        key: short identifier (``fig5``, ``table3``, ...) — what
+            ``repro scenario run KEY`` and ``repro scenario list`` use.
+        title: section heading for reports.
+        scenario: zero-argument builder of the full-budget spec — the
+            *same* budgets and policies ``render`` runs, so saving the
+            built scenario to a file and running the file compiles the
+            identical job list as ``repro scenario run KEY``.  The two
+            routes also share store entries, with one exception:
+            ``table5``'s renderer stores phase timelines (payload kind
+            ``"phase_timeline"``) while the generic file route stores
+            plain results, and the kind is part of the store key.
+        render: renderer producing the artefact's formatted text;
+            keyword arguments ``jobs``, ``executor``, ``reps``,
+            ``reuse``, ``warmup``/``cycles``/``seed`` (None = the
+            artefact's published budget) and ``interval_cycles`` are
+            accepted by every entry (artefacts without replication or
+            interval knobs ignore ``reps`` / ``interval_cycles``).
+    """
+
+    key: str
+    title: str
+    scenario: Callable[[], Scenario]
+    render: Callable[..., str]
+
+
+def _pick(value, default):
+    """A CLI override when given, the artefact's published default else."""
+    return default if value is None else value
+
+
+#: Full-regeneration budgets.  The 9-cell comparison runs at
+#: FULL_BUDGET_*; the sensitivity sweeps and Table 5 at SWEEP_BUDGET_*
+#: (shared by the renderers below and the registry's scenario
+#: builders, so both routes compile identical jobs).
+FULL_BUDGET_CYCLES = 24_000
+FULL_BUDGET_WARMUP = 5_000
+SWEEP_BUDGET_CYCLES = 20_000
+SWEEP_BUDGET_WARMUP = 4_000
+
+
+def figures45_scenario(
+    cycles: int = FULL_BUDGET_CYCLES,
+    warmup: WarmupSpec = FULL_BUDGET_WARMUP,
+    seed: int = 1,
+    reps: int = 1,
+    interval_cycles: Optional[int] = None,
+) -> Scenario:
+    """The full-budget Figures 4+5 sweep: all five policies, 9 cells."""
+    return comparison_scenario(
+        ["ICOUNT", "DG", "FLUSH++", "SRA", "DCRA"], ALL_CELLS, None,
+        cycles, warmup, seed, reps, interval_cycles,
+        name="figures45-full-comparison")
+
+
+def _render_figure2(jobs=1, executor=None, reps=1, reuse=None,
+                    warmup=None, interval_cycles=None, cycles=None,
+                    seed=None) -> str:
+    return format_figure2(figure2_resource_sensitivity(
+        cycles=_pick(cycles, 12_000), warmup=_pick(warmup, 3_000),
+        seed=_pick(seed, 7), jobs=jobs, executor=executor, reuse=reuse))
+
+
+def _render_table3(jobs=1, executor=None, reps=1, reuse=None,
+                   warmup=None, interval_cycles=None, cycles=None,
+                   seed=None) -> str:
+    return format_table3(table3_miss_rates(
+        cycles=_pick(cycles, 15_000), warmup=_pick(warmup, 4_000),
+        seed=_pick(seed, 3), jobs=jobs, executor=executor, reuse=reuse))
+
+
+def _render_table5(jobs=1, executor=None, reps=1, reuse=None,
+                   warmup=None, interval_cycles=None, cycles=None,
+                   seed=None) -> str:
+    return format_table5(table5_phase_distribution(
+        cycles=_pick(cycles, SWEEP_BUDGET_CYCLES),
+        warmup=_pick(warmup, SWEEP_BUDGET_WARMUP),
+        seed=_pick(seed, 5), jobs=jobs, executor=executor, reuse=reuse))
+
+
+def _render_figures45(jobs=1, executor=None, reps=1, reuse=None,
+                      warmup=None, interval_cycles=None, cycles=None,
+                      seed=None) -> str:
+    scenario = figures45_scenario(
+        cycles=_pick(cycles, FULL_BUDGET_CYCLES),
+        warmup=_pick(warmup, FULL_BUDGET_WARMUP),
+        seed=_pick(seed, 1), reps=reps, interval_cycles=interval_cycles)
+    with executor_scope(executor, jobs) as backend:
+        results = _scenario_comparison(scenario, ALL_CELLS, jobs, backend,
+                                       reuse=reuse)
+    lines = [format_cell_results(results), ""]
+    rows = improvements_over(results)
+    lines.append(format_improvements(rows))
+    for baseline in ("SRA", "ICOUNT", "DG", "FLUSH++"):
+        values = [r.hmean_improvement_pct for r in rows
+                  if r.baseline == baseline]
+        tp = [r.throughput_improvement_pct for r in rows
+              if r.baseline == baseline]
+        lines.append(
+            f"DCRA vs {baseline}: mean Hmean {sum(values) / len(values):+.1f}%"
+            f"  mean throughput {sum(tp) / len(tp):+.1f}%")
+    return "\n".join(lines)
+
+
+def _render_figure6(jobs=1, executor=None, reps=1, reuse=None,
+                    warmup=None, interval_cycles=None, cycles=None,
+                    seed=None) -> str:
+    return format_sweep(figure6_register_sweep(
+        cycles=_pick(cycles, SWEEP_BUDGET_CYCLES),
+        warmup=_pick(warmup, SWEEP_BUDGET_WARMUP),
+        seed=_pick(seed, 1), jobs=jobs, reps=reps,
+        executor=executor, reuse=reuse), "registers")
+
+
+def _render_figure7(jobs=1, executor=None, reps=1, reuse=None,
+                    warmup=None, interval_cycles=None, cycles=None,
+                    seed=None) -> str:
+    return format_sweep(figure7_latency_sweep(
+        cycles=_pick(cycles, SWEEP_BUDGET_CYCLES),
+        warmup=_pick(warmup, SWEEP_BUDGET_WARMUP),
+        seed=_pick(seed, 1), jobs=jobs, reps=reps,
+        executor=executor, reuse=reuse), "latency")
+
+
+def _render_text52(jobs=1, executor=None, reps=1, reuse=None,
+                   warmup=None, interval_cycles=None, cycles=None,
+                   seed=None) -> str:
+    return format_text52(text52_frontend_and_mlp(
+        cycles=_pick(cycles, SWEEP_BUDGET_CYCLES),
+        warmup=_pick(warmup, SWEEP_BUDGET_WARMUP),
+        seed=_pick(seed, 1), jobs=jobs, executor=executor, reuse=reuse))
+
+
+def _sweep_budget(builder: Callable[..., Scenario]) -> Callable[[], Scenario]:
+    """Registry adapter: the builder at the published sweep budget."""
+    def build() -> Scenario:
+        return builder(cycles=SWEEP_BUDGET_CYCLES,
+                       warmup=SWEEP_BUDGET_WARMUP)
+    return build
+
+
+#: Every simulation-backed paper artefact, in suite order, each with
+#: the scenario its renderer actually runs.  (Table 1 is exact
+#: arithmetic — no simulation, no scenario — and stays in
+#: ``scripts/run_all_experiments.py``.)
+ARTIFACTS: Tuple[ArtifactDef, ...] = (
+    ArtifactDef("fig2", "Figure 2 — resource sensitivity (perfect L1D)",
+                figure2_scenario, _render_figure2),
+    ArtifactDef("table3", "Table 3 — L2 miss rates",
+                table3_scenario, _render_table3),
+    ArtifactDef("table5", "Table 5 — phase distribution (2-thread)",
+                _sweep_budget(table5_scenario), _render_table5),
+    ArtifactDef("figs45", "Figures 4+5 — full 9-cell policy comparison",
+                figures45_scenario, _render_figures45),
+    ArtifactDef("fig6", "Figure 6 — register sweep",
+                _sweep_budget(figure6_scenario), _render_figure6),
+    ArtifactDef("fig7", "Figure 7 — latency sweep",
+                _sweep_budget(figure7_scenario), _render_figure7),
+    ArtifactDef("text52", "Section 5.2 — front-end activity / MLP",
+                _sweep_budget(text52_scenario), _render_text52),
+)
+
+
+def find_artifact(key: str) -> ArtifactDef:
+    """Look an artefact up by key, with a helpful error."""
+    for artifact in ARTIFACTS:
+        if artifact.key == key:
+            return artifact
+    raise ValueError(
+        f"unknown artefact {key!r} (expected one of "
+        f"{', '.join(a.key for a in ARTIFACTS)})")

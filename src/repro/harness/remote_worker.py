@@ -11,7 +11,20 @@ Run one per core on each machine you want in the fleet::
 Wire protocol (deliberately minimal):
 
 * Every message is a 4-byte big-endian length prefix followed by a
-  pickle payload.
+  pickle payload — except the handshake, which is JSON.
+* **Handshake** (protocol v2): the worker opens with the *JSON*
+  message ``["hello", {"magic", "version", "token"}]`` —
+  :data:`PROTOCOL_MAGIC`, :data:`PROTOCOL_VERSION`, and the SHA-256
+  digest of ``$REPRO_REMOTE_TOKEN`` (null when unset).  The server
+  answers JSON ``["welcome", {"version": ...}]`` and pickle task flow
+  begins, or ``["reject", reason]`` and closes — a version or token
+  mismatch is a clean, explained error on both ends, never a pickle
+  crash mid-sweep.  JSON (plus a size cap on the hello) is deliberate:
+  the executor never unpickles a byte from a connection that has not
+  authenticated, so an unauthenticated stranger cannot smuggle a
+  malicious pickle through the handshake.  A worker that receives
+  anything else first (an executor predating the handshake) also fails
+  cleanly.
 * Server -> worker: ``("tasks", [blob, ...])`` — each blob a pickled
   ``(func, item)`` pair with ``func`` a picklable top-level callable —
   or ``("shutdown", None)``.  Batching several tasks per message
@@ -24,8 +37,12 @@ Wire protocol (deliberately minimal):
   ``(False, traceback_text)`` pair per task.  The worker survives task
   exceptions and keeps serving.
 * The legacy single-task form ``("task", (func, item))`` (answered by a
-  bare ``(ok, value)`` pair) is still accepted, so an old executor can
-  drive a new worker.
+  bare ``(ok, value)`` pair) is still accepted *within a protocol
+  version*, so an executor may mix framings freely after the handshake.
+
+The shared-secret token authenticates, it does not encrypt: on
+untrusted networks run the executor behind an SSH tunnel or a TLS
+terminator (the protocol is plain TCP by design — see README).
 
 Determinism of the overall sweep does not depend on this module: tasks
 are pure functions of their item, so the executor reassembles identical
@@ -35,14 +52,96 @@ results whatever worker ran them, in whatever order or batching.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import os
 import pickle
 import socket
 import struct
 import sys
 import traceback
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 _LENGTH_PREFIX = struct.Struct(">I")
+
+#: Protocol identity exchanged in the handshake.  Bump the version on
+#: any wire-format change; mismatched peers then part with a clean
+#: error instead of undefined unpickling behaviour.
+PROTOCOL_MAGIC = "repro-remote"
+PROTOCOL_VERSION = 2
+
+#: Upper bound on a handshake message: hellos are a few hundred bytes,
+#: and the executor must never allocate attacker-sized buffers (or
+#: unpickle anything) for a connection that has not authenticated yet.
+MAX_HANDSHAKE_BYTES = 64 * 1024
+
+
+class HandshakeError(ConnectionError):
+    """Raised when the executor/worker handshake fails or is rejected."""
+
+
+def auth_token_digest(token: Optional[str] = None) -> Optional[str]:
+    """Digest of the shared worker-auth secret, or None when unset.
+
+    Both sides read ``$REPRO_REMOTE_TOKEN``; the digest (never the raw
+    secret) crosses the wire and is compared constant-time.
+    """
+    if token is None:
+        token = os.environ.get("REPRO_REMOTE_TOKEN", "")
+    if not token:
+        return None
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+def client_hello() -> List:
+    """The handshake message a worker opens its connection with.
+
+    A plain JSON-encodable value: the handshake deliberately never
+    uses pickle, so neither side unpickles pre-authentication bytes.
+    """
+    return ["hello", {"magic": PROTOCOL_MAGIC,
+                      "version": PROTOCOL_VERSION,
+                      "token": auth_token_digest()}]
+
+
+def encode_handshake(message) -> bytes:
+    """Serialise one handshake message (JSON, never pickle)."""
+    import json
+
+    return json.dumps(message).encode()
+
+
+def decode_handshake(payload: bytes):
+    """Parse one handshake message; raises ValueError on junk."""
+    import json
+
+    try:
+        return json.loads(payload.decode())
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ValueError(f"malformed handshake message: {error}") from None
+
+
+def perform_client_handshake(sock: socket.socket) -> dict:
+    """Run the worker side of the handshake; returns the welcome info.
+
+    Raises :class:`HandshakeError` with the server's reason on a
+    rejection, or a description of the mismatch when the peer does not
+    speak the handshake at all (an executor predating protocol v2).
+    """
+    send_message(sock, encode_handshake(client_hello()))
+    try:
+        reply = decode_handshake(
+            recv_message(sock, max_size=MAX_HANDSHAKE_BYTES))
+    except Exception as error:  # noqa: BLE001 - any garbage is a mismatch
+        raise HandshakeError(
+            f"no valid handshake reply from server: {error}") from None
+    kind = reply[0] if isinstance(reply, list) and reply else None
+    if kind == "welcome":
+        return reply[1]
+    if kind == "reject":
+        raise HandshakeError(f"server rejected this worker: {reply[1]}")
+    raise HandshakeError(
+        f"server did not complete the protocol handshake (got {kind!r} "
+        f"first — executor predates protocol v{PROTOCOL_VERSION}?)")
 
 
 def send_message(sock: socket.socket, payload: bytes) -> None:
@@ -61,9 +160,19 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> bytes:
-    """Read one length-prefixed message."""
+def recv_message(sock: socket.socket,
+                 max_size: Optional[int] = None) -> bytes:
+    """Read one length-prefixed message.
+
+    ``max_size`` caps the advertised length (used for pre-auth
+    handshake reads, where the peer is untrusted and must not be able
+    to demand an arbitrarily large allocation).
+    """
     (length,) = _LENGTH_PREFIX.unpack(_recv_exact(sock, _LENGTH_PREFIX.size))
+    if max_size is not None and length > max_size:
+        raise ValueError(
+            f"message of {length} bytes exceeds the {max_size}-byte "
+            "handshake limit")
     return _recv_exact(sock, length)
 
 
@@ -104,6 +213,7 @@ def worker_loop(host: str, port: int) -> int:
     """
     completed = 0
     with socket.create_connection((host, port)) as sock:
+        perform_client_handshake(sock)
         while True:
             frame = recv_message(sock)
             try:
@@ -192,6 +302,10 @@ def main(argv: Sequence[str] = None) -> int:
     host, port = args.connect
     try:
         completed = worker_loop(host, port)
+    except HandshakeError as error:
+        print(f"remote worker: handshake with {host}:{port} failed: {error}",
+              file=sys.stderr)
+        return 1
     except (ConnectionError, EOFError, OSError) as error:
         print(f"remote worker: connection to {host}:{port} failed: {error}",
               file=sys.stderr)

@@ -14,7 +14,6 @@ processes of the parallel experiment engine
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 import shutil
@@ -24,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.progress import IntervalProgress, emit_progress
+from repro.harness.results import cache_key, source_fingerprint
 from repro.harness.warmup import (
     WarmupPolicy,
     WarmupSpec,
@@ -72,32 +72,11 @@ PolicySpec = Union[str, Tuple[str, dict]]
 #: ones.
 BASELINE_CACHE_VERSION = 2
 
-_fingerprint_cache: Optional[str] = None
-
-
-def simulator_fingerprint() -> str:
-    """Content hash of the installed ``repro`` source tree.
-
-    Part of every baseline-cache key: any edit to the simulator source
-    changes the fingerprint, so disk entries written by older code can
-    never be served silently — no manual version bump required.  Falls
-    back to the package version marker when the source is unreadable
-    (e.g. a frozen install).
-    """
-    global _fingerprint_cache
-    if _fingerprint_cache is None:
-        digest = hashlib.sha256()
-        try:
-            import repro
-
-            root = Path(repro.__file__).parent
-            for path in sorted(root.rglob("*.py")):
-                digest.update(path.relative_to(root).as_posix().encode())
-                digest.update(path.read_bytes())
-            _fingerprint_cache = digest.hexdigest()[:16]
-        except OSError:
-            _fingerprint_cache = "unknown-source"
-    return _fingerprint_cache
+#: The fingerprint the baseline cache and the result store share lives
+#: in :mod:`repro.harness.results`; this alias keeps the historical
+#: import path (`from repro.harness.runner import simulator_fingerprint`)
+#: working.
+simulator_fingerprint = source_fingerprint
 
 
 class BaselineCache:
@@ -142,10 +121,12 @@ class BaselineCache:
     @staticmethod
     def _key(benchmark: str, config: SMTConfig, cycles: int,
              warmup: WarmupSpec, seed: int) -> str:
-        descriptor = (f"v{BASELINE_CACHE_VERSION}|{simulator_fingerprint()}|"
-                      f"{benchmark}|{config!r}|{cycles}|"
-                      f"{warmup_cache_token(warmup)}|{seed}")
-        return hashlib.sha256(descriptor.encode()).hexdigest()
+        # Shared hashing rule (repro.harness.results.cache_key): the
+        # joined descriptor is byte-identical to the pre-store format,
+        # so existing disk entries stay valid.
+        return cache_key(f"v{BASELINE_CACHE_VERSION}", source_fingerprint(),
+                         benchmark, repr(config), str(cycles),
+                         warmup_cache_token(warmup), str(seed))
 
     def get(self, benchmark: str, config: SMTConfig, cycles: int,
             warmup: WarmupSpec, seed: int) -> Optional[float]:

@@ -8,9 +8,48 @@ improvement summaries.  This module renders them consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.metrics.stats import ReplicatedResult, SimulationResult, safe_hmean
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a declarative table: header, renderer, alignment.
+
+    The generic face of this module's hand-rolled tables: a formatter
+    is a *list of columns* rather than a bespoke f-string, so new
+    reports (the scenario layer's generic tables) are data, not code.
+    """
+
+    header: str
+    render: Callable[[object], str]
+    align: str = ">"
+
+    def __post_init__(self) -> None:
+        if self.align not in ("<", ">"):
+            raise ValueError("align must be '<' or '>'")
+
+
+def render_table(columns: Sequence[ColumnSpec], rows: Sequence) -> str:
+    """Render rows through a column spec list, auto-sizing widths.
+
+    Every cell is rendered first, so column widths fit the data; the
+    header row obeys each column's alignment too.
+    """
+    if not columns:
+        raise ValueError("a table needs at least one column")
+    cells = [[column.render(row) for column in columns] for row in rows]
+    widths = [max([len(column.header)] + [len(row[i]) for row in cells])
+              for i, column in enumerate(columns)]
+    def fmt(values: Sequence[str]) -> str:
+        return "  ".join(
+            f"{value:{column.align}{width}s}"
+            for value, column, width in zip(values, columns, widths)
+        ).rstrip()
+    lines = [fmt([column.header for column in columns])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
 
 
 def thread_table(result: SimulationResult) -> str:

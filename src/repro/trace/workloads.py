@@ -103,7 +103,13 @@ class Workload:
 
     @property
     def name(self) -> str:
-        """Identifier such as ``MIX2.g1 (gzip+twolf)``."""
+        """Identifier such as ``MIX2.g1 (gzip+twolf)``.
+
+        Ad-hoc workloads (group 0, see :func:`adhoc_workload`) have no
+        table cell to reference and render as the plain mix.
+        """
+        if self.group == 0:
+            return "+".join(self.benchmarks)
         return (
             f"{self.wtype}{self.num_threads}.g{self.group} "
             f"({'+'.join(self.benchmarks)})"
@@ -154,6 +160,48 @@ def all_workloads(extended: bool = False) -> Iterator[Workload]:
 
 
 _WORKLOAD_NAME = re.compile(r"^([A-Z]+)(\d+)\.g(\d+)$")
+
+_CELL_NAME = re.compile(r"^([A-Z]+)(\d+)$")
+
+
+def adhoc_workload(benchmarks) -> Workload:
+    """An explicit benchmark mix as a :class:`Workload`.
+
+    Group 0 marks the workload as table-less (its :attr:`Workload.name`
+    is the plain ``a+b`` mix); the type is derived from the benchmark
+    classes — homogeneous mixes keep their class, anything else is MIX.
+    """
+    names = tuple(benchmarks)
+    if not names:
+        raise ValueError("an ad-hoc workload needs at least one benchmark")
+    try:
+        classes = {get_profile(name).mem_class for name in names}
+    except KeyError as error:
+        raise ValueError(str(error)) from None
+    wtype = classes.pop() if len(classes) == 1 else "MIX"
+    return Workload(names, wtype, 0)
+
+
+def resolve_workloads(selector: str) -> List[Workload]:
+    """Workloads a scenario selector names, in deterministic order.
+
+    Accepted forms (the scenario spec's workload vocabulary):
+
+    * ``"MIX2.g1"`` — one table workload (:func:`find_workload`);
+    * ``"MIX2"`` — a whole cell, all four groups in group order;
+    * ``"gzip+twolf"`` — an explicit mix (:func:`adhoc_workload`);
+    * ``"gzip"`` — a single benchmark (one-thread ad-hoc workload).
+    """
+    text = selector.strip()
+    if not text:
+        raise ValueError("empty workload selector")
+    if _WORKLOAD_NAME.match(text):
+        return [find_workload(text)]
+    cell = _CELL_NAME.match(text)
+    if cell:
+        return workload_groups(int(cell.group(2)), cell.group(1))
+    return [adhoc_workload(part.strip() for part in text.split("+")
+                           if part.strip())]
 
 
 def find_workload(label: str) -> Workload:

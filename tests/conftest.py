@@ -7,13 +7,19 @@ from repro.pipeline.config import SMTConfig
 
 @pytest.fixture(autouse=True)
 def _isolated_baseline_cache(tmp_path, monkeypatch):
-    """Redirect the disk-backed baseline cache away from ``~/.cache``.
+    """Redirect the disk-backed caches away from ``~/.cache``.
 
     Tests must never read stale entries from (or leak entries into) the
-    developer's real cache; the in-memory layer keeps its old cross-test
-    behaviour.
+    developer's real cache; the baseline cache's in-memory layer keeps
+    its old cross-test behaviour, while the result store's memory is
+    dropped per test (its disk directory changes with ``tmp_path``, so
+    surviving memory entries would alias different directories).
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    from repro.harness.results import result_store
+
+    result_store.clear()
+    result_store.reset_stats()
 
 
 @pytest.fixture

@@ -1,0 +1,72 @@
+"""Regenerate the golden driver outputs pinned by test_golden_artifacts.py.
+
+The goldens were captured from the pre-scenario (PR 4) drivers; the
+scenario refactor (PR 5) is required to reproduce them bitwise, so only
+regenerate these files on a deliberate, reviewed behaviour change:
+
+    PYTHONPATH=src python tests/golden/regen_golden.py
+
+Budgets are deliberately tiny — the point is pinning the aggregation
+and formatting arithmetic, not paper-quality numbers.
+"""
+
+import os
+import sys
+
+from repro.harness import experiments as exp
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Shared miniature budgets; keep in sync with test_golden_artifacts.py.
+GOLDEN_PARAMS = {
+    "fig2": dict(cycles=2_000, warmup=400, fractions=(0.5, 1.0),
+                 resources=("int_iq",), seed=7),
+    "table3": dict(cycles=2_500, warmup=500,
+                   benchmarks=("art", "gzip", "mcf", "twolf"), seed=3),
+    "table5": dict(cycles=4_000, warmup=1_000, seed=5,
+                   interval_cycles=1_000),
+    "fig4": dict(cells=((2, "MIX"),), cycles=3_000, warmup=500, seed=1),
+    "fig5": dict(cells=((2, "ILP"),), cycles=3_000, warmup=500, seed=1),
+    "fig6": dict(register_sizes=(320, 352), cells=((2, "MIX"),),
+                 cycles=2_500, warmup=500, seed=1),
+    "fig7": dict(latencies=((100, 10), (300, 20)), cells=((2, "MIX"),),
+                 cycles=2_500, warmup=500, seed=1),
+    "text52": dict(cells=((2, "MIX"),), cycles=2_500, warmup=500, seed=1),
+}
+
+
+def generate() -> dict:
+    """Formatted output of every pinned driver at the golden budgets."""
+    return {
+        "fig2": exp.format_figure2(
+            exp.figure2_resource_sensitivity(**GOLDEN_PARAMS["fig2"])),
+        "table3": exp.format_table3(
+            exp.table3_miss_rates(**GOLDEN_PARAMS["table3"])),
+        "table5": exp.format_table5(
+            exp.table5_phase_distribution(**GOLDEN_PARAMS["table5"])),
+        "fig4": exp.format_improvements(
+            exp.figure4_dcra_vs_static(**GOLDEN_PARAMS["fig4"])),
+        "fig5": exp.format_cell_results(
+            exp.figure5_policy_comparison(**GOLDEN_PARAMS["fig5"])),
+        "fig6": exp.format_sweep(
+            exp.figure6_register_sweep(**GOLDEN_PARAMS["fig6"]),
+            "registers"),
+        "fig7": exp.format_sweep(
+            exp.figure7_latency_sweep(**GOLDEN_PARAMS["fig7"]),
+            "latency"),
+        "text52": exp.format_text52(
+            exp.text52_frontend_and_mlp(**GOLDEN_PARAMS["text52"])),
+    }
+
+
+def main() -> int:
+    for key, text in generate().items():
+        path = os.path.join(HERE, f"{key}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

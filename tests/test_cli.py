@@ -225,3 +225,70 @@ class TestWorkloadSelector:
     def test_bad_workload_name_rejected(self):
         with pytest.raises(SystemExit):
             main(["compare", "--workload", "NOPE9.g9"])
+
+
+class TestStoreReuseCli:
+    """The PR 5 acceptance pin: a warm result-store rerun of ``compare``
+    executes zero simulations and prints bitwise-identical output, on
+    every executor backend."""
+
+    ARGS = ["compare", "gzip+twolf", "--cycles", "1200", "--warmup", "300"]
+
+    def test_cold_then_warm_rerun_diffs_clean(self, capsys, monkeypatch):
+        assert main(self.ARGS + ["--reuse", "auto"]) == 0
+        captured = capsys.readouterr()
+        cold = captured.out
+        assert "0 stored result(s) reused" in captured.err
+
+        # 'require' + a poisoned simulator prove zero simulations run.
+        from repro.harness import engine, runner
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulated on a warm store")
+
+        monkeypatch.setattr(runner, "run_benchmarks", boom)
+        monkeypatch.setattr(engine, "run_job", boom)
+        assert main(self.ARGS + ["--reuse", "require"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold
+        assert "4 stored result(s) reused, 0 computed" in captured.err
+
+    @pytest.mark.parametrize("executor", ["serial", "process", "remote"])
+    def test_warm_rerun_identical_on_every_executor(self, executor,
+                                                    capsys):
+        assert main(self.ARGS + ["--reuse", "off"]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.ARGS + ["--reuse", "auto"]) == 0
+        capsys.readouterr()
+        # The warm rerun: 'require' guarantees no job can dispatch to
+        # the backend (hits resolve before any executor sees a task).
+        assert main(self.ARGS + ["--reuse", "require", "--jobs", "2",
+                                 "--executor", executor]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_require_on_cold_store_fails_cleanly(self, capsys):
+        assert main(self.ARGS + ["--reuse", "require"]) == 3
+        assert "reuse='require'" in capsys.readouterr().err
+
+    def test_reps_path_reuses_replications(self, capsys):
+        reps_args = self.ARGS + ["--reps", "2"]
+        assert main(reps_args + ["--reuse", "auto"]) == 0
+        cold = capsys.readouterr().out
+        assert main(reps_args + ["--reuse", "require"]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_run_timeline_reuses_interval_payload(self, capsys,
+                                                  monkeypatch):
+        args = ["run", "mcf+gzip", "--cycles", "1200", "--warmup", "300",
+                "--interval-cycles", "400", "--timeline"]
+        assert main(args + ["--reuse", "auto"]) == 0
+        cold = capsys.readouterr().out
+
+        from repro import __main__ as cli
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulated on a warm store")
+
+        monkeypatch.setattr(cli, "run_benchmarks_intervals", boom)
+        assert main(args + ["--reuse", "require"]) == 0
+        assert capsys.readouterr().out == cold

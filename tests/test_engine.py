@@ -118,12 +118,12 @@ class TestBaselineCache:
 
     def test_source_change_invalidates(self, tmp_path, monkeypatch):
         """Entries written by a different simulator source never hit."""
-        from repro.harness import runner
+        from repro.harness import results
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         clear_baseline_cache()
         single_thread_ipc("gzip", None, CYCLES, WARMUP, seed=12)
-        monkeypatch.setattr(runner, "_fingerprint_cache", "0000other0000000")
+        monkeypatch.setattr(results, "_fingerprint_cache", "0000other0000000")
         fresh = BaselineCache()
         assert fresh.get("gzip", SMTConfig(), CYCLES, WARMUP, 12) is None
 

@@ -149,12 +149,20 @@ class TestSweeps:
         assert {r.parameter for r in rows} == {100}
 
     def test_dcra_for_latency_factors(self):
+        from repro.core.sharing import resolve_factor
+
         name, kwargs = exp.dcra_for_latency(100)
         assert name == "DCRA"
         config = kwargs["config"]
-        assert config.iq_sharing_factor(1, 1) == pytest.approx(0.5)
+        # Factor *names*, not callables: names key the result store
+        # stably across processes and serialise to scenario files.
+        assert config.iq_sharing_factor == "inverse_active"
+        assert resolve_factor(config.iq_sharing_factor)(1, 1) == \
+            pytest.approx(0.5)
         name, kwargs = exp.dcra_for_latency(500)
-        assert kwargs["config"].iq_sharing_factor(1, 1) == 0.0
+        assert kwargs["config"].iq_sharing_factor == "zero"
+        assert resolve_factor(
+            kwargs["config"].iq_sharing_factor)(1, 1) == 0.0
 
 
 class TestText52:

@@ -1,0 +1,31 @@
+"""Bitwise pins of every paper driver against pre-refactor goldens.
+
+The golden files under ``tests/golden/`` were captured from the PR 4
+drivers (before the scenario refactor); these tests prove the
+scenario-compiled drivers reproduce their formatted output **bitwise**
+at the same miniature budgets.  Regenerate the files only on a
+deliberate, reviewed behaviour change (``tests/golden/regen_golden.py``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from regen_golden import GOLDEN_PARAMS, generate  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def generated():
+    """One pass over all pinned drivers (they share baseline runs)."""
+    return generate()
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_PARAMS))
+def test_driver_output_matches_pre_refactor_golden(key, generated):
+    golden = (GOLDEN_DIR / f"{key}.txt").read_text()
+    assert generated[key] + "\n" == golden, (
+        f"{key} output drifted from the pre-refactor golden")

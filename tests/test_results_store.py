@@ -1,0 +1,227 @@
+"""Content-addressed result store: keys, round-trips, reuse modes."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness import results as results_mod
+from repro.harness.engine import SimJob, run_job, run_jobs, run_jobs_streaming
+from repro.harness.executors import SerialExecutor
+from repro.harness.results import (
+    ResultStore,
+    ResultStoreMiss,
+    interval_run_from_payload,
+    interval_run_to_payload,
+    job_token,
+    normalize_reuse,
+    policy_token,
+    result_from_payload,
+    result_to_payload,
+    timeline_from_payload,
+    timeline_to_payload,
+)
+from repro.harness.runner import run_benchmarks_intervals
+from repro.harness.warmup import WarmupPolicy
+from repro.pipeline.config import SMTConfig
+
+CYCLES = 1_500
+WARMUP = 300
+
+JOB = SimJob(("gzip", "twolf"), "DCRA", None, CYCLES, WARMUP, seed=3)
+
+
+class TestKeys:
+    def test_config_none_keys_like_table2_baseline(self):
+        explicit = dataclasses.replace(JOB, config=SMTConfig())
+        assert job_token(JOB) == job_token(explicit)
+
+    def test_tag_is_not_identity(self):
+        assert job_token(JOB) == job_token(
+            dataclasses.replace(JOB, tag="some-label"))
+
+    def test_every_real_input_changes_the_token(self):
+        tokens = {job_token(JOB)}
+        variants = [
+            dataclasses.replace(JOB, benchmarks=("gzip", "mcf")),
+            dataclasses.replace(JOB, policy="ICOUNT"),
+            dataclasses.replace(JOB, config=SMTConfig(rob_size=64)),
+            dataclasses.replace(JOB, cycles=CYCLES + 1),
+            dataclasses.replace(JOB, warmup=WARMUP + 1),
+            dataclasses.replace(JOB, seed=4),
+            dataclasses.replace(JOB, interval_cycles=500),
+            dataclasses.replace(
+                JOB, warmup=WarmupPolicy.steady_state(max_warmup=WARMUP)),
+        ]
+        for variant in variants:
+            tokens.add(job_token(variant))
+        assert len(tokens) == len(variants) + 1
+
+    def test_policy_token_sorts_kwargs(self):
+        assert policy_token(("DCRA", {"a": 1, "b": 2})) == \
+            policy_token(("DCRA", {"b": 2, "a": 1}))
+
+    def test_fixed_warmup_policy_keys_like_plain_int(self):
+        assert job_token(JOB) == job_token(
+            dataclasses.replace(JOB, warmup=WarmupPolicy.fixed(WARMUP)))
+
+    def test_normalize_reuse_rejects_unknown(self):
+        assert normalize_reuse(None) == "off"
+        with pytest.raises(ValueError, match="unknown reuse mode"):
+            normalize_reuse("always")
+
+
+class TestPayloadRoundTrips:
+    def test_result_round_trip_is_exact(self):
+        result = run_job(JOB)
+        clone = result_from_payload(
+            json.loads(json.dumps(result_to_payload(result))))
+        assert clone == result
+
+    def test_interval_run_round_trip_is_exact(self):
+        run = run_benchmarks_intervals(
+            ["mcf", "gzip"], "DCRA", None, CYCLES, WARMUP, seed=5,
+            interval_cycles=500, warmup_as_intervals=True)
+        clone = interval_run_from_payload(
+            json.loads(json.dumps(interval_run_to_payload(run))))
+        assert clone.result == run.result
+        assert clone.interval_cycles == run.interval_cycles
+        assert clone.warmup_cycles == run.warmup_cycles
+        assert clone.warmup_converged == run.warmup_converged
+        assert clone.recorder.snapshots == run.recorder.snapshots
+        assert clone.recorder.discarded == run.recorder.discarded
+
+    def test_phase_timeline_round_trip_is_exact(self):
+        run = run_benchmarks_intervals(
+            ["mcf", "twolf"], "DCRA", None, CYCLES, WARMUP, seed=5,
+            interval_cycles=500)
+        timeline = run.recorder.phase_timeline()
+        clone = timeline_from_payload(
+            json.loads(json.dumps(timeline_to_payload(timeline))))
+        assert clone == timeline
+
+
+class TestStore:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        assert store.get(JOB) is None
+        result = run_job(JOB)
+        store.put(JOB, result)
+        assert store.get(JOB) == result
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.stores == 1
+
+    def test_disk_hit_across_instances(self):
+        store = ResultStore()
+        result = run_job(JOB)
+        store.put(JOB, result)
+        fresh = ResultStore()  # no memory, same REPRO_CACHE_DIR
+        assert fresh.get(JOB) == result
+
+    def test_source_edit_invalidates(self, monkeypatch):
+        store = ResultStore()
+        store.put(JOB, run_job(JOB))
+        monkeypatch.setattr(results_mod, "_fingerprint_cache",
+                            "1111other1111111")
+        assert ResultStore().get(JOB) is None
+
+    def test_require_raises_on_cold_store(self):
+        with pytest.raises(ResultStoreMiss, match="no stored result"):
+            ResultStore().require(JOB)
+
+    def test_kinds_key_separately(self):
+        store = ResultStore()
+        store.put(JOB, run_job(JOB), "result")
+        assert store.get(JOB, "phase_timeline") is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            ResultStore().get(JOB, "bogus")
+
+    def test_corrupt_entry_degrades_to_miss(self):
+        store = ResultStore()
+        store.put(JOB, run_job(JOB))
+        key = store.key_for(JOB)
+        path = store.directory() / f"{key}.json"
+        path.write_text("{not json")
+        assert ResultStore().get(JOB) is None
+
+    def test_valid_json_with_broken_payload_degrades_to_miss(self):
+        """A decodable file whose payload shape is wrong is a miss, not
+        a crash (e.g. hand-edited timeline entries of bad arity)."""
+        store = ResultStore()
+        key = store.key_for(JOB, "phase_timeline")
+        store.directory().mkdir(parents=True, exist_ok=True)
+        (store.directory() / f"{key}.json").write_text(json.dumps({
+            "version": 1, "kind": "phase_timeline", "job": "x",
+            "data": {"num_threads": 2, "entries": [[1, 2, 3]]},
+        }))
+        assert ResultStore().get(JOB, "phase_timeline") is None
+
+
+class TestEngineReuse:
+    JOBS = [SimJob(("gzip",), "ICOUNT", None, CYCLES, WARMUP, seed=s)
+            for s in (1, 2, 3)]
+
+    def test_auto_reuse_is_bitwise_identical(self):
+        store = ResultStore()
+        cold = run_jobs(self.JOBS, reuse="auto", store=store)
+        assert store.stats.stores == len(self.JOBS)
+        warm = run_jobs(self.JOBS, reuse="auto", store=store)
+        assert warm == cold
+        assert store.stats.stores == len(self.JOBS)  # nothing recomputed
+
+    def test_require_runs_zero_simulations(self, monkeypatch):
+        store = ResultStore()
+        cold = run_jobs(self.JOBS, reuse="auto", store=store)
+
+        from repro.harness import engine
+
+        def boom(job):
+            raise AssertionError("simulated despite reuse='require'")
+
+        monkeypatch.setattr(engine, "run_job", boom)
+        assert run_jobs(self.JOBS, reuse="require", store=store) == cold
+
+    def test_require_raises_on_missing_job(self):
+        store = ResultStore()
+        run_jobs(self.JOBS[:2], reuse="auto", store=store)
+        with pytest.raises(ResultStoreMiss):
+            run_jobs(self.JOBS, reuse="require", store=store)
+
+    def test_partial_reuse_fills_the_gaps(self):
+        store = ResultStore()
+        cold = run_jobs(self.JOBS, reuse="off")
+        run_jobs(self.JOBS[1:2], reuse="auto", store=store)
+        mixed = run_jobs(self.JOBS, reuse="auto", store=store)
+        assert mixed == cold
+        assert store.stats.stores == len(self.JOBS)
+
+    def test_streaming_reuse_reassembles_identically(self):
+        store = ResultStore()
+        cold = run_jobs(self.JOBS, reuse="off")
+        run_jobs(self.JOBS[:1], reuse="auto", store=store)
+        streamed = [None] * len(self.JOBS)
+        for index, result in run_jobs_streaming(self.JOBS, reuse="auto",
+                                                store=store):
+            streamed[index] = result
+        assert streamed == cold
+
+    def test_reuse_across_executors(self):
+        """A store warmed on one backend serves every other backend."""
+        store = ResultStore()
+        with SerialExecutor() as serial:
+            cold = run_jobs(self.JOBS, executor=serial, reuse="auto",
+                            store=store)
+        # 'require' proves no simulation can happen, whatever the
+        # backend: hits are resolved before any dispatch.
+        from repro.harness.executors import ProcessExecutor, RemoteExecutor
+
+        for backend_factory in (SerialExecutor,
+                                lambda: ProcessExecutor(2),
+                                lambda: RemoteExecutor(spawn_workers=2)):
+            with backend_factory() as backend:
+                warm = run_jobs(self.JOBS, 2, backend, reuse="require",
+                                store=store)
+            assert warm == cold
