@@ -154,3 +154,140 @@ def test_dcra_overhead_vs_icount(benchmark):
     }
     assert sum(t.stats.committed for t in dcra.threads) > 0
     assert sum(t.stats.committed for t in icount.threads) > 0
+
+
+def test_checkpoint_throughput(benchmark, tmp_path, monkeypatch):
+    """Capture/store/restore cost of a warmed 4-thread processor.
+
+    The prefix-sharing win is (warm-up simulation time saved) minus
+    (one store + one restore per fork); this benchmark records both
+    sides so the trade stays visible across PRs.
+    """
+    import time
+
+    from repro.harness.checkpoints import CheckpointStore
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    benchmarks_mix = ("gzip", "twolf", "bzip2", "mcf")
+    warmed_cycles = 2 * CYCLES  # realistic warm-up length
+
+    def build_and_warm():
+        processor = SMTProcessor(SMTConfig(),
+                                 [get_profile(b) for b in benchmarks_mix],
+                                 make_policy("ICOUNT"), seed=1)
+        processor.run(warmed_cycles)
+        return processor
+
+    def measure():
+        processor = build_and_warm()
+        store = CheckpointStore()
+
+        start = time.perf_counter()
+        state = processor.capture_state()
+        capture_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        store.put("bench-prefix", {"state": state})
+        store_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        payload = store.require("bench-prefix")
+        fresh = SMTProcessor(SMTConfig(),
+                             [get_profile(b) for b in benchmarks_mix],
+                             make_policy("ICOUNT"), seed=1)
+        fresh.restore_state(payload["state"])
+        restore_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        build_and_warm()
+        warmup_s = time.perf_counter() - start
+        return fresh, capture_s, store_s, restore_s, warmup_s
+
+    fresh, capture_s, store_s, restore_s, warmup_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    roundtrip_s = capture_s + store_s + restore_s
+    _MEASUREMENTS["checkpoint round-trip"] = {
+        "benchmarks": list(benchmarks_mix),
+        "policy": "ICOUNT",
+        "warmed_cycles": warmed_cycles,
+        "capture_s": round(capture_s, 4),
+        "store_s": round(store_s, 4),
+        "restore_s": round(restore_s, 4),
+        "equivalent_warmup_s": round(warmup_s, 4),
+        "breakeven_ratio": round(roundtrip_s / warmup_s, 3),
+    }
+    print(f"\ncheckpoint round-trip ({warmed_cycles}-cycle warm 4-thread "
+          f"state): capture {capture_s * 1e3:.1f} ms, "
+          f"store {store_s * 1e3:.1f} ms, restore {restore_s * 1e3:.1f} ms "
+          f"(= {100 * roundtrip_s / warmup_s:.1f}% of simulating the "
+          f"warm-up)")
+    assert sum(t.stats.committed for t in fresh.threads) > 0
+    # Restoring must beat re-simulating the warm-up; allow timing noise
+    # on shared CI hardware while still catching a real regression.
+    assert roundtrip_s < warmup_s or roundtrip_s - warmup_s < 0.05
+
+
+def test_prefix_sharing_sweep_speedup(benchmark, tmp_path, monkeypatch):
+    """A 4-policy sweep with one shared warm-up prefix vs plain runs.
+
+    Times the same policy comparison twice — every policy self-warming
+    vs all policies forking from one checkpointed warm-up — and records
+    the measured saving; results must agree policy-by-policy for the
+    lead (self-warmed) policy.
+    """
+    import dataclasses
+    import time
+
+    from repro.harness.checkpoints import checkpoint_store
+    from repro.harness.results import result_store
+    from repro.harness.scenario import Scenario, run_scenario
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    result_store.clear()
+    checkpoint_store.clear()
+    scenario = Scenario(
+        name="bench-prefix-sharing", workloads=("gzip+twolf",),
+        policies=("ICOUNT", "FLUSH++", "SRA", "DCRA"),
+        cycles=CYCLES, warmup=CYCLES, seed=1)
+
+    def measure():
+        start = time.perf_counter()
+        plain = run_scenario(scenario, reuse="off")
+        plain_s = time.perf_counter() - start
+
+        result_store.clear()
+        start = time.perf_counter()
+        shared = run_scenario(
+            dataclasses.replace(scenario, shared_warmup=True), reuse="off")
+        shared_s = time.perf_counter() - start
+        return plain, shared, plain_s, shared_s
+
+    plain, shared, plain_s, shared_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    saving_pct = 100.0 * (1.0 - shared_s / plain_s)
+    stats = shared.checkpoint_stats
+    # Simulated-cycle accounting: plain self-warms every job; shared
+    # simulates each prefix's warm-up once and only suffixes fan out.
+    plain_cycles = stats["jobs"] * (CYCLES + CYCLES)
+    shared_cycles = stats["prefixes"] * CYCLES + stats["jobs"] * CYCLES
+    _MEASUREMENTS["prefix-sharing sweep"] = {
+        "benchmarks": ["gzip", "twolf"],
+        "policy": "ICOUNT+FLUSH+++SRA+DCRA",
+        "cycles": CYCLES,
+        "warmup": CYCLES,
+        "plain_s": round(plain_s, 4),
+        "shared_s": round(shared_s, 4),
+        "saving_pct": round(saving_pct, 2),
+        "plain_simulated_cycles": plain_cycles,
+        "shared_simulated_cycles": shared_cycles,
+        "cycles_saving_pct": round(100.0 * (1 - shared_cycles / plain_cycles),
+                                   2),
+        "checkpoint": stats,
+    }
+    print(f"\nprefix-sharing sweep (4 policies, {CYCLES}-cycle warm-up): "
+          f"plain {plain_s:.2f} s, shared {shared_s:.2f} s "
+          f"({saving_pct:+.1f}%)")
+    assert shared.checkpoint_stats == {"prefixes": 1, "jobs": 4, "hits": 0,
+                                       "computed": 1}
+    # The lead policy self-warms either way: identical result.
+    assert plain.results[0] == shared.results[0]

@@ -13,6 +13,10 @@ Commands:
 * ``scenario run FILE|KEY`` — execute a declarative scenario file
   (JSON/TOML, see :mod:`repro.harness.scenario`) or a built-in paper
   artefact by key; ``scenario list`` shows the built-ins.
+* ``checkpoint list|rm|gc`` — inspect and prune the warm-up checkpoint
+  store (``$REPRO_CACHE_DIR/checkpoints/``); ``scenario run`` grows
+  ``--checkpoint {off,auto,require}`` for shared warm-up prefixes
+  (see :mod:`repro.harness.checkpoints`).
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
 
 ``--reuse {off,auto,require}`` wires the content-addressed result
@@ -61,6 +65,11 @@ from repro.harness.engine import (
     ensure_baselines_sweep,
     run_jobs,
     run_replicated,
+)
+from repro.harness.checkpoints import (
+    CHECKPOINT_MODES,
+    CheckpointMiss,
+    checkpoint_store,
 )
 from repro.harness.progress import guard_progress
 from repro.harness.executors import Executor, make_executor
@@ -390,7 +399,15 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             except (OSError, ValueError) as error:
                 raise SystemExit(str(error)) from None
             outcome = run_scenario(scenario, args.jobs, executor,
-                                   reuse=args.reuse)
+                                   reuse=args.reuse,
+                                   checkpoint=args.checkpoint)
+            if outcome.checkpoint_stats is not None:
+                ckpt = outcome.checkpoint_stats
+                print(f"[checkpoint] {ckpt['prefixes']} shared warm-up "
+                      f"prefix(es) covering {ckpt['jobs']} job(s): "
+                      f"{ckpt['hits']} reused, {ckpt['computed']} computed",
+                      file=sys.stderr)
+                stats["checkpoint"] = ckpt
             print(f"# scenario {scenario.name} "
                   f"({len(outcome.compiled.jobs)} jobs, "
                   f"{len(outcome.compiled.points)} grid point(s))")
@@ -423,6 +440,49 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
                        "reuse": normalize_reuse(args.reuse), **stats},
                       handle, indent=2)
             handle.write("\n")
+    return 0
+
+
+def _cmd_checkpoint_list(_args: argparse.Namespace) -> int:
+    """List the stored warm-up checkpoints, newest first."""
+    entries = checkpoint_store.list_entries()
+    if not entries:
+        print(f"no checkpoints under {checkpoint_store.directory()}")
+        return 0
+    print(f"{'key':14s} {'fresh':5s} {'size':>8s} {'warm-up':>8s} prefix")
+    total = 0
+    for entry in entries:
+        total += entry["size"]
+        warmup = entry["warmup_cycles"]
+        print(f"{entry['key'][:12] + '..':14s} "
+              f"{'yes' if entry['current'] else 'no':5s} "
+              f"{entry['size'] / 1024:7.1f}k "
+              f"{warmup if warmup is not None else '?':>8} "
+              f"{entry['token']}")
+    stale = sum(1 for entry in entries if not entry["current"])
+    print(f"\n{len(entries)} checkpoint(s), {total / 1024:.1f} kB total"
+          + (f"; {stale} stale (other source fingerprint — "
+             f"'repro checkpoint gc' reclaims them)" if stale else ""))
+    return 0
+
+
+def _cmd_checkpoint_rm(args: argparse.Namespace) -> int:
+    """Delete stored checkpoints by key prefix."""
+    removed = checkpoint_store.remove(args.key_prefix)
+    print(f"removed {removed} checkpoint(s) matching {args.key_prefix!r}")
+    return 0
+
+
+def _cmd_checkpoint_gc(args: argparse.Namespace) -> int:
+    """Expire old checkpoints and enforce a total-size cap."""
+    max_bytes = (int(args.max_total_mb * 1024 * 1024)
+                 if args.max_total_mb is not None else None)
+    if args.max_age_days is None and max_bytes is None:
+        raise SystemExit(
+            "pass --max-age-days and/or --max-total-mb to bound the store")
+    removed, freed = checkpoint_store.gc(max_age_days=args.max_age_days,
+                                         max_total_bytes=max_bytes)
+    print(f"removed {removed} checkpoint(s), freed {freed / 1024:.1f} kB")
     return 0
 
 
@@ -545,8 +605,41 @@ def build_parser() -> argparse.ArgumentParser:
              "file scenarios)")
     scenario_run.add_argument(
         "--store-stats", metavar="PATH", default=None,
-        help="write this run's store hit/miss counters as JSON")
+        help="write this run's store hit/miss counters as JSON "
+             "(including the shared warm-up prefix stats when active)")
+    scenario_run.add_argument(
+        "--checkpoint", choices=list(CHECKPOINT_MODES), default=None,
+        help="warm-up checkpoint mode for file scenarios: override what "
+             "the scenario compiled ('auto' for shared_warmup specs); "
+             "'require' fails on a cold checkpoint store (default: keep "
+             "the compiled mode)")
     scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint",
+        help="inspect and prune the warm-up checkpoint store")
+    checkpoint_sub = checkpoint_parser.add_subparsers(
+        dest="checkpoint_command", required=True)
+    checkpoint_sub.add_parser(
+        "list",
+        help="list stored warm-up checkpoints (key, freshness, size, "
+             "prefix)",
+    ).set_defaults(func=_cmd_checkpoint_list)
+    checkpoint_rm = checkpoint_sub.add_parser(
+        "rm", help="delete checkpoints whose key starts with a prefix")
+    checkpoint_rm.add_argument(
+        "key_prefix",
+        help="key prefix to delete (keys from 'repro checkpoint list')")
+    checkpoint_rm.set_defaults(func=_cmd_checkpoint_rm)
+    checkpoint_gc = checkpoint_sub.add_parser(
+        "gc", help="expire old checkpoints / enforce a total-size cap")
+    checkpoint_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="delete checkpoints older than DAYS")
+    checkpoint_gc.add_argument(
+        "--max-total-mb", type=float, default=None, metavar="MB",
+        help="then delete oldest checkpoints until the store fits in MB")
+    checkpoint_gc.set_defaults(func=_cmd_checkpoint_gc)
 
     sub.add_parser("policies", help="list policies").set_defaults(
         func=_cmd_policies)
@@ -602,7 +695,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ResultStoreMiss as error:
+    except (ResultStoreMiss, CheckpointMiss) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3
 

@@ -49,6 +49,26 @@ class BranchTargetBuffer:
         self.misses += 1
         return None
 
+    def capture_state(self) -> dict:
+        """Snapshot contents and counters (StateSnapshot protocol).
+
+        Sets are captured as ``[tag, target]`` lists in MRU-first order
+        (the in-memory layout), so replacement order is preserved.
+        """
+        return {
+            "sets": [[[tag, target] for tag, target in entry_set]
+                     for entry_set in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents and counters from :meth:`capture_state`."""
+        self._sets = [[(tag, target) for tag, target in entry_set]
+                      for entry_set in state["sets"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def insert(self, pc: int, target: int) -> None:
         """Install or refresh the target of the branch at ``pc``."""
         entry_set, tag = self._locate(pc)

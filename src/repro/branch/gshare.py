@@ -47,6 +47,14 @@ class GsharePredictor:
         self._hist_mask = (1 << history_bits) - 1
         self._table = bytearray([self._INIT] * entries)
 
+    def capture_state(self) -> dict:
+        """Snapshot the pattern history table (StateSnapshot protocol)."""
+        return {"table": list(self._table)}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the pattern table from :meth:`capture_state`."""
+        self._table = bytearray(state["table"])
+
     def _index(self, pc: int, history: int) -> int:
         return ((pc >> 2) ^ (history & self._hist_mask)) & self._mask
 

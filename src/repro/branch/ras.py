@@ -40,6 +40,20 @@ class ReturnAddressStack:
             return None
         return self._stack.pop()
 
+    def capture_state(self) -> dict:
+        """Snapshot entries and counters (StateSnapshot protocol)."""
+        return {
+            "stack": list(self._stack),
+            "overflows": self.overflows,
+            "underflows": self.underflows,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite entries and counters from :meth:`capture_state`."""
+        self._stack = list(state["stack"])
+        self.overflows = state["overflows"]
+        self.underflows = state["underflows"]
+
     def clear(self) -> None:
         """Discard all entries (used when a thread context is reset)."""
         self._stack.clear()

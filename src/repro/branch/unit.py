@@ -75,6 +75,29 @@ class BranchUnit:
             ras.overflows = 0
             ras.underflows = 0
 
+    def capture_state(self) -> dict:
+        """Snapshot all predictor state (StateSnapshot protocol),
+        delegating to the shared tables and per-thread structures the
+        same way ``reset_stats`` fans out."""
+        return {
+            "gshare": self.gshare.capture_state(),
+            "btb": self.btb.capture_state(),
+            "ras": [ras.capture_state() for ras in self._ras],
+            "history": list(self._history),
+            "cond_predictions": self.cond_predictions,
+            "cond_mispredictions": self.cond_mispredictions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite predictor state from :meth:`capture_state`."""
+        self.gshare.restore_state(state["gshare"])
+        self.btb.restore_state(state["btb"])
+        for ras, entry in zip(self._ras, state["ras"]):
+            ras.restore_state(entry)
+        self._history = list(state["history"])
+        self.cond_predictions = state["cond_predictions"]
+        self.cond_mispredictions = state["cond_mispredictions"]
+
     def predict_and_train(self, tid: int, op: StaticOp) -> BranchPrediction:
         """Predict the fetched branch and immediately train the tables.
 

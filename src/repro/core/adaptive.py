@@ -96,6 +96,31 @@ class AdaptiveDcraPolicy(DcraPolicy):
         for tid, thread in enumerate(self.processor.threads):
             self._window_start_commits[tid] -= thread.stats.committed
 
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["adaptive"] = {
+            "state": list(self._state),
+            "clamped": list(self._clamped),
+            "window_start_commits": list(self._window_start_commits),
+            "window_slow_cycles": list(self._window_slow_cycles),
+            "probe_rates": [list(rates) for rates in self._probe_rates],
+            "settle_left": list(self._settle_left),
+            "clamp_verdicts": self.clamp_verdicts,
+        }
+        return state
+
+    def restore_state(self, state: dict, ops_by_seq=None) -> None:
+        super().restore_state(state, ops_by_seq)
+        adaptive = state["adaptive"]
+        self._state = list(adaptive["state"])
+        self._clamped = [bool(flag) for flag in adaptive["clamped"]]
+        self._window_start_commits = list(adaptive["window_start_commits"])
+        self._window_slow_cycles = list(adaptive["window_slow_cycles"])
+        self._probe_rates = [[float(rate) for rate in rates]
+                             for rates in adaptive["probe_rates"]]
+        self._settle_left = list(adaptive["settle_left"])
+        self.clamp_verdicts = adaptive["clamp_verdicts"]
+
     # -- cap override ---------------------------------------------------------
 
     def cap_for(self, resource: Resource, tid: int) -> int:

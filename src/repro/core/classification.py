@@ -71,6 +71,22 @@ class ActivityTracker:
             resource: [False] * num_threads for resource in FP_RESOURCES
         }
 
+    def capture_state(self) -> dict:
+        """Snapshot activity counters (rows in ``FP_RESOURCES`` order)."""
+        return {
+            "counters": [list(self._counters[resource])
+                         for resource in FP_RESOURCES],
+            "used_this_cycle": [list(self._used_this_cycle[resource])
+                                for resource in FP_RESOURCES],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite activity counters from :meth:`capture_state`."""
+        for index, resource in enumerate(FP_RESOURCES):
+            self._counters[resource] = list(state["counters"][index])
+            self._used_this_cycle[resource] = [
+                bool(flag) for flag in state["used_this_cycle"][index]]
+
     def note_use(self, resource: Resource, tid: int) -> None:
         """Record an allocation of ``resource`` by ``tid`` this cycle."""
         if resource in self._used_this_cycle:

@@ -110,6 +110,19 @@ class DcraPolicy(Policy):
         """Zero the stall-cycle statistic (control state untouched)."""
         self.stall_cycles = [0] * len(self.stall_cycles)
 
+    def capture_state(self) -> dict:
+        return {
+            "stall_cycles": list(self.stall_cycles),
+            "activity": self.activity.capture_state(),
+        }
+
+    def restore_state(self, state: dict, ops_by_seq=None) -> None:
+        self.stall_cycles = list(state["stall_cycles"])
+        self.activity.restore_state(state["activity"])
+        # Caps, gating sets and slow flags are recomputed from scratch on
+        # the next begin_cycle (which precedes any rename/fetch query).
+        self._class_sig = None
+
     # -- classification ------------------------------------------------------
 
     def _is_slow(self, tid: int) -> bool:

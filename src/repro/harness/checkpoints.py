@@ -1,0 +1,368 @@
+"""Content-addressed warm-up checkpoints: capture once, fork many.
+
+Every job in a sweep repeats the same expensive prefix — construct the
+simulator, warm it to the measurement boundary — before the part that
+actually differs.  This module stores that boundary state (a
+:meth:`~repro.pipeline.processor.SMTProcessor.capture_state` tree plus
+warm-up provenance) in a disk store keyed exactly like the result store:
+by content, under the source fingerprint, so a stored checkpoint can
+never be served across a simulator edit.
+
+A checkpoint's identity is its :func:`prefix_token` — everything that
+determines the state at the warm-up boundary:
+
+* benchmarks, policy (the *warm-up* policy when forking), config, seed:
+  the same components a :func:`~repro.harness.results.job_token` keys,
+  minus measured cycles and chunking (the boundary precedes both);
+* the warm-up spec token
+  (:func:`~repro.harness.warmup.warmup_cache_token`);
+* a boundary token (:func:`warmup_boundary_token`): fixed warm-up
+  reaches the identical state in any chunking (``"mono"``), but an
+  *adaptive* warm-up's state depends on its chunk size and on whether
+  phase tracking was live (interval mode), so those key separately.
+
+The invariant — pinned by the checkpoint test suite — is that a run
+forked from a stored checkpoint is **bitwise identical** to the
+uninterrupted run: same result, same interval snapshots, same timeline.
+
+Reuse modes mirror the result store: ``None``/``"off"`` (never touch
+the store), ``"auto"`` (restore hits, compute-and-store misses) and
+``"require"`` (raise :class:`CheckpointMiss` on a cold store — the
+miss message names the token components that differ from the nearest
+stored entry, see :func:`~repro.harness.results.nearest_entry_diff`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.results import (
+    StoreStats,
+    cache_key,
+    nearest_entry_diff,
+    policy_token,
+    source_fingerprint,
+)
+from repro.harness.warmup import WarmupSpec, as_warmup_policy, warmup_cache_token
+from repro.pipeline.config import SMTConfig
+
+#: Bump on deliberate checkpoint-format changes; code-change staleness
+#: is handled automatically by :func:`source_fingerprint` in the key.
+CHECKPOINT_STORE_VERSION = 1
+
+#: Checkpoint modes accepted wherever a ``checkpoint`` parameter appears.
+CHECKPOINT_MODES = ("off", "auto", "require")
+
+#: Names of the ``|``-separated :func:`prefix_token` components, for
+#: miss diagnostics.
+PREFIX_TOKEN_COMPONENTS = (
+    "benchmarks", "policy", "config", "warmup", "seed", "boundary")
+
+
+class CheckpointMiss(KeyError):
+    """Raised by ``checkpoint="require"`` when no stored prefix exists."""
+
+
+def normalize_checkpoint(checkpoint) -> str:
+    """Validate a ``checkpoint`` argument; None means ``"off"``."""
+    mode = "off" if checkpoint is None else checkpoint
+    if mode not in CHECKPOINT_MODES:
+        raise ValueError(
+            f"unknown checkpoint mode {checkpoint!r} "
+            f"(expected one of {CHECKPOINT_MODES})")
+    return mode
+
+
+def warmup_boundary_token(plan, interval_cycles: Optional[int]) -> str:
+    """How the warm-up boundary was reached, as a token component.
+
+    Fixed warm-up leaves the identical state however the run is later
+    chunked (phase tracking only starts with the measured window), so
+    it is always ``"mono"``.  Adaptive warm-up simulates in chunks of a
+    size that depends on the run mode, and interval-mode warm-up runs
+    with phase tracking live — both visible in the boundary state — so
+    monolithic (``"mono:<chunk>"``) and interval (``"intervals:<chunk>"``)
+    resolutions key separately.
+
+    Args:
+        plan: a normalised :class:`~repro.harness.warmup.WarmupPolicy`.
+        interval_cycles: the run's interval chunk size, or None for a
+            monolithic run.
+    """
+    if not plan.is_adaptive:
+        return "mono"
+    # Deferred: runner builds on this module's store, not the reverse.
+    from repro.harness.runner import DEFAULT_INTERVAL_CYCLES
+
+    if interval_cycles is None:
+        chunk = plan.interval_cycles or DEFAULT_INTERVAL_CYCLES
+        return f"mono:{chunk}"
+    chunk = plan.interval_cycles or interval_cycles
+    return f"intervals:{chunk}"
+
+
+def prefix_token(
+    benchmarks: Sequence[str],
+    policy,
+    config: Optional[SMTConfig],
+    warmup: WarmupSpec,
+    seed: int,
+    boundary: str,
+) -> str:
+    """Canonical identity of one warm-up prefix (see module docstring)."""
+    config = config if config is not None else SMTConfig()
+    return (f"{'+'.join(benchmarks)}|{policy_token(policy)}|{config!r}|"
+            f"{warmup_cache_token(warmup)}|{seed}|{boundary}")
+
+
+def job_prefix_token(job) -> Optional[str]:
+    """The warm-up prefix token of a :class:`~repro.harness.engine.SimJob`.
+
+    Returns None for jobs with no warm-up prefix to share (a fixed
+    warm-up of zero cycles): there is nothing worth checkpointing.
+    The prefix runs under ``job.warmup_policy`` when set (warm-up
+    forking), else under the job's own policy.
+    """
+    plan = as_warmup_policy(job.warmup)
+    if not plan.is_adaptive and plan.cycles == 0:
+        return None
+    boundary = warmup_boundary_token(plan, job.interval_cycles)
+    prefix_policy = (job.warmup_policy if job.warmup_policy is not None
+                     else job.policy)
+    return prefix_token(job.benchmarks, prefix_policy, job.config,
+                        job.warmup, job.seed, boundary)
+
+
+class CheckpointStore:
+    """Disk-backed, process-safe, content-addressed warm-up states.
+
+    Mirrors :class:`~repro.harness.results.ResultStore` mechanics:
+
+    * Entries live under ``$REPRO_CACHE_DIR/checkpoints/`` (default
+      ``~/.cache/repro-dcra/checkpoints/``), one gzipped JSON file per
+      entry — a full processor state tree is a few hundred kB to a few
+      MB of JSON and compresses well.
+    * The file name is :func:`~repro.harness.results.cache_key` over
+      (:data:`CHECKPOINT_STORE_VERSION`,
+      :func:`~repro.harness.results.source_fingerprint`, the
+      :func:`prefix_token`), so any simulator edit invalidates every
+      stored checkpoint at once.
+    * Writes are atomic (temporary file + :func:`os.replace`); racing
+      writers deterministically write identical content.
+    * Disk I/O is best-effort: an unreadable store degrades to the
+      in-memory mirror without failing the run.
+
+    ``stats`` counts this process's hits/misses/stores, as in the
+    result store; the scenario layer reports them and the CI
+    prefix-reuse job asserts on them.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        self._memory: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self.stats = StoreStats()
+
+    @staticmethod
+    def directory() -> Path:
+        """Resolve the store directory (honours ``REPRO_CACHE_DIR``)."""
+        root = os.environ.get("REPRO_CACHE_DIR")
+        base = Path(root) if root else Path.home() / ".cache" / "repro-dcra"
+        return base / "checkpoints"
+
+    @staticmethod
+    def key_for(token: str) -> str:
+        """Content key of one prefix's stored checkpoint."""
+        return cache_key(f"v{CHECKPOINT_STORE_VERSION}",
+                         source_fingerprint(), token)
+
+    def get(self, token: str) -> Optional[dict]:
+        """Stored checkpoint payload for a prefix, or None on a miss."""
+        key = self.key_for(token)
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+        try:
+            with gzip.open(self.directory() / f"{key}.json.gz",
+                           "rt", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["data"]
+            if entry["version"] != CHECKPOINT_STORE_VERSION:
+                raise ValueError("version mismatch")
+        except (OSError, ValueError, KeyError, EOFError):
+            # Corrupt, truncated or absent entries are misses, never
+            # crashes (the store contract: disk problems degrade).
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self._memory[key] = payload
+            self.stats.hits += 1
+        return payload
+
+    def put(self, token: str, payload: dict) -> None:
+        """Store one checkpoint in memory and (best-effort) on disk."""
+        key = self.key_for(token)
+        with self._lock:
+            self._memory[key] = payload
+            self.stats.stores += 1
+        entry = {
+            "version": CHECKPOINT_STORE_VERSION,
+            "fingerprint": source_fingerprint(),
+            "token": token,
+            "data": payload,
+        }
+        directory = self.directory()
+        path = directory / f"{key}.json.gz"
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            tmp = directory / f".{key}.{os.getpid()}.tmp"
+            with gzip.open(tmp, "wt", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def require(self, token: str) -> dict:
+        """Like :meth:`get` but raising :class:`CheckpointMiss` on a miss.
+
+        The message names the token components in which the nearest
+        stored checkpoint differs — "same prefix, different seed" is
+        actionable where a bare content digest is not.
+        """
+        payload = self.get(token)
+        if payload is None:
+            raise CheckpointMiss(
+                f"no stored checkpoint for prefix {token!r} "
+                f"(checkpoint='require' on a cold store?); "
+                + nearest_entry_diff(token, self.stored_tokens(),
+                                     PREFIX_TOKEN_COMPONENTS))
+        return payload
+
+    def stored_tokens(self) -> List[str]:
+        """Prefix tokens of every on-disk entry (any fingerprint)."""
+        return [entry["token"] for entry in self.list_entries()]
+
+    def list_entries(self) -> List[dict]:
+        """Metadata of every on-disk entry, newest first.
+
+        Each entry carries ``key`` (the file stem), ``token``,
+        ``fingerprint``, ``current`` (written by this source tree?),
+        ``size`` (compressed bytes), ``mtime``, and the payload's
+        ``policy`` and ``warmup_cycles`` provenance.
+        """
+        entries = []
+        try:
+            paths = sorted(self.directory().glob("*.json.gz"),
+                           key=lambda p: p.stat().st_mtime, reverse=True)
+        except OSError:
+            return []
+        for path in paths:
+            try:
+                stat = path.stat()
+                with gzip.open(path, "rt", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+                entries.append({
+                    "key": path.name[:-len(".json.gz")],
+                    "token": entry.get("token", "?"),
+                    "fingerprint": entry.get("fingerprint", "?"),
+                    "current": entry.get("fingerprint")
+                    == source_fingerprint(),
+                    "size": stat.st_size,
+                    "mtime": stat.st_mtime,
+                    "policy": entry.get("data", {}).get("policy"),
+                    "warmup_cycles": entry.get("data", {})
+                    .get("warmup_cycles"),
+                })
+            except (OSError, ValueError, EOFError):
+                continue
+        return entries
+
+    def remove(self, key_prefix: str) -> int:
+        """Delete on-disk entries whose key starts with ``key_prefix``.
+
+        Returns the number of files removed.  An empty prefix matches
+        everything (the CLI requires an explicit argument).
+        """
+        removed = 0
+        try:
+            for path in list(self.directory().glob("*.json.gz")):
+                if path.name.startswith(key_prefix):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        except OSError:
+            pass
+        with self._lock:
+            self._memory.clear()
+        return removed
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_total_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Expire old entries and enforce a total-size cap.
+
+        Entries older than ``max_age_days`` are removed first; then, if
+        the remaining compressed size still exceeds
+        ``max_total_bytes``, the oldest entries are removed until it
+        fits.  Returns ``(files_removed, bytes_freed)``.
+        """
+        removed = freed = 0
+        try:
+            paths = [(path, path.stat()) for path
+                     in self.directory().glob("*.json.gz")]
+        except OSError:
+            return 0, 0
+        now = time.time()
+        survivors = []
+        for path, stat in sorted(paths, key=lambda item: item[1].st_mtime):
+            if max_age_days is not None and \
+                    now - stat.st_mtime > max_age_days * 86400:
+                path.unlink(missing_ok=True)
+                removed += 1
+                freed += stat.st_size
+            else:
+                survivors.append((path, stat))
+        if max_total_bytes is not None:
+            total = sum(stat.st_size for _, stat in survivors)
+            for path, stat in survivors:  # oldest first
+                if total <= max_total_bytes:
+                    break
+                path.unlink(missing_ok=True)
+                removed += 1
+                freed += stat.st_size
+                total -= stat.st_size
+        with self._lock:
+            self._memory.clear()
+        return removed, freed
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop in-memory entries; with ``disk=True`` also wipe files."""
+        with self._lock:
+            self._memory.clear()
+        if disk:
+            shutil.rmtree(self.directory(), ignore_errors=True)
+
+    def reset_stats(self) -> StoreStats:
+        """Swap in fresh counters, returning the old ones."""
+        with self._lock:
+            old = self.stats
+            self.stats = StoreStats()
+        return old
+
+
+#: The process-wide checkpoint store (mirrors ``result_store``).
+checkpoint_store = CheckpointStore()
+
+
+def resolve_checkpoint_store(
+        store: Optional[CheckpointStore]) -> CheckpointStore:
+    """The store to use: an explicit instance or the process-wide one."""
+    return store if store is not None else checkpoint_store

@@ -112,6 +112,18 @@ class SimJob:
             chunk through the executor's progress channel.  The result
             is **bitwise identical** to the monolithic run — interval
             mode only changes when statistics become observable.
+        warmup_policy: when set, the warm-up prefix runs under this
+            policy instead of the measured one (warm-up forking — every
+            policy of a sweep then measures from the *same* machine
+            state).  Participates in the job's identity
+            (:func:`~repro.harness.results.job_token`): a forked run is
+            a different experiment.
+        checkpoint: warm-up checkpoint reuse mode — None/``"off"``,
+            ``"auto"`` or ``"require"`` (see
+            :mod:`repro.harness.checkpoints`).  Like ``tag`` it is
+            excluded from the job's identity: checkpoint reuse never
+            changes results (restore-then-run is bitwise-identical to
+            the uninterrupted run), it only skips warm-up cycles.
     """
 
     benchmarks: Tuple[str, ...]
@@ -122,6 +134,8 @@ class SimJob:
     seed: int = 1
     tag: Optional[str] = None
     interval_cycles: Optional[int] = None
+    warmup_policy: Optional[PolicySpec] = None
+    checkpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
@@ -162,9 +176,12 @@ def run_job(job: SimJob) -> SimulationResult:
         return run_benchmarks_intervals(
             list(job.benchmarks), job.policy, job.config, job.cycles,
             job.warmup, job.seed, interval_cycles=job.interval_cycles,
-            progress_tag=job.tag).result
+            progress_tag=job.tag, checkpoint=job.checkpoint,
+            warmup_policy=job.warmup_policy).result
     return run_benchmarks(list(job.benchmarks), job.policy, job.config,
-                          job.cycles, job.warmup, job.seed)
+                          job.cycles, job.warmup, job.seed,
+                          checkpoint=job.checkpoint,
+                          warmup_policy=job.warmup_policy)
 
 
 def _resolve_executor(executor, max_workers: int) -> Tuple[Executor, bool]:
@@ -517,3 +534,101 @@ def ensure_baselines_sweep(
             baseline_cache.put(benchmark, config, cycles, warmup, seed, ipc)
     return {(b, s): single_thread_ipc(b, config, cycles, warmup, s)
             for b, s in pairs}
+
+
+# --------------------------------------------------------------------------
+# Warm-up prefix sharing
+# --------------------------------------------------------------------------
+
+def factor_prefixes(jobs: Sequence[SimJob]) -> Dict[str, List[int]]:
+    """Group jobs by the warm-up prefix state they can fork from.
+
+    Returns a mapping from each distinct
+    :func:`~repro.harness.checkpoints.prefix_token` to the indices of
+    the jobs sharing it (jobs with no checkpointable prefix — a fixed
+    warm-up of zero cycles — are omitted).  A sweep compiled with a
+    shared warm-up policy collapses to one prefix per
+    (workload, config, warm-up, seed) combination: the sweep's common
+    prefix executes once, the divergent measured suffixes fan out.
+    """
+    from repro.harness.checkpoints import job_prefix_token
+
+    groups: Dict[str, List[int]] = {}
+    for index, job in enumerate(jobs):
+        token = job_prefix_token(job)
+        if token is not None:
+            groups.setdefault(token, []).append(index)
+    return groups
+
+
+def _checkpoint_prefix_item(job: SimJob) -> dict:
+    """Worker-side computation of one warm-up prefix checkpoint.
+
+    Module-level so the pool can pickle it.  The worker writes the
+    shared disk store itself (like :func:`_baseline_item` does for
+    baselines), then returns the payload so the parent can mirror it
+    into its in-memory store layer.
+    """
+    from repro.harness.checkpoints import (
+        job_prefix_token,
+        resolve_checkpoint_store,
+    )
+    from repro.harness.runner import compute_warmup_checkpoint
+
+    payload = compute_warmup_checkpoint(
+        list(job.benchmarks),
+        job.warmup_policy if job.warmup_policy is not None else job.policy,
+        job.config, job.warmup, job.seed, job.interval_cycles)
+    resolve_checkpoint_store(None).put(job_prefix_token(job), payload)
+    return payload
+
+
+def ensure_checkpoints(jobs: Sequence[SimJob], max_workers: int = 1,
+                       executor=None, store=None) -> Dict[str, int]:
+    """Precompute the warm-up checkpoints a job list will fork from.
+
+    The prefix-sharing phase of a compiled sweep: jobs that opted into
+    checkpointing (``job.checkpoint`` set) are grouped by
+    :func:`factor_prefixes`, and each *missing* prefix is simulated
+    exactly once through the backend — so when :func:`run_jobs`
+    dispatches the sweep afterwards, every job restores its shared
+    boundary state instead of re-simulating the common warm-up.
+
+    Returns the phase's accounting: ``prefixes`` distinct warm-up
+    prefixes covering ``jobs`` checkpoint-enabled jobs, of which
+    ``hits`` were already stored and ``computed`` were simulated now.
+
+    A job with ``checkpoint="require"`` asserts its prefix is already
+    stored: a missing prefix raises
+    :class:`~repro.harness.checkpoints.CheckpointMiss` (with the
+    nearest-entry diagnostic) instead of being computed.
+    """
+    from repro.harness.checkpoints import resolve_checkpoint_store
+
+    jobs = list(jobs)
+    store = resolve_checkpoint_store(store)
+    enabled = [i for i, job in enumerate(jobs) if job.checkpoint]
+    groups = factor_prefixes([jobs[i] for i in enabled])
+    representatives = {token: jobs[enabled[indices[0]]]
+                       for token, indices in groups.items()}
+    missing = [token for token in representatives
+               if store.get(token) is None]
+    for token in missing:
+        if any(jobs[enabled[i]].checkpoint == "require"
+               for i in groups[token]):
+            store.require(token)
+    if missing:
+        payloads = parallel_map(_checkpoint_prefix_item,
+                                [representatives[token] for token in missing],
+                                max_workers, executor)
+        for token, payload in zip(missing, payloads):
+            # Mirror the worker's checkpoint into this process's store
+            # (the worker already wrote the disk entry; this fills the
+            # memory layer and covers a disk-less environment).
+            store.put(token, payload)
+    return {
+        "prefixes": len(groups),
+        "jobs": sum(len(indices) for indices in groups.values()),
+        "hits": len(groups) - len(missing),
+        "computed": len(missing),
+    }

@@ -152,9 +152,59 @@ def job_token(job: "SimJob") -> str:
     result, never be papered over by a shared store entry.
     """
     config = job.config if job.config is not None else SMTConfig()
-    return (f"{'+'.join(job.benchmarks)}|{policy_token(job.policy)}|"
-            f"{config!r}|{job.cycles}|{warmup_cache_token(job.warmup)}|"
-            f"{job.seed}|{job.interval_cycles}")
+    token = (f"{'+'.join(job.benchmarks)}|{policy_token(job.policy)}|"
+             f"{config!r}|{job.cycles}|{warmup_cache_token(job.warmup)}|"
+             f"{job.seed}|{job.interval_cycles}")
+    warmup_policy = getattr(job, "warmup_policy", None)
+    if warmup_policy is not None:
+        # Warm-up forking changes the measured state (the prefix ran
+        # under a different policy), so it participates in the token —
+        # but only when set, keeping every pre-existing token stable.
+        token += f"|wp={policy_token(warmup_policy)}"
+    return token
+
+
+#: Names of the ``|``-separated :func:`job_token` components, in order,
+#: for miss diagnostics (``warmup_policy`` only present when forking).
+JOB_TOKEN_COMPONENTS = (
+    "benchmarks", "policy", "config", "cycles", "warmup", "seed",
+    "interval_cycles", "warmup_policy")
+
+
+def _shorten(text: str, limit: int = 64) -> str:
+    return text if len(text) <= limit else text[:limit] + "..."
+
+
+def nearest_entry_diff(token: str, stored: Sequence[str],
+                       components: Sequence[str]) -> str:
+    """Explain a cache miss by naming how the nearest entry differs.
+
+    Splits the missing ``token`` and every ``stored`` token on ``|``
+    (all token grammars in this package keep ``|`` out of component
+    values), picks the stored token with the fewest differing
+    components, and names those components with truncated values.  A
+    bare content digest tells a user nothing; "nearest stored entry
+    differs in seed: '1' != '2'" is actionable.
+    """
+    if not stored:
+        return "the store has no entries of this kind at all"
+    want = token.split("|")
+    best = None
+    for other in set(stored):
+        have = other.split("|")
+        width = max(len(want), len(have))
+        left = want + ["<absent>"] * (width - len(want))
+        right = have + ["<absent>"] * (width - len(have))
+        names = (list(components)
+                 + [f"component[{i}]" for i in range(len(components), width)])
+        diffs = [f"{name}: {_shorten(a)!r} != {_shorten(b)!r}"
+                 for name, a, b in zip(names, left, right) if a != b]
+        if best is None or len(diffs) < len(best):
+            best = diffs
+    if not best:
+        return ("an identical token is stored, but under a different "
+                "source fingerprint or store version (stale entry)")
+    return "nearest stored entry differs in " + "; ".join(best)
 
 
 class ResultStoreMiss(KeyError):
@@ -383,13 +433,60 @@ class ResultStore:
         except OSError:
             pass
 
+    def contains(self, job: "SimJob", kind: str = "result") -> bool:
+        """Whether a stored entry exists, without touching the counters.
+
+        A statistics-free probe (memory layer, then file existence) for
+        planning phases — e.g. deciding which warm-up prefixes a sweep
+        still needs — that must not distort the hit/miss accounting of
+        the run itself.
+        """
+        key = self.key_for(job, kind)
+        with self._lock:
+            if key in self._memory:
+                return True
+        try:
+            return (self.directory() / f"{key}.json").exists()
+        except OSError:
+            return False
+
+    def stored_tokens(self, kind: str = "result") -> list:
+        """Job tokens of every on-disk entry of ``kind`` (any fingerprint).
+
+        Entry files carry their plain-text job token precisely so miss
+        diagnostics can compare against them; unreadable files are
+        skipped (best-effort, like all store disk I/O).
+        """
+        tokens = []
+        try:
+            paths = list(self.directory().glob("*.json"))
+        except OSError:
+            return tokens
+        for path in paths:
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if payload.get("kind") == kind and \
+                    isinstance(payload.get("job"), str):
+                tokens.append(payload["job"])
+        return tokens
+
     def require(self, job: "SimJob", kind: str = "result"):
-        """Like :meth:`get` but raising :class:`ResultStoreMiss` on a miss."""
+        """Like :meth:`get` but raising :class:`ResultStoreMiss` on a miss.
+
+        The miss message names the token components in which the
+        nearest stored entry differs (see :func:`nearest_entry_diff`)
+        instead of leaving the user to decode an opaque digest.
+        """
         value = self.get(job, kind)
         if value is None:
             raise ResultStoreMiss(
                 f"no stored {kind} for job {job_token(job)} "
-                f"(reuse='require' on a cold store?)")
+                f"(reuse='require' on a cold store?); "
+                + nearest_entry_diff(job_token(job),
+                                     self.stored_tokens(kind),
+                                     JOB_TOKEN_COMPONENTS))
         return value
 
     def clear(self, disk: bool = False) -> None:

@@ -23,7 +23,13 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.progress import IntervalProgress, emit_progress
-from repro.harness.results import cache_key, source_fingerprint
+from repro.harness.results import (
+    _snapshot_from_payload,
+    _snapshot_to_payload,
+    cache_key,
+    policy_token,
+    source_fingerprint,
+)
 from repro.harness.warmup import (
     WarmupPolicy,
     WarmupSpec,
@@ -213,6 +219,131 @@ def _adaptive_warmup_chunk(plan: WarmupPolicy, default: int) -> int:
     return plan.interval_cycles or default
 
 
+def _run_warmup(processor: SMTProcessor, plan: WarmupPolicy,
+                interval_cycles: Optional[int]):
+    """Advance a fresh processor to the warm-up boundary.
+
+    ``interval_cycles`` is the run's chunk size for interval-mode runs
+    and None for monolithic runs — it selects the adaptive warm-up's
+    chunk default and phase tracking, matching what the two run modes
+    have always done.  Returns ``(warmup_cycles, converged, snapshots)``
+    where ``snapshots`` is the adaptive warm-up's discarded interval
+    series (empty for fixed warm-up).
+    """
+    if plan.is_adaptive:
+        chunk = _adaptive_warmup_chunk(
+            plan, interval_cycles if interval_cycles is not None
+            else DEFAULT_INTERVAL_CYCLES)
+        snapshots, converged = processor.run_adaptive_warmup(
+            chunk, window=plan.window, rel_tol=plan.rel_tol,
+            metric=plan.metric, max_warmup=plan.max_warmup,
+            track_phases=interval_cycles is not None)
+        return sum(s.cycles for s in snapshots), converged, snapshots
+    if plan.cycles:
+        processor.run(plan.cycles)
+    return plan.cycles, None, []
+
+
+def compute_warmup_checkpoint(
+    benchmarks: Sequence[str],
+    policy: PolicySpec,
+    config: Optional[SMTConfig],
+    warmup: WarmupSpec,
+    seed: int,
+    interval_cycles: Optional[int] = None,
+) -> dict:
+    """Run one warm-up prefix and package the boundary state.
+
+    The payload is what a :class:`~repro.harness.checkpoints.CheckpointStore`
+    entry holds: the full processor state tree at the boundary
+    (*before* any statistics reset — the measured run applies its own
+    reset after restoring, exactly as an uninterrupted run would),
+    plus the provenance a forked run must reproduce bitwise — the
+    warm-up policy's token, the resolved warm-up length, the adaptive
+    convergence flag, and the discarded warm-up interval snapshots an
+    interval-mode run records.
+    """
+    plan = as_warmup_policy(warmup)
+    processor = _build_processor(benchmarks, policy, config, seed)
+    warmup_cycles, converged, snapshots = _run_warmup(
+        processor, plan, interval_cycles)
+    return {
+        "policy": policy_token(policy),
+        "warmup_cycles": warmup_cycles,
+        "warmup_converged": converged,
+        "discarded": [_snapshot_to_payload(s) for s in snapshots],
+        "state": processor.capture_state(),
+    }
+
+
+def _warmed_processor(
+    benchmarks: Sequence[str],
+    policy: PolicySpec,
+    config: Optional[SMTConfig],
+    warmup: WarmupSpec,
+    seed: int,
+    interval_cycles: Optional[int] = None,
+    checkpoint=None,
+    warmup_policy: Optional[PolicySpec] = None,
+):
+    """Build a processor advanced to the warm-up boundary.
+
+    The shared front half of both run modes.  With ``checkpoint`` off
+    and no forking this is exactly the historical path: construct the
+    measured processor and warm it in place.  Otherwise the warm-up
+    prefix — run under ``warmup_policy`` when forking, else under the
+    measured policy — is served from the
+    :class:`~repro.harness.checkpoints.CheckpointStore` (or computed
+    and stored), and the boundary state is restored into a freshly
+    built measured processor.  Restore-then-run is bitwise-identical
+    to an uninterrupted run (the snapshot protocol's pinned
+    invariant), so results never depend on whether the store hit.
+
+    When forking (``warmup_policy`` differing from ``policy``), the
+    restored processor keeps the prefix's pipeline/memory/branch state
+    but the *measured* policy's control state starts fresh — the
+    semantics of "warm the machine under A, measure B".
+
+    Returns ``(processor, warmup_cycles, warmup_converged,
+    discarded_snapshots)``.
+    """
+    # Imported here: checkpoints builds on this module, not the reverse.
+    from repro.harness import checkpoints as ckpt
+
+    plan = as_warmup_policy(warmup)
+    mode = ckpt.normalize_checkpoint(checkpoint)
+    measured_token = policy_token(policy)
+    forked = (warmup_policy is not None
+              and policy_token(warmup_policy) != measured_token)
+    prefix_policy = warmup_policy if forked else policy
+    no_prefix = not plan.is_adaptive and plan.cycles == 0
+    if (mode == "off" and not forked) or no_prefix:
+        processor = _build_processor(benchmarks, policy, config, seed)
+        warmup_cycles, converged, snapshots = _run_warmup(
+            processor, plan, interval_cycles)
+        return processor, warmup_cycles, converged, snapshots
+
+    store = ckpt.resolve_checkpoint_store(None)
+    token = ckpt.prefix_token(
+        benchmarks, prefix_policy, config, warmup, seed,
+        ckpt.warmup_boundary_token(plan, interval_cycles))
+    payload = store.get(token) if mode != "off" else None
+    if payload is None and mode == "require":
+        store.require(token)  # raises CheckpointMiss with diagnostics
+    if payload is None:
+        payload = compute_warmup_checkpoint(
+            benchmarks, prefix_policy, config, warmup, seed, interval_cycles)
+        if mode != "off":
+            store.put(token, payload)
+    processor = _build_processor(benchmarks, policy, config, seed)
+    processor.restore_state(
+        payload["state"],
+        restore_policy=payload["policy"] == measured_token)
+    snapshots = [_snapshot_from_payload(s) for s in payload["discarded"]]
+    return (processor, payload["warmup_cycles"],
+            payload["warmup_converged"], snapshots)
+
+
 def run_benchmarks(
     benchmarks: Sequence[str],
     policy: PolicySpec = "ICOUNT",
@@ -220,6 +351,8 @@ def run_benchmarks(
     cycles: int = DEFAULT_CYCLES,
     warmup: WarmupSpec = DEFAULT_WARMUP,
     seed: int = 1,
+    checkpoint=None,
+    warmup_policy: Optional[PolicySpec] = None,
 ) -> SimulationResult:
     """Simulate a benchmark mix under a policy and collect statistics.
 
@@ -238,19 +371,20 @@ def run_benchmarks(
             recorded on the result (``warmup_cycles``).
         seed: workload seed; keep it fixed when comparing policies so
             every policy sees the identical instruction streams.
+        checkpoint: warm-up checkpoint reuse mode — None/``"off"``,
+            ``"auto"`` or ``"require"`` (see
+            :mod:`repro.harness.checkpoints`).  Reuse never changes the
+            result: restore-then-run is bitwise-identical to the
+            uninterrupted run.
+        warmup_policy: run the warm-up prefix under this policy instead
+            of the measured one (warm-up forking) — the state at the
+            boundary is then shared by every measured policy of a
+            sweep.  The forked result is a different experiment and
+            keys differently in the result store.
     """
-    processor = _build_processor(benchmarks, policy, config, seed)
-    plan = as_warmup_policy(warmup)
-    if plan.is_adaptive:
-        snapshots, _ = processor.run_adaptive_warmup(
-            _adaptive_warmup_chunk(plan, DEFAULT_INTERVAL_CYCLES),
-            window=plan.window, rel_tol=plan.rel_tol, metric=plan.metric,
-            max_warmup=plan.max_warmup, track_phases=False)
-        warmup_cycles = sum(s.cycles for s in snapshots)
-    else:
-        warmup_cycles = plan.cycles
-        if warmup_cycles:
-            processor.run(warmup_cycles)
+    processor, warmup_cycles, _converged, _snapshots = _warmed_processor(
+        benchmarks, policy, config, warmup, seed, interval_cycles=None,
+        checkpoint=checkpoint, warmup_policy=warmup_policy)
     if warmup_cycles:
         processor.reset_stats()
     processor.run(cycles)
@@ -296,6 +430,8 @@ def run_benchmarks_intervals(
     warmup_as_intervals: bool = False,
     progress=None,
     progress_tag: Optional[str] = None,
+    checkpoint=None,
+    warmup_policy: Optional[PolicySpec] = None,
 ) -> IntervalRun:
     """Interval-mode :func:`run_benchmarks`: same result, plus a timeline.
 
@@ -327,30 +463,25 @@ def run_benchmarks_intervals(
             progress sink (:func:`~repro.harness.progress.emit_progress`),
             which the executor backends wire up for remote workers.
         progress_tag: correlation tag stamped on the progress events.
+        checkpoint / warmup_policy: warm-up checkpoint reuse and
+            forking, as in :func:`run_benchmarks`.  Neither combines
+            with ``warmup_as_intervals`` (that mode folds the warm-up
+            into the measured interval loop, so there is no boundary
+            state to share).
     """
-    processor = _build_processor(benchmarks, policy, config, seed)
+    if warmup_as_intervals and (checkpoint is not None
+                                or warmup_policy is not None):
+        raise ValueError(
+            "warmup_as_intervals cannot be combined with checkpointed "
+            "or forked warm-up (no warm-up boundary state to share)")
     recorder = IntervalRecorder()
     notify = progress if progress is not None else emit_progress
     plan = as_warmup_policy(warmup)
     warmup_converged: Optional[bool] = None
-    if plan.is_adaptive:
-        warmup_snapshots, warmup_converged = processor.run_adaptive_warmup(
-            _adaptive_warmup_chunk(plan, interval_cycles),
-            window=plan.window, rel_tol=plan.rel_tol, metric=plan.metric,
-            max_warmup=plan.max_warmup)
-        # Re-index to count up to -1, matching the fixed
-        # warmup-as-intervals convention (measured intervals stay
-        # 0-based, discarded and kept indices never collide).
-        n_warmup = len(warmup_snapshots)
-        for position, snapshot in enumerate(warmup_snapshots):
-            recorder.record(
-                dataclasses.replace(snapshot, index=position - n_warmup),
-                discard=True)
-        warmup_cycles = sum(s.cycles for s in warmup_snapshots)
-    else:
+    if not plan.is_adaptive and warmup_as_intervals:
+        processor = _build_processor(benchmarks, policy, config, seed)
         warmup_cycles = plan.cycles
-    if warmup_cycles and not plan.is_adaptive:
-        if warmup_as_intervals:
+        if warmup_cycles:
             # Warm-up snapshots count down to -1 so measured intervals
             # are 0-based in both warm-up modes and indices never
             # collide between the discarded and kept series.
@@ -359,8 +490,22 @@ def run_benchmarks_intervals(
                     interval_cycles, total_cycles=warmup_cycles,
                     start_index=-n_warmup):
                 recorder.record(snapshot, discard=True)
-        else:
-            processor.run(warmup_cycles)
+    else:
+        processor, warmup_cycles, warmup_converged, warmup_snapshots = \
+            _warmed_processor(
+                benchmarks, policy, config, warmup, seed,
+                interval_cycles=interval_cycles, checkpoint=checkpoint,
+                warmup_policy=warmup_policy)
+        if plan.is_adaptive:
+            # Re-index to count up to -1, matching the fixed
+            # warmup-as-intervals convention (measured intervals stay
+            # 0-based, discarded and kept indices never collide).
+            n_warmup = len(warmup_snapshots)
+            for position, snapshot in enumerate(warmup_snapshots):
+                recorder.record(
+                    dataclasses.replace(snapshot, index=position - n_warmup),
+                    discard=True)
+        elif warmup_cycles:
             processor.reset_stats()
     n_intervals = -(-cycles // interval_cycles) if cycles else 0
     cycles_done = committed = 0

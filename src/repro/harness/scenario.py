@@ -70,7 +70,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dcra import DcraConfig
-from repro.harness.results import ResultStore, policy_token, resolve_store
+from repro.harness.results import (
+    ResultStore,
+    normalize_reuse,
+    policy_token,
+    resolve_store,
+)
 from repro.harness.runner import DEFAULT_CYCLES, DEFAULT_WARMUP, PolicySpec
 from repro.harness.warmup import (
     WarmupPolicy,
@@ -258,6 +263,16 @@ class Scenario:
             monolithic runs.
         sweep: sweep axes, expanded as a cartesian grid.
         description: free-form documentation, carried through files.
+        shared_warmup: compile the sweep with a *shared warm-up
+            prefix*: every job warms up under the scenario's first
+            policy (stamped as ``warmup_policy`` on the jobs whose
+            measured policy differs) and opts into checkpoint reuse, so
+            each (workload, config, warm-up, seed) prefix simulates
+            once and every policy forks from the stored boundary state.
+            This changes the experiment for the non-lead policies (they
+            measure from the lead policy's warm state — which is often
+            exactly the controlled comparison wanted), so it is opt-in
+            and participates in job identity.
     """
 
     name: str
@@ -271,6 +286,7 @@ class Scenario:
     interval_cycles: Optional[int] = None
     sweep: Tuple[SweepAxis, ...] = ()
     description: str = ""
+    shared_warmup: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -381,14 +397,28 @@ class Scenario:
                          for selector in concrete.workloads
                          for workload in resolve_workloads(selector)]
             seeds = derive_seeds(concrete.seed, concrete.reps)
+            # Shared warm-up: the point's first policy owns the warm-up
+            # prefix; the other policies fork from its boundary state.
+            # The lead policy itself gets no warmup_policy stamp so its
+            # jobs (and stored results) stay identical to a plain run.
+            lead = concrete.policies[0]
+            lead_token = policy_token(lead)
             for rep, seed in enumerate(seeds):
                 for workload in workloads:
                     for policy_index, policy in enumerate(concrete.policies):
+                        warmup_policy = None
+                        checkpoint = None
+                        if concrete.shared_warmup:
+                            checkpoint = "auto"
+                            if policy_token(policy) != lead_token:
+                                warmup_policy = lead
                         jobs.append(SimJob(
                             tuple(workload.benchmarks), policy,
                             concrete.config, concrete.cycles,
                             concrete.warmup, seed, tag=workload.name,
-                            interval_cycles=concrete.interval_cycles))
+                            interval_cycles=concrete.interval_cycles,
+                            warmup_policy=warmup_policy,
+                            checkpoint=checkpoint))
                         meta.append(JobMeta(
                             point=point.index, point_label=point.label,
                             rep=rep, seed=seed, workload=workload,
@@ -490,6 +520,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, object]:
         data["config"] = _config_to_dict(scenario.config)
     if scenario.interval_cycles is not None:
         data["interval_cycles"] = scenario.interval_cycles
+    if scenario.shared_warmup:
+        data["shared_warmup"] = True
     if scenario.sweep:
         data["sweep"] = [
             {"name": axis.name,
@@ -532,7 +564,8 @@ def scenario_from_dict(data: Dict[str, object]) -> Scenario:
     data = dict(data)
     unknown = set(data) - {
         "name", "description", "workloads", "policies", "config",
-        "cycles", "warmup", "seed", "reps", "interval_cycles", "sweep"}
+        "cycles", "warmup", "seed", "reps", "interval_cycles", "sweep",
+        "shared_warmup"}
     if unknown:
         raise ValueError(
             f"unknown scenario fields: {', '.join(sorted(unknown))}")
@@ -555,6 +588,7 @@ def scenario_from_dict(data: Dict[str, object]) -> Scenario:
         interval_cycles=data.get("interval_cycles"),
         sweep=tuple(_axis_from_data(axis)
                     for axis in data.get("sweep", ())),
+        shared_warmup=bool(data.get("shared_warmup", False)),
     )
 
 
@@ -592,11 +626,18 @@ def save_scenario(scenario: Scenario, path) -> None:
 
 @dataclass
 class ScenarioRun:
-    """Outcome of :func:`run_scenario`: results plus store traffic."""
+    """Outcome of :func:`run_scenario`: results plus store traffic.
+
+    ``checkpoint_stats`` is the warm-up prefix-sharing accounting
+    (``prefixes``/``jobs``/``hits``/``computed``, see
+    :func:`~repro.harness.engine.ensure_checkpoints`) when any job
+    opted into checkpointing, else None.
+    """
 
     compiled: CompiledScenario
     results: List[SimulationResult]
     store_stats: Dict[str, int]
+    checkpoint_stats: Optional[Dict[str, int]] = None
 
     @property
     def scenario(self) -> Scenario:
@@ -605,7 +646,8 @@ class ScenarioRun:
 
 def run_scenario(scenario: Scenario, jobs: int = 1, executor=None,
                  reuse="auto", progress=None,
-                 store: Optional[ResultStore] = None) -> ScenarioRun:
+                 store: Optional[ResultStore] = None,
+                 checkpoint=None) -> ScenarioRun:
     """Compile and execute a scenario through the experiment engine.
 
     ``reuse`` defaults to ``"auto"`` here — incremental re-runs are the
@@ -613,21 +655,51 @@ def run_scenario(scenario: Scenario, jobs: int = 1, executor=None,
     recomputation or ``"require"`` to assert a warm store.  The
     returned ``store_stats`` cover exactly this run (hits + misses =
     compiled job count when reuse is on).
+
+    ``checkpoint`` overrides the compiled jobs' warm-up checkpoint
+    mode: None keeps what compilation stamped (``"auto"`` for
+    ``shared_warmup`` scenarios, off otherwise); ``"off"``/``"auto"``/
+    ``"require"`` force that mode on every job.  When any job ends up
+    checkpoint-enabled, the missing warm-up prefixes are computed first
+    — exactly once each, through the same backend — before the job
+    sweep runs (see :func:`~repro.harness.engine.ensure_checkpoints`).
     """
-    from repro.harness.engine import run_jobs
+    from repro.harness.checkpoints import normalize_checkpoint
+    from repro.harness.engine import (
+        ensure_checkpoints,
+        executor_scope,
+        run_jobs,
+    )
 
     compiled = scenario.compile()
+    if checkpoint is not None:
+        mode = normalize_checkpoint(checkpoint)
+        compiled.jobs = [
+            dataclasses.replace(job,
+                                checkpoint=None if mode == "off" else mode)
+            for job in compiled.jobs]
     store = resolve_store(store)
-    before = dataclasses.replace(store.stats)
-    results = run_jobs(compiled.jobs, jobs, executor, progress,
-                       reuse, store)
+    reuse_mode = normalize_reuse(reuse)
+    checkpoint_stats = None
+    with executor_scope(executor, jobs) as backend:
+        if any(job.checkpoint for job in compiled.jobs):
+            # Prefixes are only worth computing for jobs whose *result*
+            # is not already stored — a fully warm result store needs
+            # no warm-up state at all.
+            pending = (compiled.jobs if reuse_mode == "off" else
+                       [job for job in compiled.jobs
+                        if not store.contains(job, "result")])
+            checkpoint_stats = ensure_checkpoints(pending, jobs, backend)
+        before = dataclasses.replace(store.stats)
+        results = run_jobs(compiled.jobs, jobs, backend, progress,
+                           reuse, store)
     after = store.stats
     stats = {"jobs": len(compiled.jobs),
              "hits": after.hits - before.hits,
              "misses": after.misses - before.misses,
              "stores": after.stores - before.stores}
     return ScenarioRun(compiled=compiled, results=results,
-                       store_stats=stats)
+                       store_stats=stats, checkpoint_stats=checkpoint_stats)
 
 
 def scenario_report(outcome: ScenarioRun, include_hmean: bool = True,

@@ -131,6 +131,27 @@ class StaticOp:
         )
 
 
+def encode_static(op: StaticOp) -> list:
+    """A :class:`StaticOp` as a JSON-safe row (snapshot protocol).
+
+    Only wrong-path ops and trace-buffer windows are serialised this
+    way — correct-path micro-ops recover their static op from the
+    restored trace buffer instead.
+    """
+    return [int(op.op_class), op.pc, op.dest_is_fp, list(op.src_dists),
+            op.mem_addr, int(op.branch_kind), op.taken, op.target,
+            op.latency]
+
+
+def decode_static(row) -> StaticOp:
+    """Exact inverse of :func:`encode_static`."""
+    (op_class, pc, dest_is_fp, src_dists, mem_addr, branch_kind, taken,
+     target, latency) = row
+    return StaticOp(OpClass(op_class), pc, dest_is_fp, tuple(src_dists),
+                    mem_addr, BranchKind(branch_kind), taken, target,
+                    latency)
+
+
 # MicroOp status codes (kept as plain ints on a hot path).
 ST_FETCHED = 0
 ST_IN_QUEUE = 1

@@ -93,6 +93,26 @@ class Cache:
         cache_set, tag = self._set_and_tag(addr)
         return cache_set.pop(tag, None) is not None
 
+    def capture_state(self) -> dict:
+        """Snapshot contents and counters (StateSnapshot protocol).
+
+        Each set is captured as its tag list in LRU order (least
+        recently used first — the OrderedDict insertion order), so a
+        restored cache evicts in exactly the original order.
+        """
+        return {
+            "sets": [list(cache_set) for cache_set in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents and counters from :meth:`capture_state`."""
+        self._sets = [OrderedDict((tag, True) for tag in tags)
+                      for tags in state["sets"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

@@ -140,6 +140,47 @@ class MemoryHierarchy:
         self.dtlb.reset_stats()
         self.mshrs.reset_stats()
 
+    def capture_state(self) -> dict:
+        """Snapshot cache/TLB/MSHR contents and statistics
+        (StateSnapshot protocol), fanning out like ``reset_stats``."""
+        return {
+            "l1i": self.l1i.capture_state(),
+            "l1d": self.l1d.capture_state(),
+            "l2": self.l2.capture_state(),
+            "dtlb": self.dtlb.capture_state(),
+            "mshrs": self.mshrs.capture_state(),
+            "thread_stats": [
+                [stats.l1d_accesses, stats.l1d_misses,
+                 stats.l2_data_accesses, stats.l2_data_misses,
+                 stats.l1i_accesses, stats.l1i_misses, stats.tlb_misses,
+                 stats.store_accesses, stats.store_l2_misses]
+                for _, stats in sorted(self.thread_stats.items())
+            ],
+        }
+
+    def restore_state(self, state: dict,
+                      waiter_factory: Optional[Callable] = None) -> None:
+        """Overwrite hierarchy state from :meth:`capture_state`.
+
+        Args:
+            waiter_factory: forwarded to
+                :meth:`~repro.mem.mshr.MSHRFile.restore_state` to rebuild
+                load wake-up callbacks from their captured ``seq`` ids.
+        """
+        self.l1i.restore_state(state["l1i"])
+        self.l1d.restore_state(state["l1d"])
+        self.l2.restore_state(state["l2"])
+        self.dtlb.restore_state(state["dtlb"])
+        self.mshrs.restore_state(state["mshrs"], waiter_factory)
+        for tid, row in enumerate(state["thread_stats"]):
+            (l1d_accesses, l1d_misses, l2_data_accesses, l2_data_misses,
+             l1i_accesses, l1i_misses, tlb_misses, store_accesses,
+             store_l2_misses) = row
+            self.thread_stats[tid] = ThreadMemStats(
+                l1d_accesses, l1d_misses, l2_data_accesses, l2_data_misses,
+                l1i_accesses, l1i_misses, tlb_misses, store_accesses,
+                store_l2_misses)
+
     # -- loads ---------------------------------------------------------------
 
     def access_load(self, tid: int, addr: int, cycle: int,

@@ -92,6 +92,62 @@ class MSHRFile:
         entry.waiters.append(waiter)
         self.merges += 1
 
+    def capture_state(self) -> dict:
+        """Snapshot in-flight entries and counters (StateSnapshot).
+
+        Entries are captured in allocation (dict insertion) order, which
+        :meth:`pop_ready` observes.  Waiters are captured as the ``seq``
+        of the load each callback belongs to (the processor stamps its
+        wake-up closures with an ``op`` attribute); callbacks whose load
+        has since been squashed are dropped — invoking them is a no-op,
+        so a restored file behaves identically.
+        """
+        from repro.isa.instruction import ST_SQUASHED
+
+        entries = []
+        for entry in self._entries.values():
+            waiters = []
+            for waiter in entry.waiters:
+                op = getattr(waiter, "op", None)
+                if op is not None and op.status != ST_SQUASHED \
+                        and op.waiting_line >= 0:
+                    waiters.append(op.seq)
+            entries.append([entry.line_addr, entry.fill_cycle,
+                            entry.is_l2_miss, entry.tid, entry.is_ifetch,
+                            waiters])
+        return {
+            "entries": entries,
+            "merges": self.merges,
+            "allocations": self.allocations,
+            "l2_overlap_samples": self.l2_overlap_samples,
+            "l2_overlap_sum": self.l2_overlap_sum,
+        }
+
+    def restore_state(self, state: dict,
+                      waiter_factory: Optional[Callable] = None) -> None:
+        """Overwrite entries and counters from :meth:`capture_state`.
+
+        Args:
+            waiter_factory: maps a captured load ``seq`` back to a live
+                wake-up callback (the processor's ``_make_waiter`` over
+                its restored ops).  Required when any entry has waiters.
+        """
+        self._entries = {}
+        self._outstanding_l2 = 0
+        for line_addr, fill_cycle, is_l2_miss, tid, is_ifetch, waiters \
+                in state["entries"]:
+            entry = MSHREntry(line_addr, fill_cycle, is_l2_miss, tid,
+                              is_ifetch)
+            for seq in waiters:
+                entry.waiters.append(waiter_factory(seq))
+            self._entries[line_addr] = entry
+            if is_l2_miss:
+                self._outstanding_l2 += 1
+        self.merges = state["merges"]
+        self.allocations = state["allocations"]
+        self.l2_overlap_samples = state["l2_overlap_samples"]
+        self.l2_overlap_sum = state["l2_overlap_sum"]
+
     def pop_ready(self, cycle: int) -> List[MSHREntry]:
         """Remove and return entries whose fills complete at ``cycle``."""
         if not self._entries:

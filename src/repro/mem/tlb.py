@@ -48,6 +48,24 @@ class TranslationBuffer:
         self._pages[page] = True
         return False
 
+    def capture_state(self) -> dict:
+        """Snapshot translations and counters (StateSnapshot protocol).
+
+        Pages are captured in LRU order (least recently used first), so
+        a restored TLB replaces in exactly the original order.
+        """
+        return {
+            "pages": list(self._pages),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite translations and counters from :meth:`capture_state`."""
+        self._pages = OrderedDict((page, True) for page in state["pages"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def miss_rate(self) -> float:
         """Fraction of translations that missed."""
         total = self.hits + self.misses

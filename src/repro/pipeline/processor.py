@@ -358,6 +358,171 @@ class SMTProcessor:
         """Cycles elapsed since the last statistics reset."""
         return self.cycle - self.stat_start_cycle
 
+    # ------------------------------------------------------------- snapshot --
+
+    def capture_state(self) -> dict:
+        """The full mutable simulator state as a JSON-safe tree.
+
+        The traversal mirrors :meth:`reset_stats`: every component that
+        accumulates state is visited, delegating through the
+        ``capture_state`` protocol (:mod:`repro.snapshot`).  Each live
+        in-flight :class:`MicroOp` is serialised exactly once, keyed by
+        its unique ``seq``; containers (fetch queues, ROBs, ready heaps,
+        completion and detection schedules, MSHR waiters, policy gate
+        references) hold seq references, preserving order.  Ops that
+        were squashed are dropped everywhere — every consumer of a dead
+        op already skips it, so the restored run is bitwise-identical.
+
+        The capture is a pure read: it never changes simulated
+        behaviour, and equal logical states capture to equal trees
+        (``json.dumps(state, sort_keys=True)`` is a canonical form).
+        """
+        from repro.isa.instruction import encode_static
+        from repro.snapshot import SNAPSHOT_VERSION
+
+        live: Dict[int, MicroOp] = {}
+        for thread in self.threads:
+            for op in thread.fetch_queue:
+                live[op.seq] = op
+            for op in thread.rob:
+                live[op.seq] = op
+        op_rows = []
+        for seq in sorted(live):
+            op = live[seq]
+            # Correct-path ops recover their static op from the restored
+            # trace buffer; wrong-path ops carry it inline.
+            static_row = (encode_static(op.static)
+                          if op.trace_index < 0 else None)
+            op_rows.append([
+                op.seq, op.tid, op.trace_index, static_row, op.wrong_path,
+                op.fetch_cycle, op.rename_cycle, op.issue_cycle,
+                op.complete_cycle, op.status, op.deps_left,
+                [c.seq for c in op.consumers if c.status != ST_SQUASHED],
+                op.pred_taken, op.pred_target, op.mispredicted,
+                op.dest_allocated, op.iq_allocated, op.waiting_line,
+                op.l2_missed, op.l2_detected, op.tlb_missed,
+            ])
+        completions = [
+            [cycle, [op.seq for op in ops if op.status != ST_SQUASHED]]
+            for cycle, ops in sorted(self._completions.items())
+        ]
+        detections = [
+            [cycle, [op.seq for op in ops
+                     if op.status != ST_SQUASHED and op.waiting_line >= 0]]
+            for cycle, ops in sorted(self._l2_detect_events.items())
+        ]
+        # A sorted seq list is a valid min-heap with the same pop order
+        # (seqs are unique); only ops still waiting to issue are kept.
+        ready = {
+            group: sorted(seq for seq, op in self._ready[group]
+                          if op.status == ST_IN_QUEUE)
+            for group in _UNIT_GROUPS
+        }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "cycle": self.cycle,
+            "stat_start_cycle": self.stat_start_cycle,
+            "seq": self._seq,
+            "ops": op_rows,
+            "threads": [thread.capture_state() for thread in self.threads],
+            "completions": completions,
+            "l2_detections": detections,
+            "ready": ready,
+            "resources": self.resources.capture_state(),
+            "hierarchy": self.hierarchy.capture_state(),
+            "branch": self.branch_unit.capture_state(),
+            "policy": self.policy.capture_state(),
+            "phase_counts": (list(self.phase_counts)
+                             if self.phase_counts is not None else None),
+        }
+
+    def restore_state(self, state: dict, restore_policy: bool = True) -> None:
+        """Overwrite this processor's state from :meth:`capture_state`.
+
+        The target must be freshly constructed with the same config,
+        profiles and thread count (config-derived state is not in the
+        tree).  Running the restored processor is bitwise-identical to
+        running the captured one — the invariant the checkpoint test
+        suite pins.
+
+        Args:
+            state: a tree produced by :meth:`capture_state`.
+            restore_policy: also restore policy-internal state.  Pass
+                False when forking a warm-up checkpoint onto a
+                *different* measured policy: the freshly attached policy
+                keeps its initial state and only sees the restored
+                microarchitectural state.
+        """
+        from repro.isa.instruction import decode_static
+        from repro.snapshot import SnapshotError, check_version
+
+        check_version(state, "SMTProcessor")
+        thread_states = state["threads"]
+        if len(thread_states) != self.num_threads:
+            raise SnapshotError(
+                f"snapshot has {len(thread_states)} threads, processor "
+                f"has {self.num_threads}")
+        # Traces first: correct-path ops resolve their static op through
+        # the restored trace windows.
+        for thread, tstate in zip(self.threads, thread_states):
+            thread.trace.restore_state(tstate["trace"])
+        ops_by_seq: Dict[int, MicroOp] = {}
+        for row in state["ops"]:
+            (seq, tid, trace_index, static_row, wrong_path, fetch_cycle,
+             rename_cycle, issue_cycle, complete_cycle, status, deps_left,
+             _consumers, pred_taken, pred_target, mispredicted,
+             dest_allocated, iq_allocated, waiting_line, l2_missed,
+             l2_detected, tlb_missed) = row
+            if static_row is not None:
+                static = decode_static(static_row)
+            else:
+                static = self.threads[tid].trace.get(trace_index)
+            op = MicroOp(static, tid, seq, trace_index, wrong_path,
+                         fetch_cycle)
+            op.rename_cycle = rename_cycle
+            op.issue_cycle = issue_cycle
+            op.complete_cycle = complete_cycle
+            op.status = status
+            op.deps_left = deps_left
+            op.pred_taken = pred_taken
+            op.pred_target = pred_target
+            op.mispredicted = mispredicted
+            op.dest_allocated = dest_allocated
+            op.iq_allocated = iq_allocated
+            op.waiting_line = waiting_line
+            op.l2_missed = l2_missed
+            op.l2_detected = l2_detected
+            op.tlb_missed = tlb_missed
+            ops_by_seq[seq] = op
+        for row in state["ops"]:  # second pass: dependence links
+            ops_by_seq[row[0]].consumers = [ops_by_seq[c] for c in row[11]]
+        for thread, tstate in zip(self.threads, thread_states):
+            thread.restore_state(tstate, ops_by_seq)
+        self._completions = {
+            cycle: [ops_by_seq[seq] for seq in seqs]
+            for cycle, seqs in state["completions"]
+        }
+        self._l2_detect_events = {
+            cycle: [ops_by_seq[seq] for seq in seqs]
+            for cycle, seqs in state["l2_detections"]
+        }
+        self._ready = {
+            group: [(seq, ops_by_seq[seq]) for seq in state["ready"][group]]
+            for group in _UNIT_GROUPS
+        }
+        self.resources.restore_state(state["resources"])
+        self.hierarchy.restore_state(
+            state["hierarchy"],
+            waiter_factory=lambda seq: self._make_waiter(ops_by_seq[seq]))
+        self.branch_unit.restore_state(state["branch"])
+        if restore_policy:
+            self.policy.restore_state(state["policy"], ops_by_seq)
+        self.cycle = state["cycle"]
+        self.stat_start_cycle = state["stat_start_cycle"]
+        self._seq = state["seq"]
+        self.phase_counts = (list(state["phase_counts"])
+                             if state["phase_counts"] is not None else None)
+
     # ----------------------------------------------------------------- step --
 
     def step(self) -> None:
@@ -629,6 +794,8 @@ class SMTProcessor:
             op.waiting_line = -1
             self._completions.setdefault(fill_cycle, []).append(op)
 
+        # Snapshot support: the MSHR serialises a waiter as its op's seq.
+        waiter.op = op
         return waiter
 
     # --------------------------------------------------------------- rename --

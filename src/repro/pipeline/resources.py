@@ -91,6 +91,28 @@ class SharedResources:
         else:
             self.rob_cap_per_thread = config.rob_size
 
+    def capture_state(self) -> dict:
+        """Snapshot occupancy counters (StateSnapshot protocol).
+
+        Pool totals, caps and partitioning are config-derived and not
+        captured; rows are indexed by :class:`Resource` value order.
+        """
+        return {
+            "used": [self.used[resource] for resource in Resource],
+            "per_thread": [list(self.per_thread[resource])
+                           for resource in Resource],
+            "rob_used": self.rob_used,
+            "rob_per_thread": list(self.rob_per_thread),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite occupancy counters from :meth:`capture_state`."""
+        for resource in Resource:
+            self.used[resource] = state["used"][resource]
+            self.per_thread[resource] = list(state["per_thread"][resource])
+        self.rob_used = state["rob_used"]
+        self.rob_per_thread = list(state["rob_per_thread"])
+
     # -- generic pools ---------------------------------------------------------
 
     def free(self, resource: Resource) -> int:

@@ -69,6 +69,57 @@ class ThreadContext:
         self.fetch_stall_until = 0
         self.stats = ThreadStats()
 
+    def capture_state(self) -> dict:
+        """Snapshot per-context state (StateSnapshot protocol).
+
+        In-flight micro-ops are referenced by their ``seq`` — the
+        processor serialises each live op once and containers hold
+        references, preserving order.
+        """
+        s = self.stats
+        return {
+            "fetch_index": self.fetch_index,
+            "pc": self.pc,
+            "fetch_queue": [op.seq for op in self.fetch_queue],
+            "rob": [op.seq for op in self.rob],
+            "pending_l1d": self.pending_l1d,
+            "pending_l2": self.pending_l2,
+            "detected_l2": self.detected_l2,
+            "in_wrong_path": self.in_wrong_path,
+            "wrong_path_pc": self.wrong_path_pc,
+            "mispredict_op": (self.mispredict_op.seq
+                              if self.mispredict_op is not None else None),
+            "fetch_stall_until": self.fetch_stall_until,
+            "stats": [s.committed, s.fetched, s.fetched_wrong_path,
+                      s.squashed, s.branches, s.mispredicts,
+                      s.load_l1_misses, s.load_l2_misses,
+                      s.fetch_stall_cycles, s.policy_stall_cycles,
+                      s.slow_cycles],
+            "trace": self.trace.capture_state(),
+        }
+
+    def restore_state(self, state: dict, ops_by_seq) -> None:
+        """Overwrite per-context state from :meth:`capture_state`.
+
+        The trace buffer is *not* restored here — the processor restores
+        traces first (micro-ops resolve their static op through them),
+        then calls this with the rebuilt ``seq -> MicroOp`` mapping.
+        """
+        self.fetch_index = state["fetch_index"]
+        self.pc = state["pc"]
+        self.fetch_queue = deque(ops_by_seq[seq]
+                                 for seq in state["fetch_queue"])
+        self.rob = deque(ops_by_seq[seq] for seq in state["rob"])
+        self.pending_l1d = state["pending_l1d"]
+        self.pending_l2 = state["pending_l2"]
+        self.detected_l2 = state["detected_l2"]
+        self.in_wrong_path = state["in_wrong_path"]
+        self.wrong_path_pc = state["wrong_path_pc"]
+        self.mispredict_op = (ops_by_seq[state["mispredict_op"]]
+                              if state["mispredict_op"] is not None else None)
+        self.fetch_stall_until = state["fetch_stall_until"]
+        self.stats = ThreadStats(*state["stats"])
+
     # -- queries used by policies ---------------------------------------------
 
     def fetch_queue_occupancy(self) -> int:

@@ -81,6 +81,23 @@ class Policy:
         reset never changes simulated behaviour.
         """
 
+    def capture_state(self) -> dict:
+        """Snapshot mutable policy state (StateSnapshot protocol).
+
+        The base policy is stateless; stateful subclasses return their
+        control state *and* statistics as JSON-safe plain data.
+        In-flight micro-op references are encoded as ``seq`` numbers.
+        """
+        return {}
+
+    def restore_state(self, state: dict, ops_by_seq=None) -> None:
+        """Overwrite mutable policy state from :meth:`capture_state`.
+
+        Called after :meth:`attach` on a freshly constructed policy;
+        ``ops_by_seq`` maps sequence numbers to the restored in-flight
+        :class:`MicroOp` objects.
+        """
+
     # -- per-cycle control -----------------------------------------------------
 
     def begin_cycle(self, cycle: int) -> None:

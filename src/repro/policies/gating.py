@@ -64,6 +64,23 @@ class PredictiveDataGatingPolicy(Policy):
         self.predictions = 0
         self.predicted_misses = 0
 
+    def capture_state(self) -> dict:
+        return {
+            "table": list(self._table),
+            "gate_op": [op.seq if op is not None else None
+                        for op in self._gate_op],
+            "predictions": self.predictions,
+            "predicted_misses": self.predicted_misses,
+        }
+
+    def restore_state(self, state: dict, ops_by_seq=None) -> None:
+        self._table = bytearray(state["table"])
+        self._mask = len(self._table) - 1
+        self._gate_op = [ops_by_seq[seq] if seq is not None else None
+                         for seq in state["gate_op"]]
+        self.predictions = state["predictions"]
+        self.predicted_misses = state["predicted_misses"]
+
     def _index(self, pc: int) -> int:
         return (pc >> 2) & self._mask
 

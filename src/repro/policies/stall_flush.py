@@ -88,6 +88,12 @@ class FlushPlusPlusPolicy(FlushPolicy):
     def on_attach(self) -> None:
         self._scores = [0.0] * self.processor.num_threads
 
+    def capture_state(self) -> dict:
+        return {"scores": list(self._scores)}
+
+    def restore_state(self, state: dict, ops_by_seq=None) -> None:
+        self._scores = [float(score) for score in state["scores"]]
+
     def end_cycle(self, cycle: int) -> None:
         if cycle % self.window == 0:
             self._scores = [score * 0.5 for score in self._scores]

@@ -130,6 +130,60 @@ class SyntheticTraceGenerator:
             acc += prob
             self._mix_cdf.append((acc, cls))
 
+    def capture_state(self) -> dict:
+        """Snapshot the stream cursors (StateSnapshot protocol).
+
+        Captures every field that evolves as ops are generated: both RNG
+        states, the program counter and region cursors, the call stack,
+        the memoised static code layout (branch biases/targets, per-PC
+        classes) and the phase machinery.  Address-space layout and the
+        hot-block set are functions of (profile, seed, tid) and are
+        rebuilt by construction.
+        """
+        from repro.snapshot import int_dict_to_pairs, rng_state_to_json
+
+        return {
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "wp_rng": rng_state_to_json(self._wp_rng.getstate()),
+            "pc": self._pc,
+            "stream_ptr": self._stream_ptr,
+            "cold_burst_left": self._cold_burst_left,
+            "wp_stream_ptr": self._wp_stream_ptr,
+            "wp_burst_left": self._wp_burst_left,
+            "call_stack": list(self._call_stack),
+            "branch_sites": int_dict_to_pairs(self._branch_sites),
+            "branch_targets": int_dict_to_pairs(self._branch_targets),
+            "pc_class": [[pc, int(cls)]
+                         for pc, cls in sorted(self._pc_class.items())],
+            "instr_count": self._instr_count,
+            "since_load": self._since_load,
+            "phase_left": self._phase_left,
+            "in_mem_phase": self._in_mem_phase,
+            "phase_acc": self._phase_acc,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the stream cursors from :meth:`capture_state`."""
+        from repro.snapshot import int_dict_from_pairs, rng_state_from_json
+
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self._wp_rng.setstate(rng_state_from_json(state["wp_rng"]))
+        self._pc = state["pc"]
+        self._stream_ptr = state["stream_ptr"]
+        self._cold_burst_left = state["cold_burst_left"]
+        self._wp_stream_ptr = state["wp_stream_ptr"]
+        self._wp_burst_left = state["wp_burst_left"]
+        self._call_stack = list(state["call_stack"])
+        self._branch_sites = int_dict_from_pairs(state["branch_sites"])
+        self._branch_targets = int_dict_from_pairs(state["branch_targets"])
+        self._pc_class = {int(pc): OpClass(cls)
+                          for pc, cls in state["pc_class"]}
+        self._instr_count = state["instr_count"]
+        self._since_load = state["since_load"]
+        self._phase_left = state["phase_left"]
+        self._in_mem_phase = state["in_mem_phase"]
+        self._phase_acc = state["phase_acc"]
+
     def prewarm_regions(self):
         """Regions to pre-install in the caches: (base, size, kind) tuples.
 
@@ -456,6 +510,29 @@ class TraceBuffer:
         while i >= len(ops):
             ops.append(next_op())
         return ops[i]
+
+    def capture_state(self) -> dict:
+        """Snapshot the window and generator cursors (StateSnapshot).
+
+        The un-pruned window is serialised op by op: its instructions
+        were drawn *before* the captured RNG cursor, so they cannot be
+        regenerated from the cursor — they are data, not replay.
+        """
+        from repro.isa.instruction import encode_static
+
+        return {
+            "base": self._base,
+            "ops": [encode_static(op) for op in self._ops],
+            "generator": self._gen.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite window and generator from :meth:`capture_state`."""
+        from repro.isa.instruction import decode_static
+
+        self._base = state["base"]
+        self._ops = [decode_static(row) for row in state["ops"]]
+        self._gen.restore_state(state["generator"])
 
     def wrong_path_op(self, pc: int) -> StaticOp:
         """Delegate wrong-path generation to the underlying generator."""

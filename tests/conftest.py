@@ -16,10 +16,13 @@ def _isolated_baseline_cache(tmp_path, monkeypatch):
     surviving memory entries would alias different directories).
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    from repro.harness.checkpoints import checkpoint_store
     from repro.harness.results import result_store
 
     result_store.clear()
     result_store.reset_stats()
+    checkpoint_store.clear()
+    checkpoint_store.reset_stats()
 
 
 @pytest.fixture
