@@ -53,6 +53,40 @@ def run_config(benchmarks, policy="ICOUNT"):
     return processor
 
 
+def test_python_calibration(benchmark):
+    """Code-independent Python-speed reference for cross-machine gating.
+
+    A fixed pure-Python workload (integer arithmetic + dict traffic,
+    the simulator's dominant operation mix) whose ops/s depends only on
+    the interpreter and the machine — never on this repo's code.  The
+    perf gate (scripts/perf_gate.py) divides every throughput entry by
+    the ratio of calibration speeds before comparing against the
+    committed baseline, so a slower/faster CI machine doesn't read as a
+    code regression/win.
+    """
+    import time
+
+    OPS = 300_000
+
+    def calibrate():
+        table = {}
+        total = 0
+        start = time.perf_counter()
+        for i in range(OPS):
+            key = i & 1023
+            total += table.get(key, 0) + (i ^ (i >> 3)) % 97
+            table[key] = total & 0xFFFF
+        return total, time.perf_counter() - start
+
+    total, elapsed = benchmark.pedantic(calibrate, rounds=1, iterations=1)
+    _MEASUREMENTS["python-calibration"] = {
+        "ops": OPS,
+        "ops_per_sec": round(OPS / elapsed, 1),
+    }
+    print(f"\npython calibration: {OPS / elapsed:,.0f} ops/s")
+    assert total != 0
+
+
 @pytest.mark.parametrize("benchmarks,label", [
     (("gzip",), "1-thread ILP"),
     (("mcf",), "1-thread MEM"),
@@ -74,6 +108,108 @@ def test_simulation_speed(benchmark, benchmarks, label):
     print(f"\n{label}: {CYCLES} cycles, {committed} instructions committed, "
           f"{cycles_per_sec:,.0f} simulated cycles/s")
     assert committed > 0
+
+
+@pytest.mark.parametrize("benchmarks,policy,label", [
+    (("gzip", "twolf", "bzip2", "mcf"), "ICOUNT", "batched reps-8 MIX"),
+    (("mcf", "twolf"), "STALL", "batched reps-8 MEM STALL"),
+])
+def test_backend_fanout_speedup(benchmark, benchmarks, policy, label):
+    """The batched backend on a ``--reps 8`` fan-out vs the scalar loop.
+
+    Times the identical 8-replica job list through both backends,
+    asserts the results are bitwise-equal (the backend contract), and
+    records aggregate simulated cycles/s per backend plus the speedup
+    in BENCH_speed.json.  The win comes from the fast stepper's fused
+    loop and quiescence fast-forward, so it scales with the workload's
+    idle share: memory-bound / fetch-gated configurations gain the
+    most.
+    """
+    pytest.importorskip("numpy")
+    import pickle
+    import time
+
+    from repro.harness.engine import SimJob, replicate_job, run_jobs
+
+    warmup = 1_000
+    jobs = replicate_job(
+        SimJob(tuple(benchmarks), policy, None, CYCLES, warmup, seed=1), 8)
+    total_cycles = len(jobs) * (CYCLES + warmup)
+
+    def measure():
+        start = time.perf_counter()
+        scalar = run_jobs(jobs, backend="scalar")
+        scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = run_jobs(jobs, backend="batched")
+        batched_s = time.perf_counter() - start
+        return scalar, batched, scalar_s, batched_s
+
+    scalar, batched, scalar_s, batched_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    assert [pickle.dumps(r) for r in scalar] \
+        == [pickle.dumps(r) for r in batched]
+    speedup = scalar_s / batched_s
+    _MEASUREMENTS[label] = {
+        "benchmarks": list(benchmarks),
+        "policy": policy,
+        "reps": len(jobs),
+        "warmup": warmup,
+        "aggregate_simulated_cycles": total_cycles,
+        "scalar_cycles_per_sec": round(total_cycles / scalar_s, 1),
+        "batched_cycles_per_sec": round(total_cycles / batched_s, 1),
+        "batched_speedup": round(speedup, 3),
+    }
+    print(f"\n{label}: scalar {total_cycles / scalar_s:,.0f} cyc/s, "
+          f"batched {total_cycles / batched_s:,.0f} cyc/s "
+          f"({speedup:.2f}x, bitwise-equal results)")
+    # The backend must never be a significant slowdown; the recorded
+    # speedup itself is gated against the committed baseline by
+    # scripts/perf_gate.py rather than a fixed threshold here.
+    assert speedup > 0.8
+
+
+def test_batch_width_scaling(benchmark):
+    """Batched throughput as the lane count grows: B = 1, 2, 4, 8, 16.
+
+    All lanes share one shape (the 2-thread MEM STALL configuration,
+    where the fast stepper wins most), so per-lane overhead — group
+    detection, instrumentation refresh, demux — is what the curve
+    exposes.  Recorded as cycles/s per width in BENCH_speed.json.
+    """
+    pytest.importorskip("numpy")
+    import time
+
+    from repro.batch import BatchedSimulator
+    from repro.harness.engine import SimJob, replicate_job
+
+    warmup = 500
+    widths = (1, 2, 4, 8, 16)
+    base = SimJob(("mcf", "twolf"), "STALL", None, CYCLES, warmup, seed=1)
+
+    def measure():
+        curve = {}
+        for width in widths:
+            jobs = replicate_job(base, width)
+            start = time.perf_counter()
+            results = BatchedSimulator(jobs).run()
+            elapsed = time.perf_counter() - start
+            total = width * (CYCLES + warmup)
+            curve[width] = (total / elapsed, len(results))
+        return curve
+
+    curve = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(count == width for width, (_, count) in curve.items())
+    _MEASUREMENTS["batched width scaling"] = {
+        "benchmarks": ["mcf", "twolf"],
+        "policy": "STALL",
+        "warmup": warmup,
+        "cycles_per_sec_by_width": {
+            str(width): round(rate, 1)
+            for width, (rate, _) in curve.items()},
+    }
+    print("\nbatched width scaling (cycles/s): " + ", ".join(
+        f"B={width}: {rate:,.0f}" for width, (rate, _) in curve.items()))
 
 
 def test_interval_mode_overhead(benchmark):

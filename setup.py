@@ -9,13 +9,18 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dcra",
-    version="1.1.0",
+    version="1.2.0",
     description=("Reproduction of 'Dynamically Controlled Resource "
                  "Allocation in SMT Processors' (Cazorla et al., "
                  "MICRO-37 2004)"),
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
+    # The core simulator is dependency-free; the batched lockstep
+    # backend (--backend batched) needs numpy for its instrumentation.
+    extras_require={
+        "batch": ["numpy"],
+    },
     entry_points={
         "console_scripts": [
             "repro=repro.__main__:main",

@@ -39,6 +39,13 @@ interval refactor's invariant), ``--progress`` streams one line per
 completed interval to stderr, and ``run --timeline`` renders ASCII
 IPC/phase timelines (``--timeline-json`` dumps the raw series).
 
+``--backend {scalar,batched}`` selects the simulation backend:
+``batched`` (numpy extra required) runs lockstep-compatible job groups
+— a ``--reps`` fan-out, a single-field sweep — through one batched
+simulator, bitwise-identical to ``scalar`` but faster; jobs that can't
+batch fall back to the scalar path silently and correctly.  ``run
+--profile-out FILE`` writes a cProfile of the simulation phase.
+
 ``--warmup`` takes a fixed cycle count or ``auto[:window,tol]`` for
 steady-state warm-up: each run warms up until its IPC series settles
 (capped), resolving the length per workload instead of guessing one.
@@ -58,6 +65,7 @@ import threading
 from typing import Iterator, List, Optional
 
 from repro.harness.engine import (
+    BACKEND_NAMES,
     ReplicatedRun,
     SimJob,
     derive_seeds,
@@ -185,6 +193,48 @@ def _adaptive_warmup(args: argparse.Namespace) -> bool:
     return isinstance(args.warmup, WarmupPolicy) and args.warmup.is_adaptive
 
 
+def _resolve_backend(args: argparse.Namespace) -> Optional[str]:
+    """The ``--backend`` choice, validated for availability.
+
+    ``batched`` needs the numpy extra; when it is missing the command
+    fails loudly here — before any simulation — with the install hint,
+    rather than degrading to a silent scalar run the user did not ask
+    for.
+    """
+    backend = getattr(args, "backend", None)
+    if backend == "batched":
+        try:
+            import repro.batch  # noqa: F401
+        except ImportError as error:
+            raise SystemExit(f"--backend batched unavailable: {error}") \
+                from None
+    return backend
+
+
+@contextlib.contextmanager
+def _maybe_profile(path: Optional[str]) -> Iterator[None]:
+    """cProfile the wrapped simulation phase into ``path`` (when set).
+
+    The profile covers exactly the simulation work (warm-up + measured
+    run + result collection), not argument parsing or table rendering,
+    so entries are comparable across CLI invocations.
+    """
+    if not path:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"[profile] simulation-phase profile written to {path} "
+              f"(inspect with: python -m pstats {path})", file=sys.stderr)
+
+
 @contextlib.contextmanager
 def _store_traffic(args: argparse.Namespace) -> Iterator[dict]:
     """Track result-store traffic for one command invocation.
@@ -218,11 +268,16 @@ def _note_resolved_warmups(results) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     interval = args.interval_cycles
+    backend = _resolve_backend(args)
     if (args.timeline or args.timeline_json) and \
             not (interval and args.reps <= 1):
         raise SystemExit(
             "--timeline/--timeline-json need --interval-cycles and a "
             "single replication (--reps 1)")
+    if backend == "batched" and interval:
+        print("[backend] interval-mode runs are not batchable; "
+              "simulating on the scalar path (identical results)",
+              file=sys.stderr)
     if args.reps <= 1 and interval:
         # In-process interval run: keeps the recorder, so the timeline
         # views are available (a single job gains nothing from workers).
@@ -242,10 +297,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 if args.progress:
                     progress = guard_progress(_progress_printer(1))
                     wrapped = lambda event: progress(0, event)  # noqa: E731
-                run = run_benchmarks_intervals(
-                    args.benchmarks, args.policy, None, args.cycles,
-                    args.warmup, args.seed, interval_cycles=interval,
-                    progress=wrapped)
+                with _maybe_profile(args.profile_out):
+                    run = run_benchmarks_intervals(
+                        args.benchmarks, args.policy, None, args.cycles,
+                        args.warmup, args.seed, interval_cycles=interval,
+                        progress=wrapped)
                 if reuse == "auto":
                     result_store.put(job, run, "intervals")
         if _adaptive_warmup(args):
@@ -265,16 +321,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
                  args.warmup, args.seed, interval_cycles=interval)
     progress = _progress_printer(max(1, args.reps)) if args.progress else None
-    with _cli_executor(args) as executor, _store_traffic(args):
+    with _cli_executor(args) as executor, _store_traffic(args), \
+            _maybe_profile(args.profile_out):
         if args.reps <= 1:
             result = run_jobs([job], args.jobs, executor, progress,
-                              args.reuse)[0]
+                              args.reuse, backend=backend)[0]
             if _adaptive_warmup(args):
                 _note_resolved_warmups([result])
             print(thread_table(result))
             return 0
         replicated = run_replicated(job, args.reps, args.jobs, executor,
-                                    progress, args.reuse)
+                                    progress, args.reuse, backend=backend)
     if _adaptive_warmup(args):
         _note_resolved_warmups(replicated.results)
     print(f"Workload: {'+'.join(args.benchmarks)}  policy {args.policy}")
@@ -307,6 +364,7 @@ def _resolve_compare_benchmarks(args: argparse.Namespace) -> List[str]:
 def _cmd_compare(args: argparse.Namespace) -> int:
     benchmarks = _resolve_compare_benchmarks(args)
     interval = args.interval_cycles
+    backend = _resolve_backend(args)
     print(f"Workload: {'+'.join(benchmarks)}")
     n_jobs = len(args.policies) * max(1, args.reps)
     progress = _progress_printer(n_jobs) if args.progress else None
@@ -319,7 +377,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                            args.warmup, args.seed, interval_cycles=interval)
                     for policy in args.policies]
             results = run_jobs(jobs, args.jobs, executor, progress,
-                               args.reuse)
+                               args.reuse, backend=backend)
             singles = [singles_by_benchmark[b] for b in benchmarks]
             if _adaptive_warmup(args):
                 _note_resolved_warmups(results)
@@ -334,7 +392,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                        args.warmup, seed, interval_cycles=interval)
                 for policy in args.policies
                 for seed in seeds]
-        results = run_jobs(jobs, args.jobs, executor, progress, args.reuse)
+        results = run_jobs(jobs, args.jobs, executor, progress, args.reuse,
+                           backend=backend)
 
     if _adaptive_warmup(args):
         _note_resolved_warmups(results)
@@ -389,6 +448,10 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
 
     is_file = (os.path.exists(args.target)
                or args.target.endswith((".json", ".toml")))
+    backend = _resolve_backend(args)
+    if backend is not None and not is_file:
+        print("[backend] built-in artefacts run on the scalar backend; "
+              "--backend applies to scenario files", file=sys.stderr)
     stats: dict
     with _cli_executor(args) as executor, _store_traffic(args) as stats:
         if is_file:
@@ -400,7 +463,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
                 raise SystemExit(str(error)) from None
             outcome = run_scenario(scenario, args.jobs, executor,
                                    reuse=args.reuse,
-                                   checkpoint=args.checkpoint)
+                                   checkpoint=args.checkpoint,
+                                   backend=backend)
             if outcome.checkpoint_stats is not None:
                 ckpt = outcome.checkpoint_stats
                 print(f"[checkpoint] {ckpt['prefixes']} shared warm-up "
@@ -548,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline-json", metavar="PATH", default=None,
         help="write the per-interval series (IPC, phase counts) as JSON "
              "(requires --interval-cycles, single rep)")
+    run_parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="cProfile the simulation phase (warm-up + measured run) "
+             "and write the stats file to PATH")
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare policies")
@@ -607,6 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-stats", metavar="PATH", default=None,
         help="write this run's store hit/miss counters as JSON "
              "(including the shared warm-up prefix stats when active)")
+    scenario_run.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="simulation backend for file scenarios: 'batched' runs "
+             "lockstep groups of same-shape jobs (requires the numpy "
+             "extra); results are bitwise-identical to 'scalar' "
+             "(default: what the scenario file specifies)")
     scenario_run.add_argument(
         "--checkpoint", choices=list(CHECKPOINT_MODES), default=None,
         help="warm-up checkpoint mode for file scenarios: override what "
@@ -688,6 +762,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="result-store mode: 'auto' serves stored results and "
                  "simulates only misses (identical output), 'require' "
                  "fails on any miss (default: off)")
+        sub_parser.add_argument(
+            "--backend", choices=list(BACKEND_NAMES), default="scalar",
+            help="simulation backend: 'batched' runs lockstep groups of "
+                 "same-shape jobs — e.g. a --reps fan-out — through one "
+                 "batched simulator (requires the numpy extra) and is "
+                 "bitwise-identical to 'scalar' (default: scalar)")
     return parser
 
 

@@ -1,0 +1,43 @@
+"""Batched lockstep simulation backend (optional, requires numpy).
+
+This package implements ``--backend batched``: groups of independent
+:class:`~repro.harness.engine.SimJob` runs that share one machine shape
+(same workload, configuration, cycle counts — differing only in seed or
+policy, the shape every ``reps`` fan-out and single-field sweep
+produces) advance through one :class:`~repro.batch.core.BatchedSimulator`
+in lockstep chunks, amortising Python's per-cycle interpreter overhead
+across the whole group and skipping provably-idle cycle spans via
+:mod:`repro.pipeline.fastpath`.  Results demultiplex back to per-job
+:class:`~repro.metrics.stats.SimulationResult` objects that are
+**bitwise identical** to the scalar backend's.
+
+numpy is an *optional* dependency (``pip install repro-dcra[batch]``):
+the scalar backend, the tier-1 test suite and everything outside this
+package run numpy-free.  Importing :mod:`repro.batch` without numpy
+raises immediately with instructions rather than failing later inside
+a simulation.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy  # noqa: F401
+except ImportError as error:  # pragma: no cover - exercised via sys.modules
+    raise ImportError(
+        "the batched simulation backend requires numpy, which is an "
+        "optional dependency: install it with `pip install "
+        "repro-dcra[batch]` (or `pip install numpy`). The default "
+        "scalar backend (--backend scalar) runs without numpy and "
+        "produces bitwise-identical results."
+    ) from error
+
+from repro.batch.core import BatchedSimulator, BatchSnapshot
+from repro.batch.groups import batch_key, group_jobs, run_jobs_batched
+
+__all__ = [
+    "BatchSnapshot",
+    "BatchedSimulator",
+    "batch_key",
+    "group_jobs",
+    "run_jobs_batched",
+]

@@ -1,0 +1,237 @@
+"""The batched lockstep simulator: many lanes, one cycle loop schedule.
+
+A :class:`BatchedSimulator` holds B *lanes* — independent simulations
+that share one machine shape (workload mix, configuration, cycle and
+warm-up counts) but differ in seed and/or policy, the shape every
+``reps`` fan-out and single-field sweep produces.  All lanes advance in
+lockstep chunks through :func:`repro.pipeline.fastpath.run_fast`, the
+fused/fast-forwarding stepper, and the batch keeps struct-of-arrays
+numpy instrumentation (a ``(B, T)`` matrix per counter) refreshed at
+every chunk boundary for cross-lane aggregation and progress.
+
+The pipeline stages themselves run per lane through the scalar
+machinery: an out-of-order SMT cycle is a mass of data-dependent
+branching (heap pops, per-op wakeups, policy decisions) that resists
+vectorisation, and the repo's invariant is *bitwise* scalar/batched
+equality — which rules out re-implementing the stages in float/ndarray
+arithmetic.  Falling back to per-lane scalar stepping for those stages
+keeps correctness independent of vectorisation coverage; the batch
+layer wins by amortising warm-up/measure scheduling, skipping idle
+spans, and doing all cross-lane accounting in numpy.
+
+Bitwise contract: for every job, the demultiplexed
+:class:`~repro.metrics.stats.SimulationResult` equals the scalar
+backend's result for the same job, byte for byte (pinned per registry
+policy by the backend-equivalence suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.engine import SimJob
+from repro.harness.runner import _build_processor, _warmed_processor
+from repro.harness.warmup import as_warmup_policy
+from repro.metrics.stats import SimulationResult, collect_result
+from repro.pipeline.fastpath import run_fast
+
+#: Lockstep chunk length.  Chunking bounds how far lanes drift apart
+#: (relevant only for instrumentation freshness — lanes never interact)
+#: and matches the processor's trace-prune interval so the fused loop's
+#: prune cadence is undisturbed.
+DEFAULT_CHUNK_CYCLES = 1024
+
+
+class HeterogeneousBatchError(ValueError):
+    """Raised when jobs that cannot run in lockstep reach the core.
+
+    The grouping layer (:func:`repro.batch.groups.group_jobs`) never
+    produces such a batch — heterogeneous jobs fall back to scalar
+    singleton groups — so seeing this means a caller bypassed grouping.
+    """
+
+
+@dataclass
+class BatchSnapshot:
+    """Cross-lane state at one lockstep chunk boundary.
+
+    All array fields are numpy views over the batch's struct-of-arrays
+    instrumentation: axis 0 is the lane, axis 1 (where present) the
+    hardware thread context.
+    """
+
+    cycles_done: int
+    total_cycles: int
+    committed: np.ndarray       #: (B, T) committed instructions
+    fetched: np.ndarray         #: (B, T) fetched instructions
+    pending_l1d: np.ndarray     #: (B, T) outstanding L1D misses
+    detected_l2: np.ndarray     #: (B, T) detected L2 misses in flight
+    rob_occupancy: np.ndarray   #: (B, T) ROB entries held
+    fetch_queue_depth: np.ndarray  #: (B, T) fetch-queue entries held
+
+    @property
+    def lanes(self) -> int:
+        return self.committed.shape[0]
+
+    @property
+    def ipc(self) -> np.ndarray:
+        """Per-lane aggregate IPC over the measured cycles so far."""
+        if self.cycles_done <= 0:
+            return np.zeros(self.lanes)
+        return self.committed.sum(axis=1) / float(self.cycles_done)
+
+    @property
+    def slow_lanes(self) -> int:
+        """Lanes with at least one thread blocked on an L1D miss."""
+        return int((self.pending_l1d > 0).any(axis=1).sum())
+
+
+def _lockstep_key(job: SimJob) -> tuple:
+    """The shape every lane of one batch must share."""
+    return (job.benchmarks, repr(job.config), job.cycles, repr(job.warmup),
+            job.interval_cycles)
+
+
+class BatchedSimulator:
+    """Advance B same-shape simulation jobs in lockstep.
+
+    Args:
+        jobs: the lane jobs.  All must share benchmarks, config, cycles
+            and warm-up (seed, policy, tag, checkpoint mode free to
+            differ); interval-mode jobs are rejected — their chunked
+            progress contract is inherently per-lane scalar.
+        chunk_cycles: lockstep chunk length for the measured phase.
+    """
+
+    def __init__(self, jobs: Sequence[SimJob],
+                 chunk_cycles: int = DEFAULT_CHUNK_CYCLES) -> None:
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("a batch needs at least one job")
+        if chunk_cycles <= 0:
+            raise ValueError("chunk_cycles must be positive")
+        shape = _lockstep_key(jobs[0])
+        for job in jobs[1:]:
+            if _lockstep_key(job) != shape:
+                raise HeterogeneousBatchError(
+                    "jobs in one batch must share benchmarks, config, "
+                    f"cycles and warm-up; got {shape} vs "
+                    f"{_lockstep_key(job)}")
+        if jobs[0].interval_cycles:
+            raise HeterogeneousBatchError(
+                "interval-mode jobs cannot run batched; route them "
+                "through the scalar backend")
+        self.jobs = jobs
+        self.chunk_cycles = chunk_cycles
+        self.cycles = jobs[0].cycles
+        self.num_threads = len(jobs[0].benchmarks)
+        lanes = len(jobs)
+        shape2 = (lanes, self.num_threads)
+        # Struct-of-arrays instrumentation, refreshed per chunk.
+        self._committed = np.zeros(shape2, dtype=np.int64)
+        self._fetched = np.zeros(shape2, dtype=np.int64)
+        self._pending_l1d = np.zeros(shape2, dtype=np.int64)
+        self._detected_l2 = np.zeros(shape2, dtype=np.int64)
+        self._rob = np.zeros(shape2, dtype=np.int64)
+        self._fetch_queue = np.zeros(shape2, dtype=np.int64)
+        self._processors: Optional[list] = None
+
+    # -- lane construction -------------------------------------------------
+
+    def _warm_lane(self, job: SimJob) -> Tuple[object, int]:
+        """Build one lane's processor, advanced to its warm-up boundary.
+
+        The common case — fixed warm-up, no checkpointing, no warm-up
+        forking — warms through :func:`run_fast` (bitwise-equal to the
+        scalar warm-up, and where memory-bound warm-ups win big).  The
+        checkpointed / forked / adaptive cases delegate to the scalar
+        :func:`~repro.harness.runner._warmed_processor` verbatim, so
+        every warm-up semantics the scalar backend supports behaves
+        identically under the batched one.
+        """
+        plan = as_warmup_policy(job.warmup)
+        if (job.checkpoint is None and job.warmup_policy is None
+                and not plan.is_adaptive):
+            processor = _build_processor(
+                list(job.benchmarks), job.policy, job.config, job.seed)
+            if plan.cycles:
+                run_fast(processor, plan.cycles)
+            return processor, plan.cycles
+        processor, warmup_cycles, _converged, _snapshots = _warmed_processor(
+            list(job.benchmarks), job.policy, job.config, job.warmup,
+            job.seed, interval_cycles=None, checkpoint=job.checkpoint,
+            warmup_policy=job.warmup_policy)
+        return processor, warmup_cycles
+
+    # -- instrumentation ---------------------------------------------------
+
+    def _refresh(self, processors: Sequence) -> None:
+        """Refill the struct-of-arrays counters from every lane.
+
+        The per-element loop is scalar (B x T elements, trivially small
+        next to a chunk's simulation work); everything consuming the
+        arrays — snapshots, progress aggregation, the bench's scaling
+        curve — is pure numpy.
+        """
+        committed = self._committed
+        fetched = self._fetched
+        pending = self._pending_l1d
+        detected = self._detected_l2
+        rob = self._rob
+        queue = self._fetch_queue
+        for lane, processor in enumerate(processors):
+            for tid, thread in enumerate(processor.threads):
+                stats = thread.stats
+                committed[lane, tid] = stats.committed
+                fetched[lane, tid] = stats.fetched
+                pending[lane, tid] = thread.pending_l1d
+                detected[lane, tid] = thread.detected_l2
+                rob[lane, tid] = len(thread.rob)
+                queue[lane, tid] = len(thread.fetch_queue)
+
+    def snapshot(self, cycles_done: int) -> BatchSnapshot:
+        """The cross-lane view at the latest refreshed chunk boundary."""
+        return BatchSnapshot(
+            cycles_done=cycles_done, total_cycles=self.cycles,
+            committed=self._committed.copy(),
+            fetched=self._fetched.copy(),
+            pending_l1d=self._pending_l1d.copy(),
+            detected_l2=self._detected_l2.copy(),
+            rob_occupancy=self._rob.copy(),
+            fetch_queue_depth=self._fetch_queue.copy())
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, progress: Optional[Callable[[BatchSnapshot], None]] = None) \
+            -> List[SimulationResult]:
+        """Warm every lane, run the measured phase in lockstep, demux.
+
+        ``progress`` (optional) receives one :class:`BatchSnapshot` per
+        lockstep chunk boundary.  Returns one result per job, in job
+        order, each bitwise-equal to the scalar backend's.
+        """
+        warmed = [self._warm_lane(job) for job in self.jobs]
+        processors = [processor for processor, _ in warmed]
+        self._processors = processors
+        for processor, warmup_cycles in warmed:
+            if warmup_cycles:
+                processor.reset_stats()
+        done = 0
+        while done < self.cycles:
+            chunk = min(self.chunk_cycles, self.cycles - done)
+            for processor in processors:
+                run_fast(processor, chunk)
+            done += chunk
+            self._refresh(processors)
+            if progress is not None:
+                progress(self.snapshot(done))
+        results = []
+        for job, (processor, warmup_cycles) in zip(self.jobs, warmed):
+            result = collect_result(processor,
+                                    benchmarks=list(job.benchmarks))
+            result.warmup_cycles = warmup_cycles
+            results.append(result)
+        return results

@@ -1,0 +1,133 @@
+"""Batchable-group detection and the batched job-list entry point.
+
+:func:`group_jobs` partitions a :class:`~repro.harness.engine.SimJob`
+list into lockstep-compatible groups: jobs sharing one machine shape
+(benchmarks, config, cycles, warm-up, warm-up fork) that differ only in
+seed, policy or tag — exactly what ``reps`` replication fan-outs and
+single-field scenario sweeps produce.  Jobs that cannot run in lockstep
+(interval-mode runs, or any job whose shape no other job shares) fall
+back to scalar singleton groups **silently and correctly**: the batched
+backend's output is bitwise-equal to the scalar backend's for every
+input, batchable or not.
+
+:func:`run_jobs_batched` is the backend face
+:func:`~repro.harness.engine.run_jobs` dispatches to for
+``backend="batched"``: it groups, runs each group through one
+:class:`~repro.batch.core.BatchedSimulator` (splitting large groups
+across workers when a parallel executor is in play), and demultiplexes
+results back to submission order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.batch.core import BatchedSimulator
+from repro.harness.engine import SimJob, parallel_map, run_job
+from repro.metrics.stats import SimulationResult
+
+
+def batch_key(job: SimJob) -> Optional[tuple]:
+    """The lockstep-compatibility key of a job, or None if unbatchable.
+
+    Jobs with equal keys can share one
+    :class:`~repro.batch.core.BatchedSimulator`: they agree on
+    everything that schedules the lockstep loop (workload mix,
+    configuration, measured cycles, warm-up spec and fork) while seed,
+    policy, tag and checkpoint mode remain free per lane.  Interval-mode
+    jobs return None — their per-chunk progress contract is inherently
+    per-lane — and run scalar.
+    """
+    if job.interval_cycles:
+        return None
+    return (job.benchmarks, repr(job.config), job.cycles, repr(job.warmup),
+            repr(job.warmup_policy))
+
+
+def group_jobs(jobs: Sequence[SimJob],
+               max_lanes: Optional[int] = None) -> List[List[int]]:
+    """Partition job indices into batch groups, preserving first-seen
+    order of groups and submission order within each group.
+
+    Unbatchable jobs become singleton groups (run scalar).  With
+    ``max_lanes`` set, larger groups are split into runs of at most
+    that many lanes — the work items a parallel executor distributes.
+    """
+    groups: List[List[int]] = []
+    by_key = {}
+    for index, job in enumerate(jobs):
+        key = batch_key(job)
+        if key is None:
+            groups.append([index])
+            continue
+        if key in by_key:
+            by_key[key].append(index)
+        else:
+            group: List[int] = [index]
+            by_key[key] = group
+            groups.append(group)
+    if max_lanes is not None and max_lanes >= 1:
+        split: List[List[int]] = []
+        for group in groups:
+            for start in range(0, len(group), max_lanes):
+                split.append(group[start:start + max_lanes])
+        groups = split
+    return groups
+
+
+def _run_group(jobs: Tuple[SimJob, ...]) -> List[SimulationResult]:
+    """Worker-side execution of one group (module-level: picklable).
+
+    A singleton group whose job is unbatchable runs through the scalar
+    :func:`~repro.harness.engine.run_job` — the silent, correct
+    fallback; everything else runs through one
+    :class:`~repro.batch.core.BatchedSimulator`.
+    """
+    jobs = list(jobs)
+    if len(jobs) == 1 and batch_key(jobs[0]) is None:
+        return [run_job(jobs[0])]
+    return BatchedSimulator(jobs).run()
+
+
+def run_jobs_batched(jobs: Sequence[SimJob], max_workers: int = 1,
+                     executor=None,
+                     progress: Optional[Callable] = None) \
+        -> List[SimulationResult]:
+    """Execute a job list through the batched backend, in submission
+    order — the ``backend="batched"`` sibling of the engine's
+    ``parallel_map(run_job, ...)`` compute phase.
+
+    When a parallel backend is in play, batch groups are split so every
+    worker gets lanes to drive (one group of 16 replicas on 4 workers
+    becomes 4 batches of 4 lanes); serial runs keep maximal groups.
+    ``progress`` receives ``(job_index, event)`` exactly as in
+    :func:`~repro.harness.engine.run_jobs`; batched groups run their
+    measured phase monolithically and thus emit no interval events, and
+    scalar-fallback jobs emit whatever the scalar path emits, remapped
+    to their submission index.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    max_lanes = None
+    workers = max(1, max_workers)
+    if workers > 1 or executor is not None:
+        max_lanes = max(1, -(-len(jobs) // workers))
+    groups = group_jobs(jobs, max_lanes=max_lanes)
+    items = [tuple(jobs[i] for i in group) for group in groups]
+    remapped = None
+    if progress is not None:
+        remapped = lambda g, event: progress(groups[g][0], event)  # noqa: E731
+    outputs = parallel_map(_run_group, items, workers, executor, remapped)
+    results: List[Optional[SimulationResult]] = [None] * len(jobs)
+    for group, output in zip(groups, outputs):
+        for index, result in zip(group, output):
+            results[index] = result
+    return results
+
+
+__all__ = [
+    "batch_key",
+    "group_jobs",
+    "run_jobs_batched",
+]

@@ -164,6 +164,41 @@ def derive_seeds(base_seed: int, reps: int) -> List[int]:
     return [derive_seed(base_seed, rep) for rep in range(reps)]
 
 
+#: Names the ``backend=`` parameter of the job-list entry points (and
+#: the CLI ``--backend`` flag) accepts.
+BACKEND_NAMES = ("scalar", "batched")
+
+
+def normalize_backend(backend) -> str:
+    """Canonical simulation-backend name; None means scalar."""
+    if backend is None:
+        return "scalar"
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"expected one of {', '.join(BACKEND_NAMES)}")
+    return backend
+
+
+def _compute_jobs(jobs: Sequence[SimJob], max_workers: int, executor,
+                  progress, backend: str) -> List[SimulationResult]:
+    """The engine's compute phase, dispatched by backend.
+
+    ``scalar`` maps :func:`run_job` over the jobs; ``batched`` routes
+    the list through :func:`repro.batch.groups.run_jobs_batched`, which
+    runs lockstep-compatible groups through one
+    :class:`~repro.batch.core.BatchedSimulator` each and falls back to
+    scalar execution per job otherwise.  Both produce bitwise-identical
+    results for every job list — the backend only changes speed.
+    """
+    if backend == "batched":
+        # Imported lazily: repro.batch requires numpy (optional extra)
+        # and raises a clear install hint when it is missing.
+        from repro.batch.groups import run_jobs_batched
+        return run_jobs_batched(jobs, max_workers, executor, progress)
+    return parallel_map(run_job, jobs, max_workers, executor, progress)
+
+
 def run_job(job: SimJob) -> SimulationResult:
     """Execute one job in the current process.
 
@@ -326,7 +361,8 @@ def map_jobs_stored(func: Callable, jobs: Sequence[SimJob], kind: str,
 
 def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
              executor=None, progress=None, reuse=None,
-             store: Optional[ResultStore] = None) -> List[SimulationResult]:
+             store: Optional[ResultStore] = None,
+             backend=None) -> List[SimulationResult]:
     """Execute jobs and return their results in submission order.
 
     Args:
@@ -345,14 +381,63 @@ def run_jobs(jobs: Iterable[SimJob], max_workers: int = 1,
             behaves identically on every executor.
         store: the :class:`~repro.harness.results.ResultStore` to use
             (default: the process-wide instance).
+        backend: simulation backend — ``"scalar"``/None (default) runs
+            each job independently; ``"batched"`` runs
+            lockstep-compatible groups (same workload/config/cycles/
+            warm-up, differing seed or policy — every ``reps`` fan-out)
+            through one :class:`~repro.batch.core.BatchedSimulator`,
+            falling back to scalar per job otherwise.  Results are
+            bitwise-identical either way, so result-store keys and
+            cached entries are shared across backends.
     """
-    return map_jobs_stored(run_job, list(jobs), "result", max_workers,
-                           executor, progress, reuse, store)
+    jobs = list(jobs)
+    backend = normalize_backend(backend)
+    mode = normalize_reuse(reuse)
+    if mode == "off":
+        return _compute_jobs(jobs, max_workers, executor, progress, backend)
+    store, results, missing = _store_partition(jobs, mode, store, "result")
+    if missing:
+        remapped = None
+        if progress is not None:
+            remapped = lambda i, event: progress(missing[i], event)  # noqa: E731
+        computed = _compute_jobs([jobs[i] for i in missing], max_workers,
+                                 executor, remapped, backend)
+        for index, value in zip(missing, computed):
+            store.put(jobs[index], value, "result")
+            results[index] = value
+    return results
+
+
+def _stream_jobs(jobs: Sequence[SimJob], max_workers: int, executor,
+                 progress, backend: str) \
+        -> Iterator[Tuple[int, SimulationResult]]:
+    """Backend-dispatched streaming compute phase.
+
+    Scalar streams per job; batched streams per *group* (a batch's
+    lanes finish together, so its jobs are yielded together the moment
+    the group completes, each under its own submission index).
+    """
+    if backend != "batched":
+        yield from parallel_map_streaming(run_job, jobs, max_workers,
+                                          executor, progress)
+        return
+    from repro.batch.groups import _run_group, group_jobs
+
+    groups = group_jobs(jobs)
+    items = [tuple(jobs[i] for i in group) for group in groups]
+    remapped = None
+    if progress is not None:
+        remapped = lambda g, event: progress(groups[g][0], event)  # noqa: E731
+    for position, output in parallel_map_streaming(
+            _run_group, items, max_workers, executor, remapped):
+        for index, result in zip(groups[position], output):
+            yield index, result
 
 
 def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
                        executor=None, progress=None, reuse=None,
-                       store: Optional[ResultStore] = None) \
+                       store: Optional[ResultStore] = None,
+                       backend=None) \
         -> Iterator[Tuple[int, SimulationResult]]:
     """Execute jobs, yielding ``(index, result)`` as each completes.
 
@@ -361,13 +446,16 @@ def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
     finishes them instead of waiting for the whole sweep.  Sorting the
     pairs by index reproduces the :func:`run_jobs` list bitwise.  With
     ``reuse`` enabled, stored results are yielded first (in job order),
-    then the computed misses stream in completion order.
+    then the computed misses stream in completion order.  ``backend``
+    selects the simulation backend as in :func:`run_jobs`; batched
+    groups complete (and stream) as a unit.
     """
     jobs = list(jobs)
+    backend = normalize_backend(backend)
     mode = normalize_reuse(reuse)
     if mode == "off":
-        yield from parallel_map_streaming(run_job, jobs, max_workers,
-                                          executor, progress)
+        yield from _stream_jobs(jobs, max_workers, executor, progress,
+                                backend)
         return
     store_, results, missing = _store_partition(jobs, mode, store, "result")
     for index, value in enumerate(results):
@@ -378,9 +466,9 @@ def run_jobs_streaming(jobs: Iterable[SimJob], max_workers: int = 1,
     remapped = None
     if progress is not None:
         remapped = lambda i, event: progress(missing[i], event)  # noqa: E731
-    for position, value in parallel_map_streaming(
-            run_job, [jobs[i] for i in missing], max_workers, executor,
-            remapped):
+    for position, value in _stream_jobs(
+            [jobs[i] for i in missing], max_workers, executor, remapped,
+            backend):
         store_.put(jobs[missing[position]], value, "result")
         yield missing[position], value
 
@@ -454,14 +542,17 @@ class ReplicatedRun:
 
 def run_replicated(job: SimJob, reps: int, max_workers: int = 1,
                    executor=None, progress=None, reuse=None,
-                   store: Optional[ResultStore] = None) -> ReplicatedRun:
+                   store: Optional[ResultStore] = None,
+                   backend=None) -> ReplicatedRun:
     """Run a job ``reps`` times with derived seeds (see
     :func:`replicate_job`) and collect the replications.  ``progress``
     receives ``(replica_index, event)`` for interval-mode jobs, and
-    ``reuse``/``store`` wire the result store, as in :func:`run_jobs`."""
+    ``reuse``/``store``/``backend`` are as in :func:`run_jobs` — a
+    replication fan-out is the batched backend's ideal input: all
+    replicas share one machine shape and differ only in seed."""
     return ReplicatedRun(
         job, run_jobs(replicate_job(job, reps), max_workers, executor,
-                      progress, reuse, store))
+                      progress, reuse, store, backend=backend))
 
 
 def _baseline_item(item: Tuple[str, SMTConfig, int, "WarmupSpec", int]) \

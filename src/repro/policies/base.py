@@ -14,7 +14,7 @@ micro-events happen, giving policies exactly the "indirect indicators"
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.pipeline.resources import Resource
 
@@ -60,6 +60,18 @@ class Policy:
 
     #: Human-readable policy name used in results and the registry.
     name = "BASE"
+
+    #: Whether the fast stepper (:mod:`repro.pipeline.fastpath`) may
+    #: skip over machine-quiescent cycles under this policy.  Safe means:
+    #: ``fetch_order`` and ``may_rename`` are pure functions of state
+    #: that is frozen while the machine is quiescent, and ``begin_cycle``
+    #: / ``end_cycle`` do nothing on such cycles (or declare when they
+    #: next do something via :meth:`quiesce_horizon`).  Defaults to
+    #: False so unknown subclasses overriding per-cycle hooks are
+    #: conservatively stepped cycle-by-cycle; the whitelisted policies
+    #: opt in explicitly and are pinned bitwise against the plain
+    #: stepper by the backend-equivalence suite.
+    quiesce_safe = False
 
     def __init__(self) -> None:
         self.processor: "SMTProcessor" = None  # set by attach()
@@ -109,6 +121,19 @@ class Policy:
     def fetch_order(self, cycle: int) -> List[int]:
         """Ordered thread ids allowed to fetch this cycle."""
         return icount_order(self.processor)
+
+    def quiesce_horizon(self, cycle: int) -> Optional[int]:
+        """Next cycle at which this policy performs per-cycle work.
+
+        Consulted by the fast stepper only for ``quiesce_safe``
+        policies, when the machine is quiescent at ``cycle``: the
+        stepper will not skip past the returned cycle.  None (the
+        default) means the policy never acts on quiescent cycles.
+        Policies with windowed bookkeeping (FLUSH++'s score decay)
+        return their next window boundary — returning ``cycle`` itself
+        forces a normal step now.
+        """
+        return None
 
     def may_rename(self, tid: int, op: "MicroOp") -> bool:
         """Whether ``tid`` may allocate the resources ``op`` needs now."""

@@ -18,6 +18,9 @@ class RoundRobinPolicy(Policy):
     """Fetch from all threads alternately, disregarding resource use."""
 
     name = "ROUND-ROBIN"
+    # Pure rotation of all threads: membership is cycle-invariant while
+    # the machine is quiescent, so skipped cycles change nothing.
+    quiesce_safe = True
 
     def fetch_order(self, cycle: int) -> List[int]:
         return round_robin_order(self.processor, cycle)
@@ -27,6 +30,9 @@ class IcountPolicy(Policy):
     """Prioritise threads with the fewest pre-issue instructions."""
 
     name = "ICOUNT"
+    # Pure function of queue/IQ occupancy, which is frozen whenever the
+    # machine is quiescent.
+    quiesce_safe = True
 
     def fetch_order(self, cycle: int) -> List[int]:
         return icount_order(self.processor)

@@ -26,6 +26,10 @@ class DataGatingPolicy(Policy):
     """Fetch-stall threads with any pending L1 data-cache miss."""
 
     name = "DG"
+    # fetch_order filters on pending_l1d, which only changes through
+    # issue/fill/squash events — all absent on quiescent cycles.  PDG
+    # below stays unsafe: its fetch_order lazily mutates the gate table.
+    quiesce_safe = True
 
     def fetch_order(self, cycle: int) -> List[int]:
         threads = self.processor.threads

@@ -26,6 +26,9 @@ class StallPolicy(Policy):
     """ICOUNT + fetch-stall while a thread has a detected L2 miss."""
 
     name = "STALL"
+    # fetch_order filters on detected_l2, which only changes through
+    # detection/fill/squash events — all absent on quiescent cycles.
+    quiesce_safe = True
 
     def fetch_order(self, cycle: int) -> List[int]:
         threads = self.processor.threads
@@ -37,6 +40,9 @@ class FlushPolicy(Policy):
     """STALL + squash behind the missing load to free its resources."""
 
     name = "FLUSH"
+    # Same gate as STALL; the flush happens inside the detection event,
+    # which the fast stepper never skips over.
+    quiesce_safe = True
 
     def fetch_order(self, cycle: int) -> List[int]:
         threads = self.processor.threads
@@ -74,6 +80,9 @@ class FlushPlusPlusPolicy(FlushPolicy):
     """
 
     name = "FLUSH++"
+    # Safe *given* quiesce_horizon below: the only per-cycle work is the
+    # windowed score decay, and the horizon pins every decay boundary.
+    quiesce_safe = True
 
     def __init__(self, flush_threshold: int = 2, window: int = 2048,
                  mem_bound_score: float = 4.0) -> None:
@@ -97,6 +106,12 @@ class FlushPlusPlusPolicy(FlushPolicy):
     def end_cycle(self, cycle: int) -> None:
         if cycle % self.window == 0:
             self._scores = [score * 0.5 for score in self._scores]
+
+    def quiesce_horizon(self, cycle: int) -> int:
+        # The next decay boundary (this very cycle when it is one, which
+        # forces a normal step so end_cycle runs the decay).
+        remainder = cycle % self.window
+        return cycle if remainder == 0 else cycle + self.window - remainder
 
     def _memory_bound_threads(self) -> int:
         return sum(1 for score in self._scores if score >= self.mem_bound_score)

@@ -20,6 +20,9 @@ class StaticAllocationPolicy(Policy):
     """Equal hard partitioning of all shared resources."""
 
     name = "SRA"
+    # may_rename is a pure structural check against occupancy counters,
+    # all frozen while the machine is quiescent.
+    quiesce_safe = True
 
     def __init__(self) -> None:
         super().__init__()

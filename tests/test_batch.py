@@ -1,0 +1,206 @@
+"""The batched backend: grouping, demux, fallbacks and the numpy gate.
+
+Everything exercising the numpy-backed code skips cleanly when numpy is
+absent (tier-1 runs numpy-free); the import-gate tests run either way —
+they simulate numpy's absence through ``sys.modules``.
+"""
+
+import pickle
+import sys
+
+import pytest
+
+from repro.harness.engine import (
+    SimJob,
+    normalize_backend,
+    replicate_job,
+    run_job,
+    run_jobs,
+    run_jobs_streaming,
+    run_replicated,
+)
+from repro.harness.results import ResultStore
+from repro.harness.scenario import Scenario, run_scenario
+
+np = pytest.importorskip("numpy")
+
+from repro.batch import (  # noqa: E402  (needs the skip above)
+    BatchedSimulator,
+    batch_key,
+    group_jobs,
+    run_jobs_batched,
+)
+from repro.batch.core import HeterogeneousBatchError  # noqa: E402
+
+CYCLES = 1500
+WARMUP = 300
+
+
+def _job(policy="ICOUNT", benchmarks=("gzip", "mcf"), **kwargs):
+    kwargs.setdefault("cycles", CYCLES)
+    kwargs.setdefault("warmup", WARMUP)
+    return SimJob(tuple(benchmarks), policy, **kwargs)
+
+
+def _bits(result):
+    return pickle.dumps(result)
+
+
+# -- grouping ---------------------------------------------------------------
+
+def test_batch_key_free_and_pinned_fields():
+    base = _job(seed=1)
+    assert batch_key(base) == batch_key(_job(seed=99))
+    assert batch_key(base) == batch_key(_job(policy="DCRA", tag="x",
+                                             checkpoint="auto"))
+    assert batch_key(base) != batch_key(_job(cycles=CYCLES + 1))
+    assert batch_key(base) != batch_key(_job(warmup=WARMUP + 1))
+    assert batch_key(base) != batch_key(_job(benchmarks=("gzip",)))
+    assert batch_key(_job(interval_cycles=500)) is None
+
+
+def test_group_jobs_preserves_order_and_isolates_unbatchable():
+    jobs = [_job(seed=1), _job(benchmarks=("gzip",), seed=1),
+            _job(seed=2), _job(interval_cycles=500), _job(seed=3)]
+    assert group_jobs(jobs) == [[0, 2, 4], [1], [3]]
+
+
+def test_group_jobs_max_lanes_splits():
+    jobs = replicate_job(_job(), 8)
+    assert group_jobs(jobs, max_lanes=3) == [[0, 1, 2], [3, 4, 5], [6, 7]]
+
+
+# -- bitwise demux ----------------------------------------------------------
+
+@pytest.mark.parametrize("lanes", [1, 3, 8])
+def test_batched_reps_fanout_bitwise(lanes):
+    """A reps fan-out through one batch equals the scalar runs, byte
+    for byte, at every batch width."""
+    jobs = replicate_job(_job(policy="DCRA"), lanes)
+    scalar = [run_job(job) for job in jobs]
+    batched = BatchedSimulator(jobs).run()
+    assert [_bits(r) for r in batched] == [_bits(r) for r in scalar]
+
+
+def test_batched_policy_sweep_lanes():
+    """Lanes may differ in policy (a swept field), not just seed."""
+    jobs = [_job(policy=name) for name in ("ICOUNT", "STALL", "DCRA")]
+    scalar = [run_job(job) for job in jobs]
+    batched = BatchedSimulator(jobs).run()
+    assert [_bits(r) for r in batched] == [_bits(r) for r in scalar]
+
+
+def test_mixed_groups_demux_in_submission_order():
+    """Interleaved shapes and an interval job: results come back in
+    submission order, every one scalar-identical."""
+    jobs = [_job(seed=1), _job(benchmarks=("gzip",), warmup=0, seed=5),
+            _job(seed=2), _job(policy="STALL", interval_cycles=500),
+            _job(seed=3)]
+    scalar = [run_job(job) for job in jobs]
+    batched = run_jobs_batched(jobs)
+    assert [_bits(r) for r in batched] == [_bits(r) for r in scalar]
+
+
+def test_heterogeneous_batch_rejected_by_core():
+    """The core refuses what grouping would never send it."""
+    with pytest.raises(HeterogeneousBatchError):
+        BatchedSimulator([_job(cycles=1000), _job(cycles=2000)])
+    with pytest.raises(HeterogeneousBatchError):
+        BatchedSimulator([_job(interval_cycles=500)])
+
+
+def test_heterogeneous_jobs_fall_back_silently_through_groups():
+    """Through the public entry point, unbatchable jobs run scalar —
+    silently and correctly."""
+    jobs = [_job(cycles=1000, seed=1), _job(cycles=2000, seed=1)]
+    batched = run_jobs_batched(jobs)
+    scalar = [run_job(job) for job in jobs]
+    assert [_bits(r) for r in batched] == [_bits(r) for r in scalar]
+
+
+def test_batched_with_checkpoint_auto():
+    """checkpoint='auto' lanes warm through the checkpoint store and
+    still demux bitwise-identically to scalar checkpointed runs."""
+    jobs = [_job(policy=p, checkpoint="auto", warmup_policy="ICOUNT")
+            for p in ("ICOUNT", "DCRA")]
+    scalar = [run_job(job) for job in jobs]
+    from repro.harness.checkpoints import checkpoint_store
+    checkpoint_store.clear()  # force the batched path to recompute
+    batched = run_jobs_batched(jobs)
+    assert [_bits(r) for r in batched] == [_bits(r) for r in scalar]
+
+
+# -- engine integration -----------------------------------------------------
+
+def test_normalize_backend():
+    assert normalize_backend(None) == "scalar"
+    assert normalize_backend("scalar") == "scalar"
+    assert normalize_backend("batched") == "batched"
+    with pytest.raises(ValueError):
+        normalize_backend("vectorised")
+
+
+def test_run_jobs_backend_parity_and_store_sharing():
+    """Store keys are backend-independent: a batched run fills the
+    store, a scalar re-run is all hits."""
+    store = ResultStore()  # conftest points REPRO_CACHE_DIR at tmp_path
+    jobs = replicate_job(_job(policy="DCRA"), 4)
+    batched = run_jobs(jobs, reuse="auto", store=store, backend="batched")
+    assert store.stats.stores == len(jobs)
+    scalar = run_jobs(jobs, reuse="auto", store=store, backend="scalar")
+    assert store.stats.hits == len(jobs)
+    assert [_bits(r) for r in scalar] == [_bits(r) for r in batched]
+
+
+def test_run_replicated_batched():
+    base = _job(policy="STALL")
+    scalar = run_replicated(base, 4)
+    batched = run_replicated(base, 4, backend="batched")
+    assert ([_bits(r) for r in batched.results]
+            == [_bits(r) for r in scalar.results])
+
+
+def test_run_jobs_streaming_batched():
+    jobs = replicate_job(_job(), 4) + [_job(benchmarks=("gzip",), warmup=0)]
+    scalar = run_jobs(jobs)
+    streamed = sorted(run_jobs_streaming(jobs, backend="batched"))
+    assert [index for index, _ in streamed] == list(range(len(jobs)))
+    assert ([_bits(r) for _, r in streamed]
+            == [_bits(r) for r in scalar])
+
+
+def test_scenario_backend_field_runs_batched():
+    scenario = Scenario(name="b", workloads=("gzip+mcf",),
+                        policies=("ICOUNT", "DCRA"), cycles=CYCLES,
+                        warmup=WARMUP, reps=2, backend="batched")
+    batched = run_scenario(scenario, reuse="off")
+    scalar = run_scenario(scenario, reuse="off", backend="scalar")
+    assert ([_bits(r) for r in batched.results]
+            == [_bits(r) for r in scalar.results])
+
+
+# -- instrumentation --------------------------------------------------------
+
+def test_batch_snapshots_track_progress():
+    jobs = replicate_job(_job(), 3)
+    snapshots = []
+    results = BatchedSimulator(jobs, chunk_cycles=512).run(
+        progress=snapshots.append)
+    assert [s.cycles_done for s in snapshots] == [512, 1024, 1500]
+    last = snapshots[-1]
+    assert last.committed.shape == (3, 2)
+    assert last.lanes == 3
+    # The instrumentation mirrors the demuxed results exactly.
+    for lane, result in enumerate(results):
+        for tid, thread in enumerate(result.threads):
+            assert last.committed[lane, tid] == thread.committed
+    assert np.allclose(last.ipc,
+                       [result.throughput for result in results])
+    assert 0 <= last.slow_lanes <= 3
+
+
+def test_batched_simulator_argument_validation():
+    with pytest.raises(ValueError):
+        BatchedSimulator([])
+    with pytest.raises(ValueError):
+        BatchedSimulator([_job()], chunk_cycles=0)

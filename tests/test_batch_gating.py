@@ -1,0 +1,58 @@
+"""The numpy gate: clear failures everywhere, never silent degradation.
+
+These tests run with or without numpy installed — they simulate its
+absence by poisoning ``sys.modules`` — so the gating behaviour is
+pinned in both the tier-1 (numpy-free) and the extras environment.
+"""
+
+import sys
+
+import pytest
+
+from repro import __main__ as cli
+from repro.harness.engine import SimJob, run_jobs
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` (and a cached repro.batch) fail."""
+    for name in [m for m in sys.modules
+                 if m == "repro.batch" or m.startswith("repro.batch.")]:
+        monkeypatch.delitem(sys.modules, name)
+    monkeypatch.setitem(sys.modules, "numpy", None)
+
+
+def test_import_without_numpy_raises_install_hint(no_numpy):
+    with pytest.raises(ImportError, match=r"repro-dcra\[batch\]"):
+        import repro.batch  # noqa: F401
+
+
+def test_run_jobs_batched_without_numpy_raises(no_numpy):
+    job = SimJob(("gzip",), "ICOUNT", cycles=100, warmup=0)
+    with pytest.raises(ImportError, match="numpy"):
+        run_jobs([job], backend="batched")
+
+
+def test_cli_backend_batched_degrades_loudly(no_numpy, capsys):
+    """``--backend batched`` without numpy exits with the install hint
+    instead of silently running scalar."""
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["run", "gzip", "--cycles", "100", "--warmup", "0",
+                  "--backend", "batched"])
+    message = str(excinfo.value)
+    assert "batched" in message and "numpy" in message
+    # Nothing was simulated before the failure.
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_backend_scalar_unaffected_by_missing_numpy(no_numpy, capsys):
+    assert cli.main(["run", "gzip", "--cycles", "100", "--warmup", "0",
+                     "--backend", "scalar"]) == 0
+    assert "gzip" in capsys.readouterr().out
+
+
+def test_scalar_engine_never_imports_batch(no_numpy):
+    job = SimJob(("gzip",), "ICOUNT", cycles=100, warmup=0)
+    results = run_jobs([job])
+    assert len(results) == 1
+    assert "repro.batch" not in sys.modules
