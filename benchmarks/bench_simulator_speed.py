@@ -363,6 +363,98 @@ def test_checkpoint_throughput(benchmark, tmp_path, monkeypatch):
     assert roundtrip_s < warmup_s or roundtrip_s - warmup_s < 0.05
 
 
+def test_broker_service_throughput(benchmark, tmp_path, monkeypatch):
+    """Broker submit-to-result latency and multi-client sweep throughput.
+
+    Spins up an in-process broker with two loopback workers and records
+    three numbers in BENCH_speed.json: the cold submit-to-result
+    round-trip (one simulation through the full queue/dispatch path),
+    the warm round-trip (the broker answers from the result store —
+    no simulation), and the aggregate jobs/s of two concurrent clients
+    sweeping through the shared worker pool.  ``jobs_per_sec`` is gated
+    by scripts/perf_gate.py like the other throughput entries.
+    """
+    import threading
+    import time
+
+    from repro.harness.broker import Broker, BrokerClient
+    from repro.harness.engine import SimJob, run_jobs
+    from repro.harness.executors import BrokerExecutor
+    from repro.harness.results import result_store
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    result_store.clear()
+    clients = 2
+    jobs_per_client = 4
+    cycles, warmup = 1_000, 250
+
+    def roundtrip(client, submission_id, job):
+        route = client.open_route(submission_id)
+        try:
+            start = time.perf_counter()
+            client.submit(submission_id, "job", job=job)
+            while True:
+                message = route.get(timeout=120.0)
+                if message[0] == "result":
+                    elapsed = time.perf_counter() - start
+                    _, _, ok, value, source = message
+                    assert ok, value
+                    return elapsed, source
+                if message[0] in ("rejected", "connection-lost"):
+                    raise RuntimeError(f"broker bench failed: {message}")
+        finally:
+            client.close_route(submission_id)
+
+    def measure():
+        with Broker(spawn_workers=2, durable=False) as broker:
+            client = BrokerClient(broker.address, timeout=120.0)
+            probe = SimJob(("gzip",), "ICOUNT", None, cycles, warmup, seed=99)
+            cold_s, cold_source = roundtrip(client, "bench-cold", probe)
+            warm_s, warm_source = roundtrip(client, "bench-warm", probe)
+            client.close()
+            assert cold_source == "worker" and warm_source == "store"
+
+            sweeps = [None] * clients
+            def sweep(index):
+                jobs = [SimJob(("gzip", "twolf"), "ICOUNT", None, cycles,
+                               warmup, seed=1000 + 100 * index + j)
+                        for j in range(jobs_per_client)]
+                with BrokerExecutor(broker.address,
+                                    timeout=120.0) as executor:
+                    sweeps[index] = run_jobs(jobs, 2, executor, reuse="off")
+            threads = [threading.Thread(target=sweep, args=(i,))
+                       for i in range(clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            sweep_s = time.perf_counter() - start
+        return sweeps, cold_s, warm_s, sweep_s
+
+    sweeps, cold_s, warm_s, sweep_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    assert all(len(results) == jobs_per_client for results in sweeps)
+    total_jobs = clients * jobs_per_client
+    _MEASUREMENTS["broker service"] = {
+        "benchmarks": ["gzip", "twolf"],
+        "policy": "ICOUNT",
+        "clients": clients,
+        "jobs": total_jobs,
+        "cycles": cycles,
+        "warmup": warmup,
+        "cold_submit_to_result_s": round(cold_s, 4),
+        "warm_submit_to_result_s": round(warm_s, 4),
+        "jobs_per_sec": round(total_jobs / sweep_s, 2),
+    }
+    print(f"\nbroker service: cold round-trip {cold_s * 1e3:.0f} ms, "
+          f"warm (store-served) {warm_s * 1e3:.1f} ms, "
+          f"{clients} clients x {jobs_per_client} jobs: "
+          f"{total_jobs / sweep_s:.2f} jobs/s")
+    # The warm path never simulates, so it must beat the cold path.
+    assert warm_s < cold_s
+
+
 def test_prefix_sharing_sweep_speedup(benchmark, tmp_path, monkeypatch):
     """A 4-policy sweep with one shared warm-up prefix vs plain runs.
 

@@ -8,8 +8,9 @@ Usage::
         [--max-regression-pct 25]
 
 Compares every throughput-like entry (``*cycles_per_sec``,
-``*instructions_per_sec``, ``*ops_per_sec`` and the batched
-``batched_speedup`` ratios) of a fresh benchmark run against the
+``*instructions_per_sec``, ``*ops_per_sec``, the broker's
+``jobs_per_sec`` and the batched ``batched_speedup`` ratios) of a
+fresh benchmark run against the
 committed ``BENCH_speed.json``.  Absolute cycles/s numbers are
 machine-dependent, so before comparing, each fresh throughput value is
 divided by the *calibration ratio* — the fresh machine's pure-Python
@@ -33,7 +34,7 @@ import sys
 #: (normalised by the calibration ratio; higher is better).
 THROUGHPUT_KEYS = ("cycles_per_sec", "instructions_per_sec",
                    "scalar_cycles_per_sec", "batched_cycles_per_sec",
-                   "ops_per_sec")
+                   "ops_per_sec", "jobs_per_sec")
 #: Per-entry numeric fields gated raw (same-machine ratios; higher is
 #: better).
 RATIO_KEYS = ("batched_speedup",)

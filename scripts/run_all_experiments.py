@@ -63,8 +63,10 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="workers for the sweeps (default: serial); "
              "results are identical for any N")
     parser.add_argument(
-        "--executor", choices=["serial", "process", "remote"], default=None,
-        help="execution backend (default: process pool when --jobs > 1)")
+        "--executor", choices=["serial", "process", "remote", "broker"],
+        default=None,
+        help="execution backend (default: process pool when --jobs > 1; "
+             "'broker' submits to the service at $REPRO_BROKER)")
     parser.add_argument(
         "--reps", type=int, default=1, metavar="N",
         help="seed replications for the policy-comparison artefacts; "

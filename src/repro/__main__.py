@@ -17,6 +17,13 @@ Commands:
   store (``$REPRO_CACHE_DIR/checkpoints/``); ``scenario run`` grows
   ``--checkpoint {off,auto,require}`` for shared warm-up prefixes
   (see :mod:`repro.harness.checkpoints`).
+* ``broker serve|status|submit`` — the persistent simulation service
+  (:mod:`repro.harness.broker`): ``serve`` runs the broker (one shared
+  worker pool, many concurrent clients, durable fair queue, HTTP
+  facade), ``status`` prints its live counters, ``submit`` runs a
+  single job through it.  Every command above accepts ``--executor
+  broker --broker HOST:PORT`` (or ``$REPRO_BROKER``) to run its
+  simulations on the service instead of a private fleet.
 * ``policies`` / ``benchmarks`` / ``workloads`` — list what is available.
 
 ``--reuse {off,auto,require}`` wires the content-addressed result
@@ -117,7 +124,15 @@ def _cli_executor(args: argparse.Namespace) -> Iterator[Optional[Executor]]:
     if args.executor is None and args.jobs <= 1:
         yield None
         return
-    executor = make_executor(args.executor, args.jobs)
+    try:
+        executor = make_executor(
+            args.executor, args.jobs,
+            broker=getattr(args, "broker", None),
+            remote_idle_timeout=getattr(args, "remote_idle_timeout", None),
+            remote_handshake_timeout=getattr(
+                args, "remote_handshake_timeout", None))
+    except (ValueError, ConnectionError, OSError) as error:
+        raise SystemExit(str(error)) from None
     try:
         yield executor
     finally:
@@ -550,6 +565,104 @@ def _cmd_checkpoint_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_broker_serve(args: argparse.Namespace) -> int:
+    """Run the persistent simulation broker until SIGINT/SIGTERM."""
+    import signal
+
+    from repro.harness.broker import Broker
+
+    try:
+        broker = Broker(
+            host=args.host, port=args.port, http_port=args.http_port,
+            spawn_workers=args.spawn_workers, max_queue=args.max_queue,
+            max_attempts=args.max_attempts,
+            handshake_timeout=args.handshake_timeout,
+            spool_dir=args.spool, durable=not args.no_spool,
+            verbose=True)
+        broker.start()
+    except (ValueError, OSError) as error:
+        raise SystemExit(f"broker failed to start: {error}") from None
+    host, port = broker.address
+    # The machine-parseable line scripts wait for before connecting.
+    print(f"[broker] listening on {host}:{port}", flush=True)
+    if broker.http_address:
+        print(f"[broker] HTTP facade on "
+              f"http://{broker.http_address[0]}:{broker.http_address[1]}",
+              flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("[broker] shutting down", file=sys.stderr, flush=True)
+    broker.stop()
+    return 0
+
+
+def _resolve_broker_address(args: argparse.Namespace) -> str:
+    address = args.broker or os.environ.get("REPRO_BROKER")
+    if not address:
+        raise SystemExit(
+            "no broker address: pass --broker HOST:PORT or set "
+            "$REPRO_BROKER (start one with 'repro broker serve')")
+    return address
+
+
+def _cmd_broker_status(args: argparse.Namespace) -> int:
+    """Print a running broker's live counters as JSON."""
+    from repro.harness.broker import BrokerClient
+    from repro.harness.remote_worker import HandshakeError
+
+    try:
+        with BrokerClient(_resolve_broker_address(args)) as client:
+            status = client.status()
+    except (ValueError, HandshakeError, ConnectionError, OSError) as error:
+        raise SystemExit(f"broker status failed: {error}") from None
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def _cmd_broker_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running broker and wait for its result."""
+    import queue as queue_module
+
+    from repro.harness.broker import BrokerClient
+    from repro.harness.remote_worker import HandshakeError
+
+    job = SimJob(tuple(args.benchmarks), args.policy, None, args.cycles,
+                 args.warmup, args.seed)
+    try:
+        client = BrokerClient(_resolve_broker_address(args),
+                              timeout=args.timeout)
+    except (ValueError, HandshakeError, ConnectionError, OSError) as error:
+        raise SystemExit(f"broker connection failed: {error}") from None
+    with client:
+        route = client.open_route("cli-submit")
+        client.submit("cli-submit", "job", job=job, priority=args.priority)
+        while True:
+            try:
+                message = route.get(timeout=client.timeout)
+            except queue_module.Empty:
+                raise SystemExit(
+                    f"no result within {client.timeout:.0f}s (is a worker "
+                    "connected to the broker?)") from None
+            kind = message[0]
+            if kind == "progress":
+                continue
+            if kind == "rejected":
+                raise SystemExit(f"broker rejected the job: {message[2]}")
+            if kind == "connection-lost":
+                raise SystemExit(f"broker connection lost: {message[2]}")
+            _, _, ok, value, source = message
+            break
+    if not ok:
+        raise SystemExit(f"job failed on the broker: {value}")
+    print(thread_table(value))
+    print(f"[broker] result served from the {source}"
+          + (" (no simulation ran)" if source == "store" else ""),
+          file=sys.stderr)
+    return 0
+
+
 def _cmd_policies(_args: argparse.Namespace) -> int:
     for name in POLICY_NAMES:
         print(name)
@@ -579,6 +692,18 @@ def _positive_int(value: str) -> int:
             f"expected an integer, got {value!r}") from None
     if number <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
+def _positive_float(value: str) -> float:
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive number of seconds")
     return number
 
 
@@ -649,8 +774,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers for the simulations and baselines "
              "(default: serial); results are identical for any N")
     scenario_run.add_argument(
-        "--executor", choices=["serial", "process", "remote"], default=None,
-        help="execution backend (default: process pool when --jobs > 1)")
+        "--executor", choices=["serial", "process", "remote", "broker"],
+        default=None,
+        help="execution backend (default: process pool when --jobs > 1; "
+             "'broker' submits to a running 'repro broker serve')")
     scenario_run.add_argument(
         "--reuse", choices=list(REUSE_MODES), default="auto",
         help="result-store mode (default auto: serve stored results, "
@@ -715,6 +842,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="then delete oldest checkpoints until the store fits in MB")
     checkpoint_gc.set_defaults(func=_cmd_checkpoint_gc)
 
+    broker_parser = sub.add_parser(
+        "broker",
+        help="persistent simulation service (serve / status / submit)")
+    broker_sub = broker_parser.add_subparsers(dest="broker_command",
+                                              required=True)
+    broker_serve = broker_sub.add_parser(
+        "serve", help="run the broker: one shared worker pool serving "
+                      "many concurrent clients")
+    broker_serve.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    broker_serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listening port (default: pick a free one; the bound "
+             "address is printed)")
+    broker_serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also serve the JSON HTTP facade (/submit, /status/<job>, "
+             "/result/<job>) on this port (0 picks a free one)")
+    broker_serve.add_argument(
+        "--spawn-workers", type=int, default=0, metavar="N",
+        help="start N loopback worker processes against the broker's "
+             "own address; more workers can connect at any time with "
+             "'python -m repro.harness.remote_worker --connect'")
+    broker_serve.add_argument(
+        "--max-queue", type=_positive_int, default=10_000, metavar="N",
+        help="bound on queued submissions — past it the broker rejects "
+             "with a clear error instead of buffering unboundedly "
+             "(default: 10000)")
+    broker_serve.add_argument(
+        "--max-attempts", type=_positive_int, default=3, metavar="N",
+        help="dispatch attempts per job before a dead-worker failure is "
+             "reported to the client (default: 3)")
+    broker_serve.add_argument(
+        "--handshake-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="handshake budget for connecting workers/clients "
+             "(default: $REPRO_REMOTE_HANDSHAKE_TIMEOUT or 10)")
+    broker_serve.add_argument(
+        "--spool", metavar="DIR", default=None,
+        help="directory for the durable job queue (default: "
+             "$REPRO_CACHE_DIR/broker-spool); unfinished entries are "
+             "re-queued when the broker restarts")
+    broker_serve.add_argument(
+        "--no-spool", action="store_true",
+        help="disable the durable queue (jobs in flight are lost on a "
+             "broker crash)")
+    broker_serve.set_defaults(func=_cmd_broker_serve)
+    broker_status = broker_sub.add_parser(
+        "status", help="print a running broker's counters as JSON")
+    broker_status.set_defaults(func=_cmd_broker_status)
+    broker_submit = broker_sub.add_parser(
+        "submit", help="run one job through a broker and print the "
+                       "per-thread table")
+    broker_submit.add_argument("benchmarks", type=_benchmark_list,
+                               help="benchmark mix, e.g. gzip+twolf")
+    broker_submit.add_argument("--policy", default="DCRA",
+                               choices=list(POLICY_NAMES))
+    broker_submit.add_argument("--cycles", type=int, default=15_000)
+    broker_submit.add_argument("--warmup", type=parse_warmup_argument,
+                               default=3_000, metavar="SPEC")
+    broker_submit.add_argument("--seed", type=int, default=1)
+    broker_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher runs first; default 0)")
+    broker_submit.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="seconds to wait for the result (default: "
+             "$REPRO_BROKER_TIMEOUT or 600)")
+    broker_submit.set_defaults(func=_cmd_broker_submit)
+    for broker_cmd in (broker_status, broker_submit):
+        broker_cmd.add_argument(
+            "--broker", metavar="HOST:PORT", default=None,
+            help="broker address (default: $REPRO_BROKER)")
+
     sub.add_parser("policies", help="list policies").set_defaults(
         func=_cmd_policies)
     sub.add_parser("benchmarks", help="list benchmarks").set_defaults(
@@ -739,10 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="workers for the simulations and baselines "
                  "(default: serial); results are identical for any N")
         sub_parser.add_argument(
-            "--executor", choices=["serial", "process", "remote"],
+            "--executor", choices=["serial", "process", "remote", "broker"],
             default=None,
             help="execution backend (default: process pool when --jobs > 1;"
-                 " 'remote' distributes over socket workers)")
+                 " 'remote' distributes over socket workers, 'broker' "
+                 "submits to a running 'repro broker serve')")
         sub_parser.add_argument(
             "--reps", type=int, default=1, metavar="N",
             help="seed replications per run (derive_seed fan-out); with "
@@ -768,6 +970,23 @@ def build_parser() -> argparse.ArgumentParser:
                  "same-shape jobs — e.g. a --reps fan-out — through one "
                  "batched simulator (requires the numpy extra) and is "
                  "bitwise-identical to 'scalar' (default: scalar)")
+    for sub_parser in (run_parser, compare_parser, scenario_run):
+        sub_parser.add_argument(
+            "--broker", metavar="HOST:PORT", default=None,
+            help="address of a running 'repro broker serve' for "
+                 "--executor broker (default: $REPRO_BROKER)")
+        sub_parser.add_argument(
+            "--remote-idle-timeout", type=_positive_float, default=None,
+            metavar="SECONDS",
+            help="seconds without any fleet/broker progress before the "
+                 "remote and broker backends fail the sweep (default: "
+                 "$REPRO_REMOTE_IDLE_TIMEOUT or 600)")
+        sub_parser.add_argument(
+            "--remote-handshake-timeout", type=_positive_float,
+            default=None, metavar="SECONDS",
+            help="seconds a connecting worker/client gets to complete "
+                 "the protocol handshake (default: "
+                 "$REPRO_REMOTE_HANDSHAKE_TIMEOUT or 10)")
     return parser
 
 

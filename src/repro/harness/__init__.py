@@ -14,9 +14,17 @@ worker count on any backend, with seed-replication statistics through
 
 :mod:`repro.harness.executors` provides the backends: in-process
 (:class:`~repro.harness.executors.SerialExecutor`), local process pool
-(:class:`~repro.harness.executors.ProcessExecutor`), and socket-based
+(:class:`~repro.harness.executors.ProcessExecutor`), socket-based
 remote workers (:class:`~repro.harness.executors.RemoteExecutor`, worker
-side in :mod:`repro.harness.remote_worker`).
+side in :mod:`repro.harness.remote_worker`), and clients of a
+persistent broker service
+(:class:`~repro.harness.executors.BrokerExecutor`).
+
+:mod:`repro.harness.broker` is that service
+(:class:`~repro.harness.broker.Broker`, ``repro broker serve``): a
+long-lived asyncio process multiplexing one dynamic worker pool across
+many concurrent clients, with a durable fair job queue, broker-side
+result-store serving, and a stdlib HTTP facade.
 
 :mod:`repro.harness.scenario` makes whole experiments declarative:
 frozen :class:`~repro.harness.scenario.Scenario` specs (workloads,
@@ -87,11 +95,18 @@ from repro.harness.progress import (
 )
 from repro.harness.executors import (
     EXECUTOR_NAMES,
+    BrokerExecutor,
     Executor,
     ProcessExecutor,
     RemoteExecutor,
     SerialExecutor,
     make_executor,
+)
+from repro.harness.broker import (
+    Broker,
+    BrokerClient,
+    BrokerRejection,
+    FairQueue,
 )
 from repro.harness.runner import (
     BaselineCache,
@@ -118,7 +133,12 @@ from repro.harness.warmup import (
 
 __all__ = [
     "BaselineCache",
+    "Broker",
+    "BrokerClient",
+    "BrokerExecutor",
+    "BrokerRejection",
     "CompiledScenario",
+    "FairQueue",
     "DEFAULT_INTERVAL_CYCLES",
     "EXECUTOR_NAMES",
     "Executor",

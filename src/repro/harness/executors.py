@@ -4,7 +4,7 @@ The engine (:mod:`repro.harness.engine`) describes a sweep as a list of
 independent, deterministic, picklable work items.  *Where* those items
 run is this module's job: an :class:`Executor` maps a top-level function
 over items and reports ``(index, result)`` pairs as they complete, and
-three interchangeable backends implement that contract:
+four interchangeable backends implement that contract:
 
 :class:`SerialExecutor`
     In-process loop.  The reference semantics every other backend must
@@ -21,6 +21,15 @@ three interchangeable backends implement that contract:
     spawns loopback workers on this machine; pointing external workers
     (``python -m repro.harness.remote_worker --connect HOST:PORT``) at
     its listening address distributes the same sweep across machines.
+
+:class:`BrokerExecutor`
+    Inverts the ownership: instead of building a private fleet it
+    connects as a *client* of a persistent
+    :class:`~repro.harness.broker.Broker` service (``repro broker
+    serve``) whose shared worker pool is multiplexed across many
+    concurrent submitters.  Declarative ``SimJob`` submissions may be
+    answered straight from the broker-side result store without any
+    simulation running.
 
 Because every work item is pure — the result depends only on the item,
 never on scheduling — :meth:`Executor.map` is bitwise-identical across
@@ -47,19 +56,22 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.harness.progress import guard_progress, set_progress_sink
 from repro.harness.remote_worker import (
     MAX_HANDSHAKE_BYTES,
-    PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
-    auth_token_digest,
     decode_handshake,
     encode_handshake,
     recv_message,
+    resolve_timeout,
     send_message,
     spawn_loopback_workers,
+    validate_hello,
 )
 
 #: Names accepted by :func:`make_executor` (and the ``--executor`` CLI
-#: flags).  ``auto`` picks serial for one worker, processes otherwise.
-EXECUTOR_NAMES: Tuple[str, ...] = ("auto", "serial", "process", "remote")
+#: flags).  ``auto`` picks serial for one worker, processes otherwise;
+#: ``broker`` submits to a persistent :mod:`repro.harness.broker`
+#: service instead of owning a fleet.
+EXECUTOR_NAMES: Tuple[str, ...] = (
+    "auto", "serial", "process", "remote", "broker")
 
 #: Cap on the adaptive remote batch size: large enough to amortise a
 #: round-trip over many small tasks, small enough that one slow worker
@@ -368,17 +380,23 @@ class RemoteExecutor(Executor):
     name = "remote"
 
     def __init__(self, spawn_workers: int = 2, host: str = "127.0.0.1",
-                 port: int = 0, timeout: float = 600.0,
+                 port: int = 0, timeout: Optional[float] = None,
                  max_attempts: int = 3,
                  batch_size: Optional[int] = None,
-                 handshake_timeout: float = 10.0) -> None:
+                 handshake_timeout: Optional[float] = None) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1 (or None for the "
                              "adaptive heuristic)")
-        self.timeout = timeout
+        # Both timeouts resolve explicit value > env var > default, and
+        # reject non-positive values with a clear error either way.
+        self.timeout = resolve_timeout(
+            timeout, "REPRO_REMOTE_IDLE_TIMEOUT", 600.0,
+            "fleet idle timeout")
         self.max_attempts = max_attempts
         self.batch_size = batch_size
-        self.handshake_timeout = handshake_timeout
+        self.handshake_timeout = resolve_timeout(
+            handshake_timeout, "REPRO_REMOTE_HANDSHAKE_TIMEOUT", 10.0,
+            "handshake timeout")
         self._tasks: "queue.Queue" = queue.Queue()
         self._results: dict = {}  # call_id -> queue.Queue
         self._progress: dict = {}  # call_id -> (index, event) callback
@@ -479,8 +497,6 @@ class RemoteExecutor(Executor):
         JSON handshake has passed — an unauthenticated peer can never
         reach the pickle layer.
         """
-        import hmac
-
         conn.settimeout(self.handshake_timeout)
         try:
             hello = decode_handshake(
@@ -491,27 +507,16 @@ class RemoteExecutor(Executor):
                       f"{self.handshake_timeout:.0f}s ({error}; worker "
                       f"predates protocol v{PROTOCOL_VERSION}?)")
             return False
-        kind = hello[0] if isinstance(hello, list) and hello else None
-        payload = hello[1] if kind == "hello" and len(hello) > 1 else None
-        if kind != "hello" or not isinstance(payload, dict) \
-                or payload.get("magic") != PROTOCOL_MAGIC:
-            self._reject_worker(conn, "bad handshake magic")
+        role, reason = validate_hello(hello)
+        if reason is not None:
+            self._reject_worker(conn, reason)
             return False
-        version = payload.get("version")
-        if version != PROTOCOL_VERSION:
+        if role != "worker":
+            # A fleet executor has no client role to offer; brokers do.
             self._reject_worker(
-                conn, f"protocol version mismatch (worker v{version}, "
-                      f"executor v{PROTOCOL_VERSION})")
+                conn, f"this is a sweep-private fleet, not a broker — "
+                      f"it serves workers only, not {role!r} connections")
             return False
-        expected = auth_token_digest()
-        if expected is not None:
-            supplied = payload.get("token")
-            if not isinstance(supplied, str) \
-                    or not hmac.compare_digest(expected, supplied):
-                self._reject_worker(
-                    conn, "authentication failed (REPRO_REMOTE_TOKEN "
-                          "mismatch or missing on the worker)")
-                return False
         try:
             send_message(conn, encode_handshake(
                 ["welcome", {"version": PROTOCOL_VERSION}]))
@@ -705,7 +710,153 @@ class RemoteExecutor(Executor):
                     pass
 
 
-def make_executor(spec, max_workers: int = 1) -> Executor:
+class BrokerExecutor(Executor):
+    """Submit work to a persistent broker instead of owning a fleet.
+
+    Where the other backends *are* the execution resource, this one is
+    a client of a shared :class:`~repro.harness.broker.Broker` service
+    (``repro broker serve``): it opens one authenticated connection
+    (handshake role ``client``), submits each item, and streams back
+    per-item results and progress events routed by submission id.
+    Many processes — and many threads within one process — can point
+    executors at the same broker; its queue shares the worker pool
+    fairly among them.
+
+    The declarative fast path: when the mapped function is the engine's
+    ``run_job`` and the item a ``SimJob``, the job itself is submitted
+    (kind ``"job"``) rather than an opaque pickle, which lets the
+    broker answer warm submissions straight from its result store —
+    zero simulation, bitwise-identical payload (store round-trips are
+    exact).  Anything else ships as an opaque ``(func, item)`` task
+    blob, so baselines, checkpoint prefixes and batched groups run
+    through the same service unchanged.
+
+    Determinism: results are reassembled by index exactly as with every
+    other backend, so ``map`` output is bitwise-identical to
+    :class:`SerialExecutor` regardless of worker count, scheduling, or
+    whether the store answered.
+
+    Args:
+        address: the broker's ``(host, port)`` or ``"HOST:PORT"``
+            string (also ``$REPRO_BROKER`` via the CLI).
+        timeout: seconds without any progress on an outstanding
+            submission before giving up (default
+            ``$REPRO_BROKER_TIMEOUT`` or 600).
+        handshake_timeout: connection/handshake budget in seconds
+            (default ``$REPRO_REMOTE_HANDSHAKE_TIMEOUT`` or 10).
+        priority: queue priority for every submission from this
+            executor (higher runs first; fairness still round-robins
+            between clients at equal priority).
+    """
+
+    name = "broker"
+
+    def __init__(self, address, timeout: Optional[float] = None,
+                 handshake_timeout: Optional[float] = None,
+                 priority: int = 0) -> None:
+        from repro.harness.broker import BrokerClient
+
+        self.priority = priority
+        self._client = BrokerClient(address, timeout=timeout,
+                                    handshake_timeout=handshake_timeout)
+        self.address = self._client.address
+        self.timeout = self._client.timeout
+        self._call_ids = itertools.count()
+        self._closed = False
+
+    def map_unordered(self, func: Callable, items: Sequence,
+                      progress=None) -> Iterator[Tuple[int, object]]:
+        from repro.harness.engine import SimJob, run_job
+
+        items = list(items)
+        if not items:
+            return
+        if self._closed:
+            raise RuntimeError("broker executor is closed")
+        if progress is not None:
+            progress = guard_progress(progress)
+        call_id = next(self._call_ids)
+        declarative = func is run_job
+        routes = {}
+        try:
+            for index, item in enumerate(items):
+                submission_id = f"{id(self)}:{call_id}:{index}"
+                routes[submission_id] = (index,
+                                         self._client.open_route(
+                                             submission_id))
+                if declarative and isinstance(item, SimJob):
+                    self._client.submit(submission_id, "job", job=item,
+                                        priority=self.priority)
+                else:
+                    self._client.submit(
+                        submission_id, "task",
+                        payload=pickle.dumps((func, item)),
+                        priority=self.priority)
+            pending = dict(routes)
+            while pending:
+                # Poll every outstanding route; any activity (result or
+                # progress) resets the shared idle clock.
+                idle_since = time.monotonic()
+                while True:
+                    activity = False
+                    for submission_id, (index, route) in list(
+                            pending.items()):
+                        try:
+                            message = route.get_nowait()
+                        except queue.Empty:
+                            continue
+                        activity = True
+                        kind = message[0]
+                        if kind == "progress":
+                            if progress is not None:
+                                progress(index, message[2])
+                            continue
+                        if kind == "rejected":
+                            raise RuntimeError(
+                                f"broker rejected submission: "
+                                f"{message[2]}")
+                        if kind == "connection-lost":
+                            raise RuntimeError(
+                                f"broker connection to "
+                                f"{self.address[0]}:{self.address[1]} "
+                                f"lost: {message[2]}")
+                        ok, value = message[2], message[3]
+                        if not ok:
+                            raise RuntimeError(
+                                f"broker task failed: {value}")
+                        del pending[submission_id]
+                        yield index, value
+                    if not pending:
+                        break
+                    if activity:
+                        idle_since = time.monotonic()
+                    elif time.monotonic() - idle_since > self.timeout:
+                        raise RuntimeError(
+                            f"broker made no progress for "
+                            f"{self.timeout:.0f}s with {len(pending)} "
+                            "submissions outstanding")
+                    else:
+                        time.sleep(0.005)
+        finally:
+            for submission_id in routes:
+                self._client.close_route(submission_id)
+
+    def status(self) -> dict:
+        """The broker's live counters (queue depth, workers, stats)."""
+        return self._client.status()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._client.close()
+
+
+def make_executor(spec, max_workers: int = 1, *,
+                  broker: Optional[str] = None,
+                  remote_idle_timeout: Optional[float] = None,
+                  remote_handshake_timeout: Optional[float] = None
+                  ) -> Executor:
     """Build an executor from a name, or pass an instance through.
 
     Args:
@@ -713,7 +864,17 @@ def make_executor(spec, max_workers: int = 1) -> Executor:
             from :data:`EXECUTOR_NAMES`, or None (same as ``"auto"``).
         max_workers: worker count for the pool/remote backends; ``auto``
             resolves to serial when it is <= 1.
+        broker: ``HOST:PORT`` of a running broker, for ``"broker"``
+            (falls back to ``$REPRO_BROKER``).
+        remote_idle_timeout: fleet idle timeout in seconds for the
+            remote backend — also the broker client's result timeout
+            (default: ``$REPRO_REMOTE_IDLE_TIMEOUT`` / 600).
+        remote_handshake_timeout: handshake budget in seconds for the
+            remote and broker backends (default:
+            ``$REPRO_REMOTE_HANDSHAKE_TIMEOUT`` / 10).
     """
+    import os
+
     if isinstance(spec, Executor):
         return spec
     name = spec or "auto"
@@ -724,6 +885,17 @@ def make_executor(spec, max_workers: int = 1) -> Executor:
     if name == "process":
         return ProcessExecutor(max_workers)
     if name == "remote":
-        return RemoteExecutor(spawn_workers=max(2, max_workers))
+        return RemoteExecutor(spawn_workers=max(2, max_workers),
+                              timeout=remote_idle_timeout,
+                              handshake_timeout=remote_handshake_timeout)
+    if name == "broker":
+        address = broker or os.environ.get("REPRO_BROKER")
+        if not address:
+            raise ValueError(
+                "the broker backend needs an address: pass --broker "
+                "HOST:PORT (or set $REPRO_BROKER) pointing at a running "
+                "'repro broker serve'")
+        return BrokerExecutor(address, timeout=remote_idle_timeout,
+                              handshake_timeout=remote_handshake_timeout)
     raise ValueError(
         f"unknown executor {spec!r} (expected one of {EXECUTOR_NAMES})")

@@ -61,6 +61,15 @@ import sys
 import traceback
 from typing import List, Optional, Sequence, Tuple
 
+__all__ = [
+    "PROTOCOL_MAGIC", "PROTOCOL_VERSION", "MAX_HANDSHAKE_BYTES",
+    "HandshakeError", "GracefulExit", "WorkerState", "auth_token_digest",
+    "client_hello", "validate_hello", "encode_handshake",
+    "decode_handshake", "perform_client_handshake", "resolve_timeout",
+    "send_message", "recv_message", "serve_connection", "worker_loop",
+    "install_signal_handlers", "spawn_loopback_workers", "main",
+]
+
 _LENGTH_PREFIX = struct.Struct(">I")
 
 #: Protocol identity exchanged in the handshake.  Bump the version on
@@ -79,6 +88,88 @@ class HandshakeError(ConnectionError):
     """Raised when the executor/worker handshake fails or is rejected."""
 
 
+class GracefulExit(BaseException):
+    """Raised by the signal handler to interrupt an *idle* worker.
+
+    Deliberately a :class:`BaseException`: the task runner's broad
+    ``except Exception`` (which keeps one bad task from killing the
+    worker) must never swallow a shutdown request — a second SIGTERM
+    mid-task has to win even inside user simulation code.
+    """
+
+
+class WorkerState:
+    """Mutable status one worker loop shares with its signal handlers.
+
+    ``busy`` is True exactly while a task batch is computing;
+    ``stop_requested`` is latched by the first SIGTERM/SIGINT and makes
+    the loop deregister cleanly after the in-flight batch's results are
+    on the wire (never mid-pickle).
+    """
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.stop_requested = False
+        self.completed = 0
+
+
+def install_signal_handlers(state: WorkerState):
+    """Make SIGTERM/SIGINT shut the worker down *gracefully*.
+
+    First signal while a batch is computing: latch ``stop_requested`` —
+    the loop finishes the batch, delivers its results, then closes the
+    connection (the server side sees a clean disconnect between batches
+    and requeues nothing that was not already answered).  A signal
+    while the worker is idle — or a second signal while busy — raises
+    :class:`GracefulExit`, which interrupts the blocking ``recv``
+    (Python runs handlers and re-raises out of the interrupted syscall)
+    and unwinds to a clean exit instead of dying mid-pickle.
+
+    Returns the previous handlers (``{signum: handler}``) so tests can
+    restore them.
+    """
+    import signal
+
+    def handle(signum, frame) -> None:
+        if state.busy and not state.stop_requested:
+            state.stop_requested = True
+            return
+        state.stop_requested = True
+        raise GracefulExit(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, handle)
+    return previous
+
+
+def resolve_timeout(value: Optional[float], env_var: str, default: float,
+                    name: str) -> float:
+    """One timeout knob: explicit value > ``$env_var`` > ``default``.
+
+    Every timeout in the executor stack resolves through here so the
+    precedence and the validation are uniform: non-positive (or
+    non-numeric) values are a :class:`ValueError` naming the offending
+    knob, never a silently-hung or busy-spinning loop.
+    """
+    source = f"{name} {value!r}"
+    if value is None:
+        raw = os.environ.get(env_var)
+        if raw is None:
+            return default
+        source = f"{name} ${env_var}={raw!r}"
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{source} is not a number (expected seconds > 0)"
+            ) from None
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{source} must be positive (seconds > 0)")
+    return value
+
+
 def auth_token_digest(token: Optional[str] = None) -> Optional[str]:
     """Digest of the shared worker-auth secret, or None when unset.
 
@@ -92,15 +183,53 @@ def auth_token_digest(token: Optional[str] = None) -> Optional[str]:
     return hashlib.sha256(token.encode()).hexdigest()
 
 
-def client_hello() -> List:
-    """The handshake message a worker opens its connection with.
+def client_hello(role: str = "worker") -> List:
+    """The handshake message a connection opens with.
 
     A plain JSON-encodable value: the handshake deliberately never
     uses pickle, so neither side unpickles pre-authentication bytes.
+    ``role`` distinguishes a task-serving **worker** from a
+    job-submitting broker **client**; it defaults to ``"worker"`` (and
+    a missing key means worker), so existing fleets interoperate
+    without a protocol-version bump.
     """
     return ["hello", {"magic": PROTOCOL_MAGIC,
                       "version": PROTOCOL_VERSION,
-                      "token": auth_token_digest()}]
+                      "token": auth_token_digest(),
+                      "role": role}]
+
+
+def validate_hello(hello) -> Tuple[Optional[str], Optional[str]]:
+    """Server-side hello validation, shared by executor and broker.
+
+    Returns ``(role, None)`` when the peer may proceed to the pickle
+    layer, or ``(None, reason)`` describing the mismatch.  Checks
+    magic, protocol version and — when this side has
+    ``$REPRO_REMOTE_TOKEN`` set — the shared-secret digest, compared
+    constant-time.
+    """
+    import hmac
+
+    kind = hello[0] if isinstance(hello, list) and hello else None
+    payload = hello[1] if kind == "hello" and len(hello) > 1 else None
+    if kind != "hello" or not isinstance(payload, dict) \
+            or payload.get("magic") != PROTOCOL_MAGIC:
+        return None, "bad handshake magic"
+    version = payload.get("version")
+    if version != PROTOCOL_VERSION:
+        return None, (f"protocol version mismatch (peer v{version}, "
+                      f"this side v{PROTOCOL_VERSION})")
+    expected = auth_token_digest()
+    if expected is not None:
+        supplied = payload.get("token")
+        if not isinstance(supplied, str) \
+                or not hmac.compare_digest(expected, supplied):
+            return None, ("authentication failed (REPRO_REMOTE_TOKEN "
+                          "mismatch or missing on the peer)")
+    role = payload.get("role", "worker")
+    if role not in ("worker", "client"):
+        return None, f"unknown connection role {role!r}"
+    return role, None
 
 
 def encode_handshake(message) -> bytes:
@@ -120,14 +249,15 @@ def decode_handshake(payload: bytes):
         raise ValueError(f"malformed handshake message: {error}") from None
 
 
-def perform_client_handshake(sock: socket.socket) -> dict:
-    """Run the worker side of the handshake; returns the welcome info.
+def perform_client_handshake(sock: socket.socket,
+                             role: str = "worker") -> dict:
+    """Run the connecting side of the handshake; returns welcome info.
 
     Raises :class:`HandshakeError` with the server's reason on a
     rejection, or a description of the mismatch when the peer does not
     speak the handshake at all (an executor predating protocol v2).
     """
-    send_message(sock, encode_handshake(client_hello()))
+    send_message(sock, encode_handshake(client_hello(role)))
     try:
         reply = decode_handshake(
             recv_message(sock, max_size=MAX_HANDSHAKE_BYTES))
@@ -176,8 +306,8 @@ def recv_message(sock: socket.socket,
     return _recv_exact(sock, length)
 
 
-def _run_task(blob: bytes, sock: socket.socket,
-              position: int) -> Tuple[bool, object]:
+def _run_task(blob: bytes, sock: socket.socket, position: int,
+              state: Optional[WorkerState] = None) -> Tuple[bool, object]:
     """Unpickle and execute one task blob, progress wired to the socket.
 
     A blob this worker cannot decode (e.g. a function whose module is
@@ -205,17 +335,23 @@ def _run_task(blob: bytes, sock: socket.socket,
         set_progress_sink(previous)
 
 
-def worker_loop(host: str, port: int) -> int:
-    """Serve task batches from one executor until it sends ``shutdown``.
+def serve_connection(sock: socket.socket, state: WorkerState) -> None:
+    """The one task loop every server mode shares.
 
-    Returns the number of tasks completed (exceptions included); used
-    as the loopback-spawn target and by the CLI below.
+    A ``RemoteExecutor``'s per-sweep fleet and a persistent
+    :class:`~repro.harness.broker.Broker` speak the identical server
+    side of the protocol, so one connection is served by this single
+    loop regardless of what is on the far end.  Runs until the server
+    sends ``shutdown``, the connection drops, or graceful stop: when
+    ``state.stop_requested`` latches (first SIGTERM/SIGINT) the loop
+    finishes the batch in flight, puts its results on the wire, and
+    returns — the server sees an orderly disconnect between batches,
+    never a death mid-pickle.
     """
-    completed = 0
-    with socket.create_connection((host, port)) as sock:
-        perform_client_handshake(sock)
-        while True:
-            frame = recv_message(sock)
+    while True:
+        frame = recv_message(sock)
+        state.busy = True
+        try:
             try:
                 kind, payload = pickle.loads(frame)
             except Exception:  # noqa: BLE001 - a frame this worker cannot
@@ -224,10 +360,10 @@ def worker_loop(host: str, port: int) -> int:
                 # channel failure and requeues the batch elsewhere).
                 send_message(sock, pickle.dumps(
                     ("results", [(False, traceback.format_exc())])))
-                completed += 1
+                state.completed += 1
                 continue
             if kind == "shutdown":
-                return completed
+                return
             if kind == "task":  # legacy single-task framing
                 try:
                     func, item = payload
@@ -235,12 +371,33 @@ def worker_loop(host: str, port: int) -> int:
                 except Exception:  # noqa: BLE001 - reported to the server
                     reply = (False, traceback.format_exc())
                 send_message(sock, pickle.dumps(reply))
-                completed += 1
+                state.completed += 1
                 continue
-            outcomes = [_run_task(blob, sock, position)
+            outcomes = [_run_task(blob, sock, position, state)
                         for position, blob in enumerate(payload)]
             send_message(sock, pickle.dumps(("results", outcomes)))
-            completed += len(outcomes)
+            state.completed += len(outcomes)
+        finally:
+            state.busy = False
+        if state.stop_requested:
+            return
+
+
+def worker_loop(host: str, port: int,
+                state: Optional[WorkerState] = None) -> int:
+    """Serve task batches from one server until it sends ``shutdown``.
+
+    Returns the number of tasks completed (exceptions included); used
+    as the loopback-spawn target and by the CLI below.  The same loop
+    serves both a sweep-private ``RemoteExecutor`` fleet and a
+    persistent broker — they differ only in what address the worker
+    connects to.
+    """
+    state = state or WorkerState()
+    with socket.create_connection((host, port)) as sock:
+        perform_client_handshake(sock)
+        serve_connection(sock, state)
+    return state.completed
 
 
 def spawn_loopback_workers(address: Tuple[str, int], count: int) -> List:
@@ -300,18 +457,34 @@ def main(argv: Sequence[str] = None) -> int:
                         help="address the RemoteExecutor is listening on")
     args = parser.parse_args(argv)
     host, port = args.connect
+    state = WorkerState()
+    install_signal_handlers(state)
     try:
-        completed = worker_loop(host, port)
+        worker_loop(host, port, state)
+    except GracefulExit as signal_name:
+        print(f"remote worker: received {signal_name}, deregistered "
+              f"after {state.completed} tasks", file=sys.stderr)
+        return 0
     except HandshakeError as error:
         print(f"remote worker: handshake with {host}:{port} failed: {error}",
               file=sys.stderr)
         return 1
     except (ConnectionError, EOFError, OSError) as error:
+        if state.stop_requested:
+            # The signal arrived exactly as the connection wound down;
+            # that is still the graceful path.
+            print(f"remote worker: deregistered after {state.completed} "
+                  "tasks", file=sys.stderr)
+            return 0
         print(f"remote worker: connection to {host}:{port} failed: {error}",
               file=sys.stderr)
         return 1
-    print(f"remote worker: shut down after {completed} tasks",
-          file=sys.stderr)
+    if state.stop_requested:
+        print(f"remote worker: finished in-flight work and deregistered "
+              f"after {state.completed} tasks", file=sys.stderr)
+    else:
+        print(f"remote worker: shut down after {state.completed} tasks",
+              file=sys.stderr)
     return 0
 
 

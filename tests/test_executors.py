@@ -223,7 +223,8 @@ class TestMakeExecutor:
             make_executor("carrier-pigeon", 2)
 
     def test_names_cover_cli_choices(self):
-        assert set(EXECUTOR_NAMES) == {"auto", "serial", "process", "remote"}
+        assert set(EXECUTOR_NAMES) == {"auto", "serial", "process", "remote",
+                                       "broker"}
 
     def test_every_backend_is_an_executor(self):
         for cls in (SerialExecutor, ProcessExecutor, RemoteExecutor):
