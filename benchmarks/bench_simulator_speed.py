@@ -169,6 +169,117 @@ def test_backend_fanout_speedup(benchmark, benchmarks, policy, label):
     assert speedup > 0.8
 
 
+@pytest.mark.parametrize("benchmarks,policy,memory_latency,cycles,label", [
+    (("mcf",), "STALL", 1_000, 50_000, "vectorized reps-8 MEM lat1000"),
+    (("mcf", "twolf"), "STALL", None, CYCLES, "vectorized reps-8 MEM STALL"),
+    (("gzip", "twolf", "bzip2", "mcf"), "ICOUNT", None, CYCLES,
+     "vectorized reps-8 MIX"),
+])
+def test_vectorized_fanout_speedup(benchmark, benchmarks, policy,
+                                   memory_latency, cycles, label):
+    """The vectorized backend on a ``--reps 8`` fan-out vs the scalar loop.
+
+    Unlike the batched comparison above, results here are only
+    *statistically* equivalent (the vectorized stepper draws its trace
+    randomness from numpy streams — see repro/harness/equivalence.py
+    for the acceptance gate), so no bitwise assert: this test records
+    throughput and the ``vectorized_speedup`` ratio, which
+    scripts/perf_gate.py gates against the committed baseline.  The
+    headline entry is the backend's design point — a DRAM-bound
+    single-thread shape at high memory latency, where the lane-parallel
+    stepper's quiescence skip and shared warm-up images pay off most.
+    """
+    pytest.importorskip("numpy")
+    import time
+
+    from repro.harness.engine import SimJob, replicate_job, run_jobs
+
+    warmup = 1_000
+    config = (SMTConfig(memory_latency=memory_latency)
+              if memory_latency else None)
+    jobs = replicate_job(
+        SimJob(tuple(benchmarks), policy, config, cycles, warmup, seed=1), 8)
+    total_cycles = len(jobs) * (cycles + warmup)
+
+    def measure():
+        start = time.perf_counter()
+        scalar = run_jobs(jobs, backend="scalar")
+        scalar_s = time.perf_counter() - start
+        start = time.perf_counter()
+        vectorized = run_jobs(jobs, backend="vectorized")
+        vectorized_s = time.perf_counter() - start
+        return scalar, vectorized, scalar_s, vectorized_s
+
+    scalar, vectorized, scalar_s, vectorized_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    assert all(r.threads and r.cycles == cycles for r in vectorized)
+    speedup = scalar_s / vectorized_s
+    _MEASUREMENTS[label] = {
+        "benchmarks": list(benchmarks),
+        "policy": policy,
+        "memory_latency": memory_latency,
+        "reps": len(jobs),
+        "cycles": cycles,
+        "warmup": warmup,
+        "aggregate_simulated_cycles": total_cycles,
+        "scalar_cycles_per_sec": round(total_cycles / scalar_s, 1),
+        "vectorized_cycles_per_sec": round(total_cycles / vectorized_s, 1),
+        "vectorized_speedup": round(speedup, 3),
+    }
+    print(f"\n{label}: scalar {total_cycles / scalar_s:,.0f} cyc/s, "
+          f"vectorized {total_cycles / vectorized_s:,.0f} cyc/s "
+          f"({speedup:.2f}x, statistically equivalent results)")
+    # Never a significant slowdown; the recorded speedup itself is
+    # gated against the committed baseline by scripts/perf_gate.py.
+    assert speedup > 0.8
+
+
+def test_vectorized_width_scaling(benchmark):
+    """Vectorized throughput as the lane count grows: B = 1 .. 32.
+
+    All lanes share the headline DRAM-bound shape; the curve exposes
+    how the per-batch fixed costs (stream setup, shared prewarm image
+    capture, lane warm-up) amortise as the fan-out widens.  Recorded
+    as cycles/s per width in BENCH_speed.json.
+    """
+    pytest.importorskip("numpy")
+    import time
+
+    from repro.batch.vectorized import VectorizedSimulator
+    from repro.harness.engine import SimJob, replicate_job
+
+    cycles, warmup = 8_000, 500
+    widths = (1, 2, 4, 8, 16, 32)
+    base = SimJob(("mcf",), "STALL", SMTConfig(memory_latency=1_000),
+                  cycles, warmup, seed=1)
+
+    def measure():
+        curve = {}
+        for width in widths:
+            jobs = replicate_job(base, width)
+            start = time.perf_counter()
+            results = VectorizedSimulator(jobs).run()
+            elapsed = time.perf_counter() - start
+            total = width * (cycles + warmup)
+            curve[width] = (total / elapsed, len(results))
+        return curve
+
+    curve = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(count == width for width, (_, count) in curve.items())
+    _MEASUREMENTS["vectorized width scaling"] = {
+        "benchmarks": ["mcf"],
+        "policy": "STALL",
+        "memory_latency": 1_000,
+        "cycles": cycles,
+        "warmup": warmup,
+        "cycles_per_sec_by_width": {
+            str(width): round(rate, 1)
+            for width, (rate, _) in curve.items()},
+    }
+    print("\nvectorized width scaling (cycles/s): " + ", ".join(
+        f"B={width}: {rate:,.0f}" for width, (rate, _) in curve.items()))
+
+
 def test_batch_width_scaling(benchmark):
     """Batched throughput as the lane count grows: B = 1, 2, 4, 8, 16.
 

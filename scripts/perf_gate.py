@@ -9,15 +9,17 @@ Usage::
 
 Compares every throughput-like entry (``*cycles_per_sec``,
 ``*instructions_per_sec``, ``*ops_per_sec``, the broker's
-``jobs_per_sec`` and the batched ``batched_speedup`` ratios) of a
+``jobs_per_sec``) and the backend speedup ratios
+(``batched_speedup``, ``vectorized_speedup``) of a
 fresh benchmark run against the
 committed ``BENCH_speed.json``.  Absolute cycles/s numbers are
 machine-dependent, so before comparing, each fresh throughput value is
 divided by the *calibration ratio* — the fresh machine's pure-Python
 ``python-calibration`` ops/s over the baseline machine's — which
 cancels interpreter/hardware speed differences and leaves only the
-effect of code changes.  Speedup ratios (scalar vs batched on the same
-machine) are compared raw.
+effect of code changes.  Speedup ratios (scalar vs batched/vectorized
+on the same machine) are compared raw — this is what enforces the
+vectorized backend's headline fan-out speedup claim in CI.
 
 Exit status: 0 when no metric regressed more than the threshold,
 1 otherwise (each offender is listed).  Metrics that improved are
@@ -34,10 +36,11 @@ import sys
 #: (normalised by the calibration ratio; higher is better).
 THROUGHPUT_KEYS = ("cycles_per_sec", "instructions_per_sec",
                    "scalar_cycles_per_sec", "batched_cycles_per_sec",
+                   "vectorized_cycles_per_sec",
                    "ops_per_sec", "jobs_per_sec")
 #: Per-entry numeric fields gated raw (same-machine ratios; higher is
 #: better).
-RATIO_KEYS = ("batched_speedup",)
+RATIO_KEYS = ("batched_speedup", "vectorized_speedup")
 
 CALIBRATION_ENTRY = "python-calibration"
 

@@ -33,11 +33,19 @@ except ImportError as error:  # pragma: no cover - exercised via sys.modules
 
 from repro.batch.core import BatchedSimulator, BatchSnapshot
 from repro.batch.groups import batch_key, group_jobs, run_jobs_batched
+from repro.batch.vectorized import (
+    VectorizedSimulator,
+    run_jobs_vectorized,
+    vector_key,
+)
 
 __all__ = [
     "BatchSnapshot",
     "BatchedSimulator",
+    "VectorizedSimulator",
     "batch_key",
     "group_jobs",
     "run_jobs_batched",
+    "run_jobs_vectorized",
+    "vector_key",
 ]

@@ -45,18 +45,24 @@ def batch_key(job: SimJob) -> Optional[tuple]:
 
 
 def group_jobs(jobs: Sequence[SimJob],
-               max_lanes: Optional[int] = None) -> List[List[int]]:
+               max_lanes: Optional[int] = None,
+               key: Callable[[SimJob], Optional[tuple]] = None) \
+        -> List[List[int]]:
     """Partition job indices into batch groups, preserving first-seen
     order of groups and submission order within each group.
 
     Unbatchable jobs become singleton groups (run scalar).  With
     ``max_lanes`` set, larger groups are split into runs of at most
     that many lanes — the work items a parallel executor distributes.
+    ``key`` selects the compatibility law (default :func:`batch_key`;
+    the vectorized backend passes its stricter
+    :func:`~repro.batch.vectorized.vector_key`).
     """
+    key_of = key or batch_key
     groups: List[List[int]] = []
     by_key = {}
     for index, job in enumerate(jobs):
-        key = batch_key(job)
+        key = key_of(job)
         if key is None:
             groups.append([index])
             continue

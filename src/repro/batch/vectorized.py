@@ -1,0 +1,195 @@
+"""The relaxed-equivalence vectorized backend: ``--backend vectorized``.
+
+:class:`VectorizedSimulator` advances B same-shape lanes exactly like
+:class:`~repro.batch.core.BatchedSimulator` — lockstep chunks through
+the fused/fast-forwarding stepper, struct-of-arrays instrumentation —
+but every lane's stochastic trace generation is replaced by
+:class:`~repro.trace.vectorized.VectorizedTraceGenerator`, which draws
+instruction sampling randomness in vectorized numpy blocks instead of
+one scalar ``random.Random`` call per decision.  That substitution is
+what the bitwise backends could not do: PR 7's lockstep core measured
+1.11-1.31x and recorded that bitwise equality pins every per-lane
+``random`` stream; ``vectorized`` deliberately breaks byte equality and
+is accepted *statistically* instead — same metric distributions over
+seed fan-outs, gated by :mod:`repro.harness.equivalence` (two-sample KS
+per metric against calibrated thresholds).
+
+Because results are relaxed, they are stored and served under the
+``vectorized`` equivalence tag in the :class:`ResultStore` and never
+answer a bitwise (``scalar``/``batched``) request.
+
+Lane compatibility is stricter than the bitwise batched backend's:
+checkpointed jobs, warm-up forks and adaptive warm-up all exercise the
+``capture_state``/bitwise machinery the vectorized generator does not
+implement, and interval-mode jobs keep their per-lane progress
+contract.  Such jobs fall back to the scalar backend **loudly** (a
+``RuntimeWarning`` naming the jobs and why) so a user asking for
+vectorized speed is told which part of the sweep did not get it —
+their results are bitwise and are stored under the bitwise tag by the
+engine only when run through a bitwise backend; under ``--backend
+vectorized`` the whole run is tagged relaxed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.batch.core import BatchedSimulator, DEFAULT_CHUNK_CYCLES, \
+    HeterogeneousBatchError
+from repro.batch.groups import group_jobs
+from repro.harness.engine import SimJob, parallel_map, run_job
+from repro.harness.runner import _build_processor
+from repro.harness.warmup import as_warmup_policy
+from repro.metrics.stats import SimulationResult
+from repro.pipeline.fastpath import run_fast
+from repro.trace.vectorized import VectorizedTraceGenerator
+
+
+def fallback_reason(job: SimJob) -> Optional[str]:
+    """Why a job cannot run on the vectorized backend, or None if it can."""
+    if job.interval_cycles:
+        return "interval-mode progress is per-lane scalar"
+    if job.checkpoint is not None:
+        return "checkpointing needs the bitwise capture_state contract"
+    if job.warmup_policy is not None:
+        return "warm-up forks replay a bitwise warm-up prefix"
+    if as_warmup_policy(job.warmup).is_adaptive:
+        return "adaptive warm-up resolves through the scalar interval loop"
+    return None
+
+
+def vector_key(job: SimJob) -> Optional[tuple]:
+    """Lane-compatibility key for the vectorized backend, or None.
+
+    Jobs with equal keys share one :class:`VectorizedSimulator`; jobs
+    returning None (see :func:`fallback_reason`) run scalar, loudly.
+    """
+    if fallback_reason(job) is not None:
+        return None
+    return (job.benchmarks, repr(job.config), job.cycles, repr(job.warmup))
+
+
+def warn_scalar_fallbacks(jobs: Sequence[SimJob]) -> None:
+    """Warn once, loudly, about jobs a vectorized run executes scalar."""
+    reasons = {}
+    for index, job in enumerate(jobs):
+        reason = fallback_reason(job)
+        if reason is not None:
+            reasons.setdefault(reason, []).append(index)
+    if not reasons:
+        return
+    detail = "; ".join(
+        f"{len(idx)} job(s) (e.g. #{idx[0]}): {reason}"
+        for reason, idx in sorted(reasons.items()))
+    warnings.warn(
+        "--backend vectorized: falling back to the scalar stepper for "
+        f"{sum(len(v) for v in reasons.values())} of {len(jobs)} job(s) "
+        f"— {detail}", RuntimeWarning, stacklevel=3)
+
+
+class VectorizedSimulator(BatchedSimulator):
+    """B same-shape lanes with numpy block-drawn trace randomness.
+
+    Args:
+        jobs: lane jobs; all must share :func:`vector_key` (benchmarks,
+            config, cycles, fixed warm-up), with seed/policy/tag free.
+        chunk_cycles: lockstep chunk length for the measured phase.
+        generator_factory: callable ``(profile, seed, tid)`` building
+            each lane-thread's trace generator.  Defaults to
+            :class:`VectorizedTraceGenerator`; the equivalence harness's
+            rejection tests inject deliberately skewed subclasses here.
+    """
+
+    def __init__(self, jobs: Sequence[SimJob],
+                 chunk_cycles: int = DEFAULT_CHUNK_CYCLES,
+                 generator_factory: Optional[Callable] = None) -> None:
+        super().__init__(jobs, chunk_cycles)
+        for job in self.jobs:
+            reason = fallback_reason(job)
+            if reason is not None:
+                raise HeterogeneousBatchError(
+                    f"job cannot run on the vectorized backend ({reason}); "
+                    "the grouping layer routes such jobs to the scalar "
+                    "fallback")
+        self._generator_factory = generator_factory or VectorizedTraceGenerator
+        self._prewarm_image = None
+
+    def _warm_lane(self, job: SimJob) -> Tuple[object, int]:
+        """Build one lane with vectorized trace generation, warmed.
+
+        Only fixed warm-up reaches here (see :func:`vector_key`), so the
+        warm-up always runs through :func:`run_fast` on the lane's own
+        processor.  The construction-time cache pre-warm is replayed
+        only for the first lane; its image (seed-independent — see
+        :meth:`~repro.mem.hierarchy.MemoryHierarchy.capture_prewarm_image`)
+        is captured once and installed into every later lane.
+        """
+        plan = as_warmup_policy(job.warmup)
+        processor = _build_processor(
+            list(job.benchmarks), job.policy, job.config, job.seed,
+            trace_factory=self._generator_factory,
+            prewarm_image=self._prewarm_image)
+        if self._prewarm_image is None:
+            self._prewarm_image = processor.hierarchy.capture_prewarm_image()
+        if plan.cycles:
+            run_fast(processor, plan.cycles)
+        return processor, plan.cycles
+
+
+def _run_group_vectorized(jobs: Tuple[SimJob, ...]) -> List[SimulationResult]:
+    """Worker-side execution of one group (module-level: picklable).
+
+    A singleton group whose job is lane-incompatible runs through the
+    scalar :func:`~repro.harness.engine.run_job` (the driver already
+    warned about it); everything else runs one
+    :class:`VectorizedSimulator`.
+    """
+    jobs = list(jobs)
+    if len(jobs) == 1 and vector_key(jobs[0]) is None:
+        return [run_job(jobs[0])]
+    return VectorizedSimulator(jobs).run()
+
+
+def run_jobs_vectorized(jobs: Sequence[SimJob], max_workers: int = 1,
+                        executor=None,
+                        progress: Optional[Callable] = None) \
+        -> List[SimulationResult]:
+    """Execute a job list through the vectorized backend, in submission
+    order — the ``backend="vectorized"`` sibling of
+    :func:`~repro.batch.groups.run_jobs_batched`.
+
+    Grouping, worker splitting and progress remapping mirror the batched
+    backend exactly (same :func:`~repro.batch.groups.group_jobs`
+    partitioner, keyed by :func:`vector_key`); lane-incompatible jobs
+    run scalar after a loud :class:`RuntimeWarning` naming them.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    warn_scalar_fallbacks(jobs)
+    max_lanes = None
+    workers = max(1, max_workers)
+    if workers > 1 or executor is not None:
+        max_lanes = max(1, -(-len(jobs) // workers))
+    groups = group_jobs(jobs, max_lanes=max_lanes, key=vector_key)
+    items = [tuple(jobs[i] for i in group) for group in groups]
+    remapped = None
+    if progress is not None:
+        remapped = lambda g, event: progress(groups[g][0], event)  # noqa: E731
+    outputs = parallel_map(_run_group_vectorized, items, workers, executor,
+                           remapped)
+    results: List[Optional[SimulationResult]] = [None] * len(jobs)
+    for group, output in zip(groups, outputs):
+        for index, result in zip(group, output):
+            results[index] = result
+    return results
+
+
+__all__ = [
+    "VectorizedSimulator",
+    "fallback_reason",
+    "run_jobs_vectorized",
+    "vector_key",
+    "warn_scalar_fallbacks",
+]

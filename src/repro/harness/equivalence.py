@@ -1,0 +1,387 @@
+"""Statistical acceptance harness for relaxed simulation backends.
+
+The batched backend (PR 7) is *bitwise* equivalent to the scalar
+stepper: same jobs, same bytes, shared store keys.  The vectorized
+backend draws its instruction streams from numpy generator streams
+instead of B scalar ``random.Random`` instances, so individual runs
+differ — the contract it offers is **statistical** equivalence: over a
+fan-out of seeds, every reported metric must be distributed like the
+scalar backend's.
+
+This module is the gate on that contract.  For each acceptance case
+(one workload lineup under one policy) it runs three seed fan-outs:
+
+* ``scalar A`` — the reference distribution (seeds from ``base_seed``),
+* ``scalar B`` — a *disjoint* reseeded scalar fan-out (seeds from
+  ``calibration_seed``) whose distance to A calibrates the null: how
+  far apart two honest scalar distributions land at this sample size,
+* ``candidate`` — the backend under test, on A's seeds.
+
+Per metric the two-sample KS statistic ``D(A, candidate)`` must stay
+within ``max(D(A, B), critical_D(alpha))`` — the observed null
+distance or the analytic critical value, whichever is larger.  A
+backend is accepted only when **every** metric of **every** case
+clears its threshold.  The verdict, distances, thresholds and
+distribution summaries are returned as one JSON-serialisable report
+(the artifact CI archives).
+
+Gated metrics, per fan-out:
+
+* ``ipc`` — per-thread IPCs pooled across seeds,
+* ``throughput`` — total IPC per seed,
+* ``hmean_speedup`` — per-seed Hmean fairness against single-thread
+  baselines computed *through the same backend* (a vectorized Hmean
+  is vectorized-vs-vectorized; mixing backends in one ratio would
+  fold the very bias being tested into the denominator),
+* ``slow_cycle_frac`` — per-seed mean slow-cycle fraction (the DCRA
+  classifier's input, so a bias here shifts allocations downstream).
+
+The runners are injectable (``scalar_runner`` / ``candidate_runner``)
+so tests can exercise the harness logic — including its rejection path
+— with deliberately skewed steppers and without numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.engine import SimJob, derive_seeds, normalize_backend, run_jobs
+from repro.metrics.stats import (
+    SimulationResult,
+    ks_2samp_pvalue,
+    ks_statistic,
+    summarize_distribution,
+)
+from repro.pipeline.config import SMTConfig
+from repro.trace.workloads import workload_groups
+
+#: Schema tag stamped on every report (bump on incompatible change).
+REPORT_SCHEMA = "repro-equivalence-report/v1"
+
+#: Significance level of the analytic threshold floor.
+DEFAULT_ALPHA = 0.01
+
+#: Metric keys every case gates on, in report order.
+METRICS = ("ipc", "throughput", "hmean_speedup", "slow_cycle_frac")
+
+#: Baseline policy for the single-thread Hmean denominators (matches
+#: :func:`repro.harness.runner.single_thread_ipc`).
+_SOLO_POLICY = "ICOUNT"
+
+
+@dataclass(frozen=True)
+class EquivalenceCase:
+    """One acceptance case: a workload lineup under one policy.
+
+    ``cycles``/``warmup`` are per-case budgets — acceptance runs many
+    seeds, so cases default well below the paper-artefact budgets; the
+    point is distribution shape, not per-run precision.
+    """
+
+    name: str
+    benchmarks: Tuple[str, ...]
+    policy: object = "ICOUNT"
+    config: Optional[SMTConfig] = None
+    cycles: int = 10_000
+    warmup: int = 2_000
+
+
+def default_cases(
+    policies: Sequence[object] = ("ICOUNT", "DCRA"),
+    thread_counts: Sequence[int] = (2, 4),
+    cycles: int = 10_000,
+    warmup: int = 2_000,
+) -> List[EquivalenceCase]:
+    """The standard acceptance grid: each policy on each thread count.
+
+    Lineups come from the paper's MIX cells (one memory-bound thread
+    per ILP thread) so both the cache-pressure and the high-IPC ends
+    of the metric distributions are represented.
+    """
+    cases = []
+    for policy in policies:
+        for threads in thread_counts:
+            workload = workload_groups(threads, "MIX")[0]
+            label = policy if isinstance(policy, str) else policy[0]
+            cases.append(EquivalenceCase(
+                name=f"{label}-{threads}T-{'.'.join(workload.benchmarks)}",
+                benchmarks=tuple(workload.benchmarks),
+                policy=policy,
+                cycles=cycles,
+                warmup=warmup,
+            ))
+    return cases
+
+
+def ks_critical_distance(n: int, m: int, alpha: float = DEFAULT_ALPHA) -> float:
+    """Analytic two-sample KS rejection distance at significance ``alpha``.
+
+    ``c(alpha) * sqrt((n + m) / (n * m))`` with
+    ``c(alpha) = sqrt(-ln(alpha / 2) / 2)`` (c(0.01) ≈ 1.628) — the
+    asymptotic large-sample form.  The harness uses it as the *floor*
+    of each metric's threshold: the calibrated null distance can raise
+    the bar, never lower it below statistical noise.
+    """
+    if n < 2 or m < 2:
+        raise ValueError(f"KS critical distance needs n, m >= 2 (got {n}, {m})")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha!r}")
+    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c * math.sqrt((n + m) / (n * m))
+
+
+# --------------------------------------------------------------------------
+# Fan-out execution and metric extraction
+# --------------------------------------------------------------------------
+
+def _case_jobs(case: EquivalenceCase, seeds: Sequence[int]) -> List[SimJob]:
+    return [SimJob(tuple(case.benchmarks), case.policy, case.config,
+                   case.cycles, case.warmup, seed=seed)
+            for seed in seeds]
+
+
+def _solo_specs(case: EquivalenceCase,
+                seeds: Sequence[int]) -> List[Tuple[str, int, SimJob]]:
+    """(benchmark, seed, solo job) for every Hmean denominator needed."""
+    unique = list(dict.fromkeys(case.benchmarks))
+    return [(benchmark, seed,
+             SimJob((benchmark,), _SOLO_POLICY, case.config,
+                    case.cycles, case.warmup, seed=seed))
+            for seed in seeds for benchmark in unique]
+
+
+def _solo_key(case: EquivalenceCase, benchmark: str, seed: int) -> tuple:
+    # Solos are shared across cases with the same machine and budgets;
+    # the policy under test plays no part in a single-thread baseline.
+    return (benchmark, repr(case.config), case.cycles,
+            repr(case.warmup), seed)
+
+
+def fanout_metrics(
+    case: EquivalenceCase,
+    seeds: Sequence[int],
+    results: Sequence[SimulationResult],
+    solo_ipcs: Dict[tuple, float],
+) -> Dict[str, List[float]]:
+    """One fan-out's metric samples, keyed by :data:`METRICS` name."""
+    if len(results) != len(seeds):
+        raise ValueError(
+            f"case {case.name!r}: {len(seeds)} seeds but "
+            f"{len(results)} results")
+    ipcs: List[float] = []
+    throughputs: List[float] = []
+    hmeans: List[float] = []
+    slow_fracs: List[float] = []
+    for seed, result in zip(seeds, results):
+        ipcs.extend(result.ipcs)
+        throughputs.append(result.throughput)
+        singles = [solo_ipcs[_solo_key(case, b, seed)]
+                   for b in case.benchmarks]
+        hmeans.append(result.hmean_vs(singles))
+        slow = [t.slow_cycle_frac for t in result.threads]
+        slow_fracs.append(sum(slow) / len(slow))
+    return {
+        "ipc": ipcs,
+        "throughput": throughputs,
+        "hmean_speedup": hmeans,
+        "slow_cycle_frac": slow_fracs,
+    }
+
+
+def _policy_label(policy) -> str:
+    return policy if isinstance(policy, str) else repr(policy)
+
+
+# --------------------------------------------------------------------------
+# The acceptance run
+# --------------------------------------------------------------------------
+
+def run_equivalence(
+    cases: Optional[Sequence[EquivalenceCase]] = None,
+    seeds: int = 24,
+    base_seed: int = 1,
+    calibration_seed: int = 10_000,
+    backend: str = "vectorized",
+    alpha: float = DEFAULT_ALPHA,
+    max_workers: int = 1,
+    executor=None,
+    scalar_runner: Optional[Callable[[List[SimJob]],
+                                     List[SimulationResult]]] = None,
+    candidate_runner: Optional[Callable[[List[SimJob]],
+                                        List[SimulationResult]]] = None,
+) -> dict:
+    """Run the acceptance harness; return the machine-readable report.
+
+    Args:
+        cases: acceptance cases (default: :func:`default_cases` — two
+            policies on two thread counts).
+        seeds: fan-out width per side; 16+ for a meaningful gate.
+        base_seed: root of the reference/candidate seed fan-out.
+        calibration_seed: root of the disjoint scalar fan-out whose
+            distance to the reference calibrates the null.  Must
+            differ from ``base_seed``.
+        backend: the relaxed backend under test (report label; also
+            selects the default candidate runner).
+        alpha: significance of the analytic threshold floor.
+        max_workers / executor: engine parallelism for the fan-outs.
+        scalar_runner / candidate_runner: injectable job runners
+            (``jobs -> results``); defaults run through
+            :func:`~repro.harness.engine.run_jobs` with the scalar and
+            ``backend`` backends respectively.
+
+    Returns:
+        The report dict (:data:`REPORT_SCHEMA`): overall ``accepted``,
+        plus per-case per-metric KS distance, p-value, null distance,
+        threshold and both distribution summaries.
+    """
+    if cases is None:
+        cases = default_cases()
+    if not cases:
+        raise ValueError("run_equivalence needs at least one case")
+    if seeds < 2:
+        raise ValueError(f"need at least 2 seeds per fan-out, got {seeds}")
+    if calibration_seed == base_seed:
+        raise ValueError(
+            "calibration_seed must differ from base_seed: the null is "
+            "calibrated from a *disjoint* scalar fan-out")
+    backend = normalize_backend(backend)
+    if scalar_runner is None:
+        def scalar_runner(jobs):
+            return run_jobs(jobs, max_workers, executor)
+    if candidate_runner is None:
+        def candidate_runner(jobs):
+            return run_jobs(jobs, max_workers, executor, backend=backend)
+
+    ref_seeds = derive_seeds(base_seed, seeds)
+    cal_seeds = derive_seeds(calibration_seed, seeds)
+
+    # One engine call per side: every case's policy jobs and solo
+    # baselines ride together, so lane grouping / worker saturation see
+    # the whole fan-out at once.
+    scalar_jobs: List[SimJob] = []
+    candidate_jobs: List[SimJob] = []
+    scalar_solo_keys: Dict[tuple, int] = {}
+    candidate_solo_keys: Dict[tuple, int] = {}
+    spans: List[Tuple[int, int, int]] = []  # (ref_start, cal_start) per case
+
+    for case in cases:
+        ref_start = len(scalar_jobs)
+        scalar_jobs.extend(_case_jobs(case, ref_seeds))
+        cal_start = len(scalar_jobs)
+        scalar_jobs.extend(_case_jobs(case, cal_seeds))
+        cand_start = len(candidate_jobs)
+        candidate_jobs.extend(_case_jobs(case, ref_seeds))
+        spans.append((ref_start, cal_start, cand_start))
+        for benchmark, seed, job in _solo_specs(case,
+                                                list(ref_seeds) + cal_seeds):
+            key = _solo_key(case, benchmark, seed)
+            if key not in scalar_solo_keys:
+                scalar_solo_keys[key] = len(scalar_jobs)
+                scalar_jobs.append(job)
+        for benchmark, seed, job in _solo_specs(case, ref_seeds):
+            key = _solo_key(case, benchmark, seed)
+            if key not in candidate_solo_keys:
+                candidate_solo_keys[key] = len(candidate_jobs)
+                candidate_jobs.append(job)
+
+    scalar_results = scalar_runner(scalar_jobs)
+    candidate_results = candidate_runner(candidate_jobs)
+    scalar_solos = {key: scalar_results[index].threads[0].ipc
+                    for key, index in scalar_solo_keys.items()}
+    candidate_solos = {key: candidate_results[index].threads[0].ipc
+                       for key, index in candidate_solo_keys.items()}
+
+    n = seeds
+    case_reports = []
+    accepted = True
+    for case, (ref_start, cal_start, cand_start) in zip(cases, spans):
+        ref = fanout_metrics(
+            case, ref_seeds, scalar_results[ref_start:ref_start + n],
+            scalar_solos)
+        cal = fanout_metrics(
+            case, cal_seeds, scalar_results[cal_start:cal_start + n],
+            scalar_solos)
+        cand = fanout_metrics(
+            case, ref_seeds, candidate_results[cand_start:cand_start + n],
+            candidate_solos)
+        metric_reports = {}
+        case_ok = True
+        for metric in METRICS:
+            critical = ks_critical_distance(len(ref[metric]),
+                                            len(cand[metric]), alpha)
+            null_d = ks_statistic(ref[metric], cal[metric])
+            threshold = max(null_d, critical)
+            d = ks_statistic(ref[metric], cand[metric])
+            ok = d <= threshold
+            case_ok = case_ok and ok
+            metric_reports[metric] = {
+                "statistic": d,
+                "pvalue": ks_2samp_pvalue(ref[metric], cand[metric]),
+                "null_statistic": null_d,
+                "critical": critical,
+                "threshold": threshold,
+                "accepted": ok,
+                "scalar": summarize_distribution(ref[metric]),
+                "candidate": summarize_distribution(cand[metric]),
+            }
+        accepted = accepted and case_ok
+        case_reports.append({
+            "name": case.name,
+            "benchmarks": list(case.benchmarks),
+            "policy": _policy_label(case.policy),
+            "threads": len(case.benchmarks),
+            "cycles": case.cycles,
+            "warmup": case.warmup,
+            "accepted": case_ok,
+            "metrics": metric_reports,
+        })
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "backend": backend,
+        "accepted": accepted,
+        "alpha": alpha,
+        "seeds": seeds,
+        "base_seed": base_seed,
+        "calibration_seed": calibration_seed,
+        "metrics": list(METRICS),
+        "cases": case_reports,
+    }
+
+
+# --------------------------------------------------------------------------
+# Rendering / persistence
+# --------------------------------------------------------------------------
+
+def format_equivalence_report(report: dict) -> str:
+    """Human-readable rendering of a :func:`run_equivalence` report."""
+    verdict = "ACCEPTED" if report["accepted"] else "REJECTED"
+    lines = [
+        f"backend {report['backend']}: {verdict} "
+        f"({report['seeds']} seeds/side, alpha={report['alpha']})",
+    ]
+    for case in report["cases"]:
+        mark = "ok " if case["accepted"] else "FAIL"
+        lines.append(f"\n[{mark}] {case['name']}  "
+                     f"(policy={case['policy']}, "
+                     f"C={case['cycles']} W={case['warmup']})")
+        lines.append(f"     {'metric':16s} {'D':>7s} {'null':>7s} "
+                     f"{'thresh':>7s} {'p':>7s}")
+        for metric in report["metrics"]:
+            m = case["metrics"][metric]
+            flag = "" if m["accepted"] else "  <-- over threshold"
+            lines.append(
+                f"     {metric:16s} {m['statistic']:7.3f} "
+                f"{m['null_statistic']:7.3f} {m['threshold']:7.3f} "
+                f"{m['pvalue']:7.3f}{flag}")
+    return "\n".join(lines)
+
+
+def write_equivalence_report(report: dict, path: str) -> None:
+    """Write the JSON report artifact (the file CI archives)."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -274,12 +274,16 @@ class Scenario:
             exactly the controlled comparison wanted), so it is opt-in
             and participates in job identity.
         backend: simulation backend the scenario runs on —
-            ``"scalar"`` (default) or ``"batched"`` (lockstep groups of
+            ``"scalar"`` (default), ``"batched"`` (lockstep groups of
             same-shape jobs through one
             :class:`~repro.batch.core.BatchedSimulator`; requires the
-            numpy extra).  Results are bitwise-identical either way, so
-            the backend is *not* part of job identity and stored
-            results are shared across backends; it only changes speed.
+            numpy extra) or ``"vectorized"`` (numpy block-drawn trace
+            randomness).  Scalar and batched results are
+            bitwise-identical, so the backend is *not* part of job
+            identity and their stored results are shared; vectorized
+            results are only statistically equivalent and live under
+            their own result-store equivalence tag (see
+            :func:`~repro.harness.results.backend_equivalence`).
     """
 
     name: str
@@ -680,8 +684,11 @@ def run_scenario(scenario: Scenario, jobs: int = 1, executor=None,
     sweep runs (see :func:`~repro.harness.engine.ensure_checkpoints`).
 
     ``backend`` overrides the scenario's own ``backend`` field (None
-    keeps it); results are bitwise-identical on every backend, so the
-    override never changes output, store keys or reuse behaviour.
+    keeps it); scalar and batched results are bitwise-identical, so
+    switching between them never changes output, store keys or reuse
+    behaviour.  The vectorized backend is only statistically
+    equivalent: its results are keyed under their own store
+    equivalence tag and never serve (or reuse) bitwise entries.
     """
     from repro.harness.checkpoints import normalize_checkpoint
     from repro.harness.engine import (

@@ -64,6 +64,15 @@ class SMTProcessor:
         profiles: one benchmark profile per hardware context.
         policy: fetch/allocation policy (attached via ``policy.attach``).
         seed: base RNG seed; each thread derives its own stream from it.
+        trace_factory: optional callable ``(profile, seed, tid)`` returning
+            a trace generator; defaults to :class:`SyntheticTraceGenerator`.
+            The vectorized backend injects its block-drawn generator here.
+        prewarm_image: optional pre-captured cache/TLB contents (see
+            :meth:`~repro.mem.hierarchy.MemoryHierarchy.capture_prewarm_image`)
+            installed instead of replaying the per-line pre-warm fills.
+            The caller must have captured it from a processor with the
+            same profiles and configuration; ignored when
+            ``config.prewarm_caches`` is off.
     """
 
     def __init__(
@@ -72,6 +81,8 @@ class SMTProcessor:
         profiles: Sequence[BenchmarkProfile],
         policy,
         seed: int = 0,
+        trace_factory=None,
+        prewarm_image=None,
     ) -> None:
         if not profiles:
             raise ValueError("at least one thread profile is required")
@@ -106,15 +117,20 @@ class SMTProcessor:
             ras_depth=config.ras_depth,
         )
         self.threads: List[ThreadContext] = []
+        if trace_factory is None:
+            trace_factory = SyntheticTraceGenerator
         for tid, profile in enumerate(profiles):
-            generator = SyntheticTraceGenerator(
-                profile, seed=seed * 1000003 + tid * 7919 + 17, tid=tid
+            generator = trace_factory(
+                profile, seed * 1000003 + tid * 7919 + 17, tid
             )
             self.threads.append(
                 ThreadContext(tid, TraceBuffer(generator), config.fetch_queue_size)
             )
         if config.prewarm_caches:
-            self._prewarm()
+            if prewarm_image is not None:
+                self.hierarchy.restore_prewarm_image(prewarm_image)
+            else:
+                self._prewarm()
         self._seq = 0
         self._completions: Dict[int, List[MicroOp]] = {}
         self._l2_detect_events: Dict[int, List[MicroOp]] = {}

@@ -32,6 +32,8 @@ def icount_order(processor: "SMTProcessor") -> List[int]:
     break by thread id (sorting (count, tid) pairs), matching the stable
     sort the original key-function implementation produced.
     """
+    if processor.num_threads == 1:
+        return [0]  # a 1-element sort: the ranking is the identity
     per = processor.resources.per_thread
     int_row = per[Resource.IQ_INT]
     fp_row = per[Resource.IQ_FP]

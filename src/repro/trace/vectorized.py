@@ -1,0 +1,370 @@
+"""Block-drawn trace generation for the vectorized backend (needs numpy).
+
+:class:`VectorizedTraceGenerator` is a drop-in replacement for
+:class:`~repro.trace.generator.SyntheticTraceGenerator` that draws its
+hot per-instruction randomness in vectorized blocks from per-stream
+``numpy.random.Generator`` (PCG64) instances instead of one scalar
+``random.Random`` call per decision.  Each kind of draw — uniforms,
+truncated-geometric dependency distances, region addresses, op classes —
+has its own stream, precomputed a block at a time (including the
+``log``/stride/CDF arithmetic that dominates the scalar draw cost) and
+consumed through plain iterator cursors.
+
+The streams are seeded from ``SeedSequence([seed, tid, stream-id])``
+only, so a lane's instruction stream depends on nothing but its job
+seed: results are deterministic across runs, worker counts and batch
+compositions.  The streams are *different* from the scalar generator's
+Mersenne-Twister draws, which is exactly what ``--backend vectorized``
+relaxes: equality of metric distributions over seeds (gated by
+:mod:`repro.harness.equivalence`), not equality of bytes.
+
+Rare draws — phase-length jitter and the memoised per-site branch
+bias/target assignment — stay on the inherited scalar RNGs: they run a
+few times per thousand instructions, and keeping them scalar avoids
+block machinery for streams that are almost never consumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.instruction import BranchKind, OpClass, StaticOp
+from repro.trace.generator import (
+    SyntheticTraceGenerator,
+    _COLD_BURST_LEN,
+    _FP_LATENCY,
+    _LINE,
+    _MAX_CALL_DEPTH,
+    _MAX_DEP_DIST,
+)
+from repro.trace.profiles import (
+    COLD_REGION_BYTES,
+    HOT_REGION_BYTES,
+    WARM_REGION_BYTES,
+    BenchmarkProfile,
+)
+
+#: Draws precomputed per block refill.  Big enough that numpy's per-call
+#: overhead amortises to noise, small enough that a short run does not
+#: waste milliseconds on draws it never consumes.
+_BLOCK = 4096
+
+
+def _uniform_stream(gen):
+    """Yield U[0,1) floats drawn a block at a time."""
+    while True:
+        yield from gen.random(_BLOCK).tolist()
+
+
+def _dep_stream(gen, denom):
+    """Yield truncated-geometric dependency distances (the scalar law)."""
+    if denom is None:  # dep_geom_p == 1: every dependency is distance 1
+        while True:
+            yield 1
+    inv = 1.0 / denom
+    while True:
+        u = gen.random(_BLOCK)
+        np.maximum(u, 1e-12, out=u)
+        np.log(u, out=u)
+        u *= inv
+        dist = u.astype(np.int64)
+        dist += 1
+        np.minimum(dist, _MAX_DEP_DIST, out=dist)
+        yield from dist.tolist()
+
+
+def _address_stream(gen, base, slots, stride):
+    """Yield absolute addresses ``base + U{0..slots-1} * stride``."""
+    while True:
+        offs = gen.integers(0, slots, _BLOCK)
+        offs *= stride
+        offs += base
+        yield from offs.tolist()
+
+
+def _class_stream(gen, mix_cdf):
+    """Yield op classes from the profile's mix CDF via searchsorted."""
+    thresholds = np.array([t for t, _ in mix_cdf])
+    classes = [cls for _, cls in mix_cdf]
+    last = len(classes) - 1
+    while True:
+        idx = np.searchsorted(thresholds, gen.random(_BLOCK), side="right")
+        np.minimum(idx, last, out=idx)
+        yield from [classes[i] for i in idx.tolist()]
+
+
+class VectorizedTraceGenerator(SyntheticTraceGenerator):
+    """Trace generator with numpy block-drawn hot randomness.
+
+    Same profile model and address-space layout as the scalar generator
+    (it inherits construction, phase machinery and prewarm regions);
+    only the per-instruction draws are replaced.  Correct-path and
+    wrong-path draws use disjoint stream families, preserving the
+    invariant that speculation depth never perturbs the committed
+    stream.
+    """
+
+    #: Stream ids: (kind) for correct path, (kind | _WP) for wrong path.
+    _WP = 8
+
+    def __init__(self, profile: BenchmarkProfile, seed: int, tid: int = 0) -> None:
+        super().__init__(profile, seed, tid)
+        mask = (1 << 64) - 1
+
+        def generator(stream_id):
+            seq = np.random.SeedSequence([seed & mask, tid, stream_id])
+            return np.random.Generator(np.random.PCG64(seq))
+
+        denom = self._log_dep_denom
+        cold_slots = COLD_REGION_BYTES // _LINE
+        warm_slots = WARM_REGION_BYTES // 8
+        hot_slots = HOT_REGION_BYTES // 8
+        wp = self._WP
+        self._c_rand = _uniform_stream(generator(0)).__next__
+        self._c_dep = _dep_stream(generator(1), denom).__next__
+        self._c_cls = _class_stream(generator(2), self._mix_cdf).__next__
+        self._c_cold = _address_stream(
+            generator(3), self._cold_base, cold_slots, _LINE).__next__
+        self._c_warm = _address_stream(
+            generator(4), self._warm_base, warm_slots, 8).__next__
+        self._c_hot = _address_stream(
+            generator(5), self._hot_base, hot_slots, 8).__next__
+        self._w_rand = _uniform_stream(generator(wp)).__next__
+        self._w_dep = _dep_stream(generator(wp + 1), denom).__next__
+        self._w_cls = _class_stream(generator(wp + 2), self._mix_cdf).__next__
+        self._w_cold = _address_stream(
+            generator(wp + 3), self._cold_base, cold_slots, _LINE).__next__
+        self._w_warm = _address_stream(
+            generator(wp + 4), self._warm_base, warm_slots, 8).__next__
+        self._w_hot = _address_stream(
+            generator(wp + 5), self._hot_base, hot_slots, 8).__next__
+        # Wrong-path ops are memoised per pc: real wrong-path code is
+        # *static* — the instruction at a pc is fixed — and the scalar
+        # generator already freezes the op class per pc on that argument;
+        # the vectorized backend extends it to the whole op (operands and
+        # address included), trading per-visit redraws for a dict hit.
+        # Bounded by the code footprint.  This is a relaxed-equivalence
+        # deviation, accepted by the KS harness like every other one.
+        self._wp_op_cache: dict = {}
+
+    # -- checkpointing is a bitwise-backend feature --------------------------
+
+    def capture_state(self) -> dict:
+        raise RuntimeError(
+            "VectorizedTraceGenerator does not support checkpointing: "
+            "numpy block-stream cursors are not part of the StateSnapshot "
+            "contract. Checkpointed jobs run on the scalar or batched "
+            "(bitwise) backends."
+        )
+
+    def restore_state(self, state: dict) -> None:
+        raise RuntimeError(
+            "VectorizedTraceGenerator does not support checkpoint restore; "
+            "use the scalar or batched backend for checkpointed jobs."
+        )
+
+    # -- block-drawn op generation ------------------------------------------
+
+    def wrong_path_op(self, pc: int) -> StaticOp:
+        """Memoised wrong-path fetch: one dict probe on the hot path."""
+        op = self._wp_op_cache.get(pc)
+        if op is not None:
+            return op
+        return self._make_op(None, wrong_path=True, wp_pc=pc)
+
+    def _cold_address(self, rng, wrong_path: bool) -> int:
+        if wrong_path:
+            if self._w_rand() < self.profile.stream_frac:
+                self._wp_stream_ptr = (self._wp_stream_ptr + _LINE) \
+                    % COLD_REGION_BYTES
+                return self._cold_base + self._wp_stream_ptr
+            return self._w_cold()
+        if self._c_rand() < self.profile.stream_frac:
+            self._stream_ptr = (self._stream_ptr + _LINE) % COLD_REGION_BYTES
+            return self._cold_base + self._stream_ptr
+        return self._c_cold()
+
+    def _mem_address(self, rng, wrong_path: bool = False) -> int:
+        if wrong_path:
+            if self._wp_burst_left > 0:
+                self._wp_burst_left -= 1
+                return self._cold_address(None, True)
+            rand = self._w_rand
+            warm = self._w_warm
+            hot = self._w_hot
+        else:
+            if self._cold_burst_left > 0:
+                self._cold_burst_left -= 1
+                return self._cold_address(None, False)
+            rand = self._c_rand
+            warm = self._c_warm
+            hot = self._c_hot
+        trigger, warm_threshold = self._phase_params[self._in_mem_phase]
+        if rand() < trigger:
+            if wrong_path:
+                self._wp_burst_left = _COLD_BURST_LEN - 1
+            else:
+                self._cold_burst_left = _COLD_BURST_LEN - 1
+            return self._cold_address(None, wrong_path)
+        if rand() < warm_threshold:
+            return warm()
+        return hot()
+
+    def _make_op(self, rng, wrong_path: bool, wp_pc: int = 0) -> StaticOp:
+        # Fully restructured twin of the scalar _make_op: every rng.random()
+        # becomes a stream-cursor read, every composite draw (dep distance,
+        # region offset, op class) reads its precomputed stream.  The
+        # decision structure is identical to the scalar generator's, so the
+        # two backends model the same program, just through different RNG
+        # streams.
+        p = self.profile
+        pc_class = self._pc_class
+        if wrong_path:
+            pc = wp_pc
+            op = self._wp_op_cache.get(pc)
+            if op is not None:
+                return op
+            rand = self._w_rand
+            dep = self._w_dep
+            next_cls = self._w_cls
+            op_class = pc_class.get(pc)
+            if op_class is None:
+                op_class = next_cls()
+            op = self._make_wp_op(p, pc, op_class, rand, dep)
+            self._wp_op_cache[pc] = op
+            return op
+        else:
+            rand = self._c_rand
+            dep = self._c_dep
+            next_cls = self._c_cls
+            pc = self._pc
+            self._pc = pc + 4
+            op_class = pc_class.get(pc)
+            if op_class is None:
+                op_class = next_cls()
+                pc_class[pc] = op_class
+
+        bias = p.load_dep_bias
+        since_load = self._since_load
+        biasable = since_load < _MAX_DEP_DIST
+
+        if op_class == OpClass.INT_ALU:
+            if rand() < p.two_src_prob:
+                s1 = since_load + 1 if biasable and rand() < bias else dep()
+                s2 = since_load + 1 if biasable and rand() < bias else dep()
+                srcs = (s1, s2)
+            else:
+                srcs = ((since_load + 1,) if biasable and rand() < bias
+                        else (dep(),))
+            self._since_load = since_load + 1
+            return StaticOp(op_class, pc, False, srcs, latency=1)
+
+        if op_class == OpClass.FP_ALU:
+            if rand() < p.two_src_prob:
+                s1 = since_load + 1 if biasable and rand() < bias else dep()
+                s2 = since_load + 1 if biasable and rand() < bias else dep()
+                srcs = (s1, s2)
+            else:
+                srcs = ((since_load + 1,) if biasable and rand() < bias
+                        else (dep(),))
+            self._since_load = since_load + 1
+            return StaticOp(op_class, pc, True, srcs, latency=_FP_LATENCY)
+
+        if op_class == OpClass.LOAD:
+            addr = self._mem_address(None, False)
+            srcs = ((since_load + 1,) if biasable and rand() < bias
+                    else (dep(),))
+            self._since_load = 0
+            dest_fp = rand() < p.fp_load_frac
+            return StaticOp(op_class, pc, dest_fp, srcs,
+                            mem_addr=addr, latency=1)
+
+        if op_class == OpClass.STORE:
+            addr = self._mem_address(None, False)
+            s1 = since_load + 1 if biasable and rand() < bias else dep()
+            s2 = since_load + 1 if biasable and rand() < bias else dep()
+            self._since_load = since_load + 1
+            return StaticOp(op_class, pc, False, (s1, s2),
+                            mem_addr=addr, latency=1)
+
+        # Branch: conditional, call, or return.  The scalar generator
+        # advances since_load *before* drawing branch sources; mirror that.
+        since_load += 1
+        self._since_load = since_load
+        biasable = since_load < _MAX_DEP_DIST
+        srcs = (since_load + 1,) if biasable and rand() < bias else (dep(),)
+        call_stack = self._call_stack
+        if call_stack and rand() < p.call_prob:
+            target = call_stack.pop()
+            self._pc = target
+            return StaticOp(op_class, pc, False, srcs,
+                            branch_kind=BranchKind.RETURN, taken=True,
+                            target=target, latency=1)
+        if len(call_stack) < _MAX_CALL_DEPTH and rand() < p.call_prob:
+            call_stack.append(pc + 4)
+            # Site memoisation (first visit only) stays on the scalar RNG.
+            target = self._branch_targets.get(pc)
+            if target is None:
+                target = self._site_target(pc, self._rng)
+            self._pc = target
+            return StaticOp(op_class, pc, False, srcs,
+                            branch_kind=BranchKind.CALL, taken=True,
+                            target=target, latency=1)
+        site_bias = self._branch_sites.get(pc)
+        if site_bias is None:
+            site_bias = self._branch_site_bias(pc, self._rng)
+        taken = rand() < site_bias
+        if taken:
+            target = self._branch_targets.get(pc)
+            if target is None:
+                target = self._site_target(pc, self._rng)
+            self._pc = target
+        else:
+            target = pc + 4
+        return StaticOp(op_class, pc, False, srcs,
+                        branch_kind=BranchKind.COND, taken=taken,
+                        target=target, latency=1)
+
+    def _make_wp_op(self, p, pc, op_class, rand, dep) -> StaticOp:
+        """Build the wrong-path op for ``pc`` (memoised by the caller).
+
+        Reads correct-path dependency state (``_since_load``) for source
+        biasing like the scalar wrong-path constructor, but never mutates
+        it: the committed stream is identical whatever the speculation
+        depth.  Wrong-path control flow never redirects the real front
+        end, so every branch is an untaken conditional.
+        """
+        bias = p.load_dep_bias
+        since_load = self._since_load
+        biasable = since_load < _MAX_DEP_DIST
+
+        if op_class == OpClass.INT_ALU or op_class == OpClass.FP_ALU:
+            if rand() < p.two_src_prob:
+                s1 = since_load + 1 if biasable and rand() < bias else dep()
+                s2 = since_load + 1 if biasable and rand() < bias else dep()
+                srcs = (s1, s2)
+            else:
+                srcs = ((since_load + 1,) if biasable and rand() < bias
+                        else (dep(),))
+            fp = op_class == OpClass.FP_ALU
+            return StaticOp(op_class, pc, fp, srcs,
+                            latency=_FP_LATENCY if fp else 1)
+
+        if op_class == OpClass.LOAD:
+            addr = self._mem_address(None, True)
+            srcs = ((since_load + 1,) if biasable and rand() < bias
+                    else (dep(),))
+            dest_fp = rand() < p.fp_load_frac
+            return StaticOp(op_class, pc, dest_fp, srcs,
+                            mem_addr=addr, latency=1)
+
+        if op_class == OpClass.STORE:
+            addr = self._mem_address(None, True)
+            s1 = since_load + 1 if biasable and rand() < bias else dep()
+            s2 = since_load + 1 if biasable and rand() < bias else dep()
+            return StaticOp(op_class, pc, False, (s1, s2),
+                            mem_addr=addr, latency=1)
+
+        srcs = (since_load + 1,) if biasable and rand() < bias else (dep(),)
+        return StaticOp(op_class, pc, False, srcs,
+                        branch_kind=BranchKind.COND, taken=False, latency=1)

@@ -10,7 +10,7 @@ import sys
 import pytest
 
 from repro import __main__ as cli
-from repro.harness.engine import SimJob, run_jobs
+from repro.harness.engine import SimJob, run_job, run_job_backend, run_jobs
 
 
 @pytest.fixture
@@ -56,3 +56,27 @@ def test_scalar_engine_never_imports_batch(no_numpy):
     results = run_jobs([job])
     assert len(results) == 1
     assert "repro.batch" not in sys.modules
+
+
+# -- the vectorized backend under the same gate -----------------------------
+
+def test_run_jobs_vectorized_without_numpy_raises(no_numpy):
+    job = SimJob(("gzip",), "ICOUNT", cycles=100, warmup=0)
+    with pytest.raises(ImportError, match="numpy"):
+        run_jobs([job], backend="vectorized")
+
+
+def test_run_job_backend_vectorized_degrades_loudly(no_numpy):
+    """The broker worker path: a vectorized request on a numpy-less
+    worker runs scalar with a RuntimeWarning and says so in the reply
+    metadata — honest bitwise tagging, never a silent downgrade."""
+    import pickle
+
+    job = SimJob(("gzip",), "ICOUNT", cycles=100, warmup=0, seed=5)
+    with pytest.warns(RuntimeWarning, match="numpy is not"):
+        result, meta = run_job_backend((job, "vectorized"))
+    assert meta["backend"] == "vectorized"
+    assert meta["executed_backend"] == "scalar"
+    assert meta["equivalence"] == "bitwise"
+    assert "numpy" in meta["fallback_reason"]
+    assert pickle.dumps(result) == pickle.dumps(run_job(job))

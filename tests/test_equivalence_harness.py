@@ -1,0 +1,230 @@
+"""The statistical acceptance harness, exercised without numpy.
+
+The runners are injected (the harness's own escape hatch for exactly
+this), so tier-1 pins the full accept/reject logic — including the
+rejection path a real vectorized run should never hit — with fake
+steppers, plus one tiny real-engine scalar-vs-scalar acceptance.
+Store-key isolation between equivalence tags rides along here because
+it is the other half of the relaxed-results contract.
+"""
+
+import json
+import zlib
+import random
+
+import pytest
+
+from repro.harness.engine import SimJob, run_jobs
+from repro.harness.equivalence import (
+    EquivalenceCase,
+    METRICS,
+    REPORT_SCHEMA,
+    default_cases,
+    format_equivalence_report,
+    run_equivalence,
+    write_equivalence_report,
+)
+from repro.harness.results import (
+    ResultStore,
+    backend_equivalence,
+    normalize_equivalence,
+)
+
+
+# -- fake steppers ----------------------------------------------------------
+
+class _Thread:
+    def __init__(self, ipc, slow):
+        self.ipc = ipc
+        self.slow_cycle_frac = slow
+
+
+class _Result:
+    def __init__(self, threads):
+        self.threads = threads
+
+    @property
+    def ipcs(self):
+        return [t.ipc for t in self.threads]
+
+    @property
+    def throughput(self):
+        return sum(t.ipc for t in self.threads)
+
+    def hmean_vs(self, singles):
+        relative = [t.ipc / s for t, s in zip(self.threads, singles)]
+        return len(relative) / sum(1.0 / r for r in relative)
+
+
+def _fake_runner(ipc_bias=0.0):
+    """A deterministic pseudo-stepper: metrics are a pure function of
+    (seed, lineup), so two unbiased instances are *identical* and a
+    biased one shifts only the IPC-derived distributions."""
+    def run(jobs):
+        out = []
+        for job in jobs:
+            token = repr((job.seed, job.benchmarks)).encode()
+            rng = random.Random(zlib.crc32(token))
+            threads = [_Thread(0.5 + rng.random() + ipc_bias,
+                               0.2 + 0.1 * rng.random())
+                       for _ in job.benchmarks]
+            out.append(_Result(threads))
+        return out
+    return run
+
+
+CASES = [EquivalenceCase("fake-2T", ("gzip", "mcf"), "ICOUNT",
+                         cycles=1_000, warmup=100)]
+
+
+# -- accept / reject --------------------------------------------------------
+
+def test_identical_fake_steppers_accepted():
+    report = run_equivalence(CASES, seeds=16,
+                             scalar_runner=_fake_runner(),
+                             candidate_runner=_fake_runner())
+    assert report["accepted"] is True
+    case = report["cases"][0]
+    assert case["accepted"] is True
+    for metric in METRICS:
+        entry = case["metrics"][metric]
+        # Candidate == reference on the shared seeds: distance exactly 0,
+        # and the threshold is never below the analytic floor.
+        assert entry["statistic"] == 0.0
+        assert entry["accepted"] is True
+        assert entry["threshold"] >= entry["critical"] > 0.0
+        assert entry["threshold"] >= entry["null_statistic"]
+
+
+def test_biased_stepper_rejected_per_metric():
+    """A stepper whose IPCs are shifted fails the IPC-derived gates
+    while the untouched slow-cycle metric still passes — the verdict
+    is per metric, not a single blunt flag."""
+    report = run_equivalence(CASES, seeds=16,
+                             scalar_runner=_fake_runner(),
+                             candidate_runner=_fake_runner(ipc_bias=0.75))
+    assert report["accepted"] is False
+    metrics = report["cases"][0]["metrics"]
+    assert metrics["ipc"]["accepted"] is False
+    assert metrics["throughput"]["accepted"] is False
+    assert metrics["ipc"]["statistic"] > metrics["ipc"]["threshold"]
+    # The bias hits SMT and solo runs alike, so the ratio largely
+    # cancels in hmean — but slow_cycle_frac is untouched by design.
+    assert metrics["slow_cycle_frac"]["accepted"] is True
+
+
+def test_report_shape_and_roundtrip(tmp_path):
+    report = run_equivalence(CASES, seeds=8,
+                             scalar_runner=_fake_runner(),
+                             candidate_runner=_fake_runner())
+    assert report["schema"] == REPORT_SCHEMA
+    assert report["backend"] == "vectorized"
+    assert report["metrics"] == list(METRICS)
+    assert report["seeds"] == 8
+    case = report["cases"][0]
+    assert case["name"] == "fake-2T" and case["threads"] == 2
+    for metric in METRICS:
+        entry = case["metrics"][metric]
+        for side in ("scalar", "candidate"):
+            assert entry[side]["n"] >= 8
+            assert entry[side]["min"] <= entry[side]["median"] \
+                <= entry[side]["max"]
+    path = tmp_path / "report.json"
+    write_equivalence_report(report, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(report))  # everything JSON-serialisable, verbatim
+
+
+def test_format_report_verdicts():
+    accepted = run_equivalence(CASES, seeds=8,
+                               scalar_runner=_fake_runner(),
+                               candidate_runner=_fake_runner())
+    rejected = run_equivalence(CASES, seeds=16,
+                               scalar_runner=_fake_runner(),
+                               candidate_runner=_fake_runner(ipc_bias=0.75))
+    assert "ACCEPTED" in format_equivalence_report(accepted)
+    text = format_equivalence_report(rejected)
+    assert "REJECTED" in text and "over threshold" in text
+
+
+def test_harness_validates_inputs():
+    with pytest.raises(ValueError, match="at least one case"):
+        run_equivalence([], seeds=8, scalar_runner=_fake_runner(),
+                        candidate_runner=_fake_runner())
+    with pytest.raises(ValueError, match="at least 2 seeds"):
+        run_equivalence(CASES, seeds=1, scalar_runner=_fake_runner(),
+                        candidate_runner=_fake_runner())
+    with pytest.raises(ValueError, match="disjoint"):
+        run_equivalence(CASES, seeds=8, base_seed=7, calibration_seed=7,
+                        scalar_runner=_fake_runner(),
+                        candidate_runner=_fake_runner())
+
+
+def test_default_cases_grid():
+    cases = default_cases(policies=("ICOUNT", "DCRA"), thread_counts=(2, 4))
+    assert len(cases) == 4
+    assert sorted({len(c.benchmarks) for c in cases}) == [2, 4]
+    assert {c.name.split("-")[0] for c in cases} == {"ICOUNT", "DCRA"}
+    assert len({c.name for c in cases}) == 4
+
+
+# -- real engine, scalar candidate ------------------------------------------
+
+def test_scalar_candidate_accepted_through_real_engine():
+    """The scalar backend run as its own candidate: the reference and
+    candidate fan-outs are the *same deterministic runs*, so every KS
+    distance is exactly zero — the end-to-end plumbing (job layout,
+    solo dedup, metric extraction) is what this pins."""
+    cases = [EquivalenceCase("scalar-2T", ("gzip", "mcf"), "ICOUNT",
+                             cycles=800, warmup=100)]
+    report = run_equivalence(
+        cases, seeds=4, backend="vectorized",
+        candidate_runner=lambda jobs: run_jobs(jobs))
+    assert report["accepted"] is True
+    for metric in METRICS:
+        assert report["cases"][0]["metrics"][metric]["statistic"] == 0.0
+
+
+# -- store-key isolation between equivalence tags ---------------------------
+
+def test_backend_equivalence_mapping():
+    assert backend_equivalence("scalar") == "bitwise"
+    assert backend_equivalence("batched") == "bitwise"
+    assert backend_equivalence(None) == "bitwise"
+    assert backend_equivalence("vectorized") == "vectorized"
+    assert normalize_equivalence(None) == "bitwise"
+    with pytest.raises(ValueError):
+        normalize_equivalence("approximate")
+
+
+def test_store_keys_isolate_relaxed_results(tmp_path, monkeypatch):
+    import pickle
+
+    from repro.harness.engine import run_job
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    store = ResultStore()
+    job = SimJob(("gzip",), "ICOUNT", cycles=500, warmup=0, seed=3)
+    bitwise_key = store.key_for(job)
+    relaxed_key = store.key_for(job, equivalence="vectorized")
+    assert bitwise_key != relaxed_key
+    # Bitwise keys are byte-stable: the default tag adds no key part.
+    assert bitwise_key == store.key_for(job, equivalence="bitwise")
+
+    # Two distinguishable payloads under the same job, one per tag.
+    relaxed_value = run_job(SimJob(("gzip",), "ICOUNT", cycles=500,
+                                   warmup=0, seed=11))
+    bitwise_value = run_job(job)
+    assert pickle.dumps(relaxed_value) != pickle.dumps(bitwise_value)
+
+    store.put(job, relaxed_value, equivalence="vectorized")
+    # A relaxed result must never answer a bitwise request...
+    assert store.get(job) is None
+    # ...while its own tag round-trips.
+    assert pickle.dumps(store.get(job, equivalence="vectorized")) \
+        == pickle.dumps(relaxed_value)
+
+    store.put(job, bitwise_value)
+    assert pickle.dumps(store.get(job)) == pickle.dumps(bitwise_value)
+    assert pickle.dumps(store.get(job, equivalence="vectorized")) \
+        == pickle.dumps(relaxed_value)

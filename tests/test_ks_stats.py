@@ -1,0 +1,138 @@
+"""The pure-stdlib KS machinery behind the equivalence harness.
+
+Tier-1: no numpy/scipy anywhere — the whole point of the helpers is
+that the acceptance gate's math ships with the repro itself.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.equivalence import ks_critical_distance
+from repro.metrics.stats import (
+    ks_2samp_pvalue,
+    ks_statistic,
+    summarize_distribution,
+)
+
+
+# -- ks_statistic -----------------------------------------------------------
+
+def test_ks_identical_samples_is_zero():
+    sample = [0.3, 1.0, 2.5, 2.5, 7.0]
+    assert ks_statistic(sample, sample) == 0.0
+    assert ks_statistic(sample, list(reversed(sample))) == 0.0
+
+
+def test_ks_disjoint_samples_is_one():
+    assert ks_statistic([1.0, 2.0, 3.0], [10.0, 11.0]) == 1.0
+
+
+def test_ks_known_half_overlap():
+    # CDFs diverge most right after the first sample's lower half:
+    # F_a(2) = 1.0, F_b(2) = 0.5 -> D = 0.5.
+    assert ks_statistic([1.0, 2.0], [1.5, 2.5]) == pytest.approx(0.5)
+
+
+def test_ks_symmetry_and_unequal_sizes():
+    a = [0.1, 0.4, 0.9, 1.3, 2.2, 3.1]
+    b = [0.2, 1.1, 2.9]
+    assert ks_statistic(a, b) == pytest.approx(ks_statistic(b, a))
+    assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+
+def test_ks_constant_samples_allowed():
+    # A degenerate-but-honest metric (every seed reports the same
+    # value) must compare equal, not crash: D = 0.
+    assert ks_statistic([1.0, 1.0, 1.0], [1.0, 1.0]) == 0.0
+    assert ks_statistic([1.0, 1.0], [2.0, 2.0]) == 1.0
+
+
+@pytest.mark.parametrize("bad", [[], [1.0]])
+def test_ks_rejects_tiny_samples(bad):
+    with pytest.raises(ValueError, match="at least 2"):
+        ks_statistic(bad, [1.0, 2.0])
+    with pytest.raises(ValueError, match="at least 2"):
+        ks_statistic([1.0, 2.0], bad)
+
+
+@pytest.mark.parametrize("poison", [float("nan"), float("inf"),
+                                    float("-inf")])
+def test_ks_rejects_non_finite(poison):
+    with pytest.raises(ValueError, match="non-finite"):
+        ks_statistic([1.0, poison], [1.0, 2.0])
+
+
+# -- ks_2samp_pvalue --------------------------------------------------------
+
+def test_pvalue_identical_samples_is_one():
+    sample = [0.5, 1.5, 2.5, 3.5]
+    assert ks_2samp_pvalue(sample, sample) == pytest.approx(1.0)
+
+
+def test_pvalue_disjoint_samples_is_tiny():
+    a = [float(i) for i in range(20)]
+    b = [float(i) + 100.0 for i in range(20)]
+    assert ks_2samp_pvalue(a, b) < 1e-6
+
+
+def test_pvalue_decreases_with_distance():
+    base = [float(i) for i in range(16)]
+    near = [v + 0.2 for v in base]
+    far = [v + 8.0 for v in base]
+    assert ks_2samp_pvalue(base, far) < ks_2samp_pvalue(base, near)
+
+
+def test_pvalue_bounded():
+    a = [0.1, 0.9, 1.4, 2.0]
+    b = [0.3, 0.8, 1.9, 5.0]
+    assert 0.0 <= ks_2samp_pvalue(a, b) <= 1.0
+
+
+# -- summarize_distribution -------------------------------------------------
+
+def test_summary_known_values():
+    summary = summarize_distribution([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0,
+                                      9.0])
+    assert summary["n"] == 8
+    assert summary["mean"] == pytest.approx(5.0)
+    assert summary["median"] == pytest.approx(4.5)
+    assert summary["min"] == 2.0 and summary["max"] == 9.0
+    # ddof=1: sum of squared deviations 32 over 7.
+    assert summary["stddev"] == pytest.approx(math.sqrt(32.0 / 7.0))
+
+
+def test_summary_odd_median_and_single_value():
+    assert summarize_distribution([3.0, 1.0, 2.0])["median"] == 2.0
+    single = summarize_distribution([4.2])
+    assert single["n"] == 1 and single["stddev"] == 0.0
+
+
+def test_summary_rejects_empty_and_non_finite():
+    with pytest.raises(ValueError, match="empty"):
+        summarize_distribution([])
+    with pytest.raises(ValueError, match="non-finite"):
+        summarize_distribution([1.0, float("nan")])
+
+
+# -- ks_critical_distance ---------------------------------------------------
+
+def test_critical_distance_closed_form():
+    # c(0.01) = sqrt(-ln(0.005)/2) ~ 1.628; equal 16-seed fan-outs.
+    expected = math.sqrt(-math.log(0.005) / 2.0) * math.sqrt(32 / 256)
+    assert ks_critical_distance(16, 16, alpha=0.01) == pytest.approx(expected)
+
+
+def test_critical_distance_shrinks_with_samples_grows_with_confidence():
+    assert ks_critical_distance(64, 64) < ks_critical_distance(16, 16)
+    assert ks_critical_distance(16, 16, alpha=0.01) \
+        > ks_critical_distance(16, 16, alpha=0.05)
+
+
+def test_critical_distance_validates_inputs():
+    with pytest.raises(ValueError, match="n, m >= 2"):
+        ks_critical_distance(1, 16)
+    with pytest.raises(ValueError, match="alpha"):
+        ks_critical_distance(16, 16, alpha=0.0)
+    with pytest.raises(ValueError, match="alpha"):
+        ks_critical_distance(16, 16, alpha=1.0)

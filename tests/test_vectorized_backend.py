@@ -1,0 +1,168 @@
+"""The vectorized backend: determinism, lane gating, loud fallbacks.
+
+Everything here needs numpy (tier-1 skips the module); the numpy-absent
+behaviour of the vectorized backend is pinned in test_batch_gating.py,
+which poisons ``sys.modules`` instead.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.harness.engine import (
+    SimJob,
+    replicate_job,
+    run_job,
+    run_job_backend,
+    run_jobs,
+)
+from repro.harness.equivalence import (
+    EquivalenceCase,
+    METRICS,
+    run_equivalence,
+)
+
+np = pytest.importorskip("numpy")
+
+from repro.batch.core import HeterogeneousBatchError  # noqa: E402
+from repro.batch.vectorized import (  # noqa: E402
+    VectorizedSimulator,
+    fallback_reason,
+    vector_key,
+    warn_scalar_fallbacks,
+)
+
+CYCLES = 1_500
+WARMUP = 300
+
+
+def _job(policy="ICOUNT", benchmarks=("gzip", "mcf"), **kwargs):
+    kwargs.setdefault("cycles", CYCLES)
+    kwargs.setdefault("warmup", WARMUP)
+    return SimJob(tuple(benchmarks), policy, **kwargs)
+
+
+def _bits(results):
+    # Per result, not the list: serial runs share sub-objects the
+    # pickle memo folds, a worker round-trip unshares them — same
+    # values, different list-level bytes.
+    return [pickle.dumps(r) for r in results]
+
+
+# -- determinism ------------------------------------------------------------
+
+def test_vectorized_run_is_deterministic():
+    jobs = replicate_job(_job(policy="DCRA"), 4)
+    first = VectorizedSimulator(jobs).run()
+    second = VectorizedSimulator(jobs).run()
+    assert _bits(first) == _bits(second)
+
+
+def test_vectorized_engine_deterministic_across_worker_counts():
+    jobs = [_job(seed=s) for s in (1, 2, 3, 4)]
+    serial = run_jobs(jobs, backend="vectorized")
+    parallel = run_jobs(jobs, 2, backend="vectorized")
+    assert _bits(serial) == _bits(parallel)
+
+
+def test_vectorized_differs_from_scalar_but_is_sane():
+    """Relaxed, not bitwise: the numpy streams draw differently from
+    the per-thread ``random.Random`` ones, so bytes differ — the
+    *distributions* matching is the harness's job, not this test's."""
+    job = _job(seed=7)
+    scalar = run_job(job)
+    vectorized = run_jobs([job], backend="vectorized")[0]
+    assert pickle.dumps(scalar) != pickle.dumps(vectorized)
+    assert vectorized.cycles == scalar.cycles
+    assert len(vectorized.threads) == len(scalar.threads)
+    assert all(t.ipc > 0 for t in vectorized.threads)
+
+
+# -- lane gating ------------------------------------------------------------
+
+def test_fallback_reasons():
+    from repro.harness.warmup import parse_warmup_argument
+
+    assert fallback_reason(_job()) is None
+    assert "interval" in fallback_reason(_job(interval_cycles=500))
+    assert "checkpoint" in fallback_reason(_job(checkpoint="auto"))
+    assert "warm-up" in fallback_reason(
+        _job(warmup=parse_warmup_argument("auto")))
+
+
+def test_vector_key_free_and_pinned_fields():
+    base = _job(seed=1)
+    assert vector_key(base) == vector_key(_job(seed=99, policy="DCRA"))
+    assert vector_key(base) != vector_key(_job(cycles=CYCLES + 1))
+    assert vector_key(base) != vector_key(_job(benchmarks=("gzip",)))
+    assert vector_key(_job(interval_cycles=500)) is None
+
+
+def test_simulator_rejects_incompatible_lane():
+    with pytest.raises(HeterogeneousBatchError, match="interval"):
+        VectorizedSimulator([_job(interval_cycles=500)])
+
+
+def test_warn_scalar_fallbacks_is_loud_and_specific():
+    with pytest.warns(RuntimeWarning, match="2 of 3"):
+        warn_scalar_fallbacks([_job(), _job(interval_cycles=500),
+                               _job(checkpoint="auto")])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        warn_scalar_fallbacks([_job(), _job()])
+
+
+def test_engine_routes_unbatchable_job_scalar_with_warning():
+    clean, fallback = _job(seed=1), _job(seed=2, interval_cycles=500)
+    with pytest.warns(RuntimeWarning, match="interval"):
+        results = run_jobs([clean, fallback], backend="vectorized")
+    assert len(results) == 2
+    # The fallback lane ran the bitwise scalar stepper, byte for byte.
+    assert pickle.dumps(results[1]) == pickle.dumps(run_job(fallback))
+
+
+# -- worker dispatch metadata -----------------------------------------------
+
+def test_run_job_backend_scalar_meta():
+    result, meta = run_job_backend((_job(benchmarks=("gzip",)), None))
+    assert meta == {"backend": "scalar", "executed_backend": "scalar",
+                    "equivalence": "bitwise"}
+    assert pickle.dumps(result) == pickle.dumps(
+        run_job(_job(benchmarks=("gzip",))))
+
+
+def test_run_job_backend_vectorized_meta():
+    _, meta = run_job_backend((_job(benchmarks=("gzip",)), "vectorized"))
+    assert meta["executed_backend"] == "vectorized"
+    assert meta["equivalence"] == "vectorized"
+    assert "fallback_reason" not in meta
+
+
+def test_run_job_backend_vectorized_fallback_meta():
+    job = _job(benchmarks=("gzip",), interval_cycles=500)
+    result, meta = run_job_backend((job, "vectorized"))
+    assert meta["backend"] == "vectorized"
+    assert meta["executed_backend"] == "scalar"
+    # Honest tagging: the fallback's result *is* bitwise.
+    assert meta["equivalence"] == "bitwise"
+    assert "interval" in meta["fallback_reason"]
+    assert pickle.dumps(result) == pickle.dumps(run_job(job))
+
+
+# -- acceptance, end to end -------------------------------------------------
+
+def test_small_equivalence_fanout_accepts_vectorized():
+    """A miniature of the CI acceptance sweep: real scalar vs real
+    vectorized on one lineup.  Thresholds at 6 seeds are generous by
+    construction, so this pins the plumbing and catches gross bias
+    without flaking; the calibrated 16-seed gate runs in CI."""
+    cases = [EquivalenceCase("mini-2T", ("gzip", "mcf"), "ICOUNT",
+                             cycles=1_200, warmup=200)]
+    report = run_equivalence(cases, seeds=6, backend="vectorized")
+    assert report["backend"] == "vectorized"
+    assert report["accepted"] is True, report
+    metrics = report["cases"][0]["metrics"]
+    assert set(metrics) == set(METRICS)
+    for metric in METRICS:
+        assert metrics[metric]["statistic"] <= metrics[metric]["threshold"]
